@@ -1,0 +1,29 @@
+"""Dataset and cluster builders shared by the experiment benchmarks."""
+
+from __future__ import annotations
+
+from repro import SpatialHadoop
+
+#: Cluster configuration used across experiments: the papers' 25-node
+#: cluster, with a small per-job overhead so round counts matter without
+#: drowning the (laptop-scale) task times.
+NUM_NODES = 25
+JOB_OVERHEAD_S = 0.02
+
+
+def make_system(block_capacity: int = 10_000) -> SpatialHadoop:
+    return SpatialHadoop(
+        num_nodes=NUM_NODES,
+        block_capacity=block_capacity,
+        job_overhead_s=JOB_OVERHEAD_S,
+    )
+
+
+def fmt_s(seconds: float) -> str:
+    return f"{seconds:.3f}s"
+
+
+def speedup(baseline: float, other: float) -> str:
+    if other <= 0:
+        return "-"
+    return f"{baseline / other:.1f}x"

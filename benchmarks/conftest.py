@@ -1,0 +1,53 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_*``/``test_e*`` module reproduces one experiment from the
+evaluation (see DESIGN.md's per-experiment index). Tests compute a full
+parameter sweep, record a paper-style table through the ``report`` fixture,
+and hand one representative kernel to pytest-benchmark. The recorded
+tables are printed after the pytest-benchmark summary so they survive
+output capturing — this is what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import pytest
+
+_TABLES: List[Tuple[str, str]] = []
+
+
+class TableReporter:
+    """Collects formatted experiment tables for the terminal summary."""
+
+    def add(self, title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+        widths = [
+            max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+        lines = [
+            "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+        text = "\n".join(lines)
+        _TABLES.append((title, text))
+        return text
+
+
+@pytest.fixture(scope="session")
+def report() -> TableReporter:
+    return TableReporter()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    del exitstatus, config
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "experiment tables (paper-style output)")
+    for title, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {title} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,115 @@
+"""E10 — extension operations: aggregate count, kNN join, tile pyramid.
+
+These cover the "future work" surface the papers sketch: aggregate
+queries whose shuffle is O(blocks), the kNN join from the related-work
+systems, and the multilevel visualization pyramid. Each row demonstrates
+the same index-driven saving as the core operations.
+"""
+
+from bench_utils import fmt_s, make_system
+
+from repro.datagen import generate_points
+from repro.geometry import Rectangle
+from repro.operations import (
+    range_count_hadoop,
+    range_count_spatial,
+    knn_join_hadoop,
+    knn_join_spatial,
+)
+from repro.viz import plot_pyramid
+
+SPACE = Rectangle(0, 0, 1_000_000, 1_000_000)
+
+
+def test_e10_range_count(benchmark, report):
+    points = generate_points(300_000, "uniform", seed=1, space=SPACE)
+    sh = make_system(block_capacity=10_000)
+    sh.load("pts", points)
+    sh.index("pts", "idx", technique="str")
+    rows = []
+    for frac in (0.1, 0.5, 1.0):
+        side = SPACE.width * frac
+        window = Rectangle(0, 0, side, side)
+        hadoop = range_count_hadoop(sh.runner, "pts", window)
+        spatial = range_count_spatial(sh.runner, "idx", window)
+        assert hadoop.answer == spatial.answer
+        rows.append(
+            [
+                f"{frac:g}",
+                hadoop.answer,
+                f"{hadoop.blocks_read} blk",
+                f"{spatial.blocks_read} blk (covered cells counted free)",
+            ]
+        )
+    report.add(
+        "E10: aggregate range COUNT — covered partitions answered from the index",
+        ["window fraction", "count", "hadoop", "spatialhadoop"],
+        rows,
+    )
+    window = Rectangle(0, 0, 5e5, 5e5)
+    benchmark.pedantic(
+        lambda: range_count_spatial(sh.runner, "idx", window),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_e10_knn_join(benchmark, report):
+    left = generate_points(500, "uniform", seed=2, space=SPACE)
+    right = generate_points(10_000, "uniform", seed=3, space=SPACE)
+    sh = make_system(block_capacity=2_000)
+    sh.load("L", left, block_capacity=500)
+    sh.load("S", right)
+    sh.index("L", "Li", technique="grid", block_capacity=250)
+    sh.index("S", "Si", technique="grid")
+    hadoop = knn_join_hadoop(sh.runner, "L", "S", 3)
+    spatial = knn_join_spatial(sh.runner, "Li", "Si", 3)
+    h = {r: [round(d, 6) for d, _ in nb] for r, nb in hadoop.answer}
+    s = {r: [round(d, 6) for d, _ in nb] for r, nb in spatial.answer}
+    assert h == s
+    reads = spatial.counters["KNN_JOIN_S_BLOCK_READS"]
+    per_query = reads / len(left)
+    full_per_query = sh.fs.num_blocks("Si")
+    report.add(
+        "E10b: kNN join (500 x 10k, k=3) — S blocks searched per query record",
+        ["variant", "S blocks / query", "simulated"],
+        [
+            ["hadoop (block-nested)", f"{full_per_query} (all)", fmt_s(hadoop.makespan)],
+            ["spatialhadoop", f"{per_query:.2f}", fmt_s(spatial.makespan)],
+        ],
+    )
+    assert per_query < full_per_query / 2
+    benchmark.pedantic(
+        lambda: knn_join_spatial(sh.runner, "Li", "Si", 3),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e10_tile_pyramid(benchmark, report):
+    points = generate_points(100_000, "gaussian", seed=4, space=SPACE)
+    sh = make_system(block_capacity=10_000)
+    sh.load("pts", points)
+    rows = []
+    for levels in (2, 3, 4):
+        op = plot_pyramid(sh.runner, "pts", levels=levels, tile_size=32)
+        pyramid = op.answer
+        full = sum(4**z for z in range(levels))
+        rows.append(
+            [
+                levels,
+                f"{pyramid.num_tiles}/{full}",
+                op.counters["SHUFFLE_RECORDS"],
+                fmt_s(op.makespan),
+            ]
+        )
+    report.add(
+        "E10c: tile pyramid (gaussian data: deep levels stay sparse)",
+        ["levels", "tiles rendered", "shape-tile pairs shuffled", "simulated"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: plot_pyramid(sh.runner, "pts", levels=3, tile_size=32),
+        rounds=3,
+        iterations=1,
+    )

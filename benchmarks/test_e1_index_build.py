@@ -1,0 +1,64 @@
+"""E1 — index construction time (paper: index-building figure).
+
+Paper claim: building any of the spatial indexes is a modest, near-linear
+MapReduce job; the grid index is cheapest, R-tree family costs slightly
+more (sampling + packing), and replication makes disjoint indexes write
+more records for extended shapes.
+"""
+
+from bench_utils import fmt_s, make_system
+
+from repro.datagen import generate_points
+
+TECHNIQUES = ["grid", "str", "str+", "quadtree", "kdtree", "zcurve", "hilbert"]
+SIZES = [20_000, 50_000, 100_000]
+
+
+def build_sweep():
+    rows = []
+    for n in SIZES:
+        points = generate_points(n, "uniform", seed=1)
+        for technique in TECHNIQUES:
+            sh = make_system(block_capacity=5_000)
+            sh.load("pts", points)
+            result = sh.index("pts", "idx", technique=technique)
+            rows.append(
+                (
+                    f"{n:,}",
+                    technique,
+                    len(result.global_index),
+                    fmt_s(result.makespan),
+                )
+            )
+    return rows
+
+
+def test_e1_index_build(benchmark, report):
+    rows = build_sweep()
+    report.add(
+        "E1: index construction (25 simulated nodes)",
+        ["records", "technique", "partitions", "simulated build time"],
+        rows,
+    )
+
+    # pytest-benchmark kernel: one representative STR build.
+    points = generate_points(50_000, "uniform", seed=2)
+
+    def kernel():
+        sh = make_system(block_capacity=5_000)
+        sh.load("pts", points)
+        return sh.index("pts", "idx", technique="str")
+
+    result = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert result.global_index.total_records == 50_000
+
+
+def test_e1_build_scales_linearly(report):
+    # The simulated build time for 100k points is far below 4x the 20k
+    # time, i.e. the MapReduce build parallelises (sublinear makespan).
+    times = {}
+    for n in (20_000, 80_000):
+        sh = make_system(block_capacity=5_000)
+        sh.load("pts", generate_points(n, "uniform", seed=3))
+        times[n] = sh.index("pts", "idx", technique="grid").makespan
+    assert times[80_000] < 4 * times[20_000]

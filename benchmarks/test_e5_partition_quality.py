@@ -1,0 +1,78 @@
+"""E5 — partition quality across techniques (paper: partitioning study).
+
+Paper claim: sample-adaptive techniques (STR family, K-d tree, Quad-tree,
+curves) keep partitions balanced under skew while the uniform grid does
+not; disjoint techniques pay replication on extended shapes; overlapping
+techniques have non-zero partition overlap.
+"""
+
+from bench_utils import make_system
+
+from repro.datagen import generate_points, generate_rectangles
+from repro.geometry import Rectangle
+from repro.index import PARTITIONERS, build_index, measure_quality
+
+SPACE = Rectangle(0, 0, 1_000_000, 1_000_000)
+TECHNIQUES = sorted(PARTITIONERS)
+
+
+def quality_rows(records, n, block_capacity):
+    rows = []
+    for technique in TECHNIQUES:
+        sh = make_system(block_capacity=block_capacity)
+        sh.load("data", records)
+        build_index(sh.runner, "data", "idx", technique)
+        q = measure_quality(
+            sh.fs, "idx", source_records=n, block_capacity=block_capacity
+        )
+        rows.append(
+            [
+                technique,
+                q.num_partitions,
+                f"{q.total_area_ratio:.2f}",
+                f"{q.overlap_ratio:.4f}",
+                f"{q.load_balance_cv:.2f}",
+                f"{q.utilization:.2f}",
+                f"{q.replication:.3f}",
+            ]
+        )
+    return rows
+
+
+HEADERS = ["technique", "parts", "Q1 area", "Q2 overlap", "Q4 balance-cv", "Q5 util", "replication"]
+
+
+def test_e5_quality_uniform_points(benchmark, report):
+    n = 100_000
+    points = generate_points(n, "uniform", seed=1, space=SPACE)
+    report.add("E5: partition quality, 100k uniform points", HEADERS,
+               quality_rows(points, n, 10_000))
+    benchmark.pedantic(
+        lambda: quality_rows(points, n, 10_000), rounds=1, iterations=1
+    )
+
+
+def test_e5_quality_skewed_points(benchmark, report):
+    n = 100_000
+    points = generate_points(n, "gaussian", seed=2, space=SPACE)
+    rows = quality_rows(points, n, 10_000)
+    report.add("E5b: partition quality, 100k gaussian (skewed) points",
+               HEADERS, rows)
+    # The paper's point: grid balance degrades under skew, STR stays flat.
+    cv = {row[0]: float(row[4]) for row in rows}
+    assert cv["str"] < cv["grid"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e5_quality_rectangles(benchmark, report):
+    n = 30_000
+    rects = generate_rectangles(
+        n, "uniform", seed=3, space=SPACE, avg_side_fraction=0.02
+    )
+    rows = quality_rows(rects, n, 3_000)
+    report.add("E5c: partition quality, 30k rectangles (replication visible)",
+               HEADERS, rows)
+    repl = {row[0]: float(row[6]) for row in rows}
+    assert repl["str+"] > 1.0  # disjoint technique replicates spanning shapes
+    assert repl["str"] == 1.0  # overlapping technique never replicates
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,118 @@
+"""E6 — operations-layer CG suite: skyline and convex hull.
+
+Paper claim: both Hadoop variants beat the single machine by parallelising
+the local step; the SpatialHadoop variants add the partition filter and
+process only a handful of blocks (the paper's "at most 3 partitions" for
+skyline, "no more than 12" for the hull), giving 1-2 further orders of
+magnitude.
+"""
+
+from bench_utils import fmt_s, make_system, speedup
+
+from repro.datagen import generate_points
+from repro.operations import (
+    convex_hull_hadoop,
+    convex_hull_spatial,
+    single_machine,
+    skyline_hadoop,
+    skyline_output_sensitive,
+    skyline_spatial,
+)
+
+N = 300_000
+DISTRIBUTIONS = ["uniform", "gaussian", "correlated", "anti_correlated"]
+
+
+def _setup(distribution, technique="str", n=N, seed=1):
+    points = generate_points(n, distribution, seed=seed)
+    sh = make_system(block_capacity=10_000)
+    sh.load("pts", points)
+    sh.index("pts", "idx", technique=technique)
+    return sh, points
+
+
+def test_e6_skyline(benchmark, report):
+    rows = []
+    for distribution in DISTRIBUTIONS:
+        sh, points = _setup(distribution)
+        total = sh.fs.num_blocks("idx")
+        single = single_machine.skyline_op(points)
+        hadoop = skyline_hadoop(sh.runner, "pts")
+        spatial = skyline_spatial(sh.runner, "idx")
+        assert hadoop.answer == spatial.answer == sorted(single.answer)
+        rows.append(
+            [
+                distribution,
+                len(spatial.answer),
+                fmt_s(single.extra_seconds),
+                f"{fmt_s(hadoop.makespan)} ({hadoop.blocks_read} blk)",
+                f"{fmt_s(spatial.makespan)} ({spatial.blocks_read}/{total} blk)",
+                speedup(hadoop.makespan, spatial.makespan),
+            ]
+        )
+    report.add(
+        f"E6: skyline, {N:,} points — single vs Hadoop vs SpatialHadoop",
+        ["distribution", "sky size", "single", "hadoop", "spatialhadoop", "SH vs H"],
+        rows,
+    )
+
+    sh, _ = _setup("uniform", seed=2)
+    benchmark.pedantic(
+        lambda: skyline_spatial(sh.runner, "idx"), rounds=3, iterations=1
+    )
+
+
+def test_e6_skyline_output_sensitive(benchmark, report):
+    rows = []
+    for distribution in ("uniform", "anti_correlated"):
+        sh, points = _setup(distribution, technique="quadtree", seed=3)
+        regular = skyline_spatial(sh.runner, "idx")
+        os_result = skyline_output_sensitive(sh.runner, "idx")
+        assert regular.answer == os_result.answer
+        rows.append(
+            [
+                distribution,
+                len(regular.answer),
+                f"{regular.counters['SHUFFLE_RECORDS']} shfl",
+                f"{os_result.counters['SHUFFLE_RECORDS']} shfl (map-only)",
+            ]
+        )
+    report.add(
+        "E6b: regular vs output-sensitive skyline (quadtree index)",
+        ["distribution", "sky size", "regular", "output-sensitive"],
+        rows,
+    )
+    sh, _ = _setup("anti_correlated", technique="quadtree", seed=4)
+    benchmark.pedantic(
+        lambda: skyline_output_sensitive(sh.runner, "idx"), rounds=3, iterations=1
+    )
+
+
+def test_e6_convex_hull(benchmark, report):
+    rows = []
+    for distribution in ["uniform", "gaussian", "circular"]:
+        sh, points = _setup(distribution, seed=5)
+        total = sh.fs.num_blocks("idx")
+        single = single_machine.convex_hull_op(points)
+        hadoop = convex_hull_hadoop(sh.runner, "pts")
+        spatial = convex_hull_spatial(sh.runner, "idx")
+        assert hadoop.answer == spatial.answer == single.answer
+        rows.append(
+            [
+                distribution,
+                len(spatial.answer),
+                fmt_s(single.extra_seconds),
+                f"{fmt_s(hadoop.makespan)} ({hadoop.blocks_read} blk)",
+                f"{fmt_s(spatial.makespan)} ({spatial.blocks_read}/{total} blk)",
+            ]
+        )
+    report.add(
+        f"E6c: convex hull, {N:,} points",
+        ["distribution", "hull size", "single", "hadoop", "spatialhadoop"],
+        rows,
+    )
+
+    sh, _ = _setup("uniform", seed=6)
+    benchmark.pedantic(
+        lambda: convex_hull_spatial(sh.runner, "idx"), rounds=3, iterations=1
+    )

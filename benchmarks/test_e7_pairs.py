@@ -1,0 +1,100 @@
+"""E7 — closest pair and farthest pair.
+
+Paper claims: the closest-pair map step prunes all but a delta-buffer of
+candidate points, so only a vanishing fraction of the input reaches the
+single reducer; the farthest-pair filter prunes dominated partition pairs,
+and the circular distribution (maximal hull) is its stress case.
+"""
+
+import math
+
+from bench_utils import fmt_s, make_system
+
+from repro.datagen import generate_points
+from repro.geometry.algorithms.closest_pair import closest_pair
+from repro.geometry.algorithms.farthest_pair import farthest_pair
+from repro.operations import (
+    closest_pair_spatial,
+    farthest_pair_hadoop,
+    farthest_pair_spatial,
+    single_machine,
+)
+
+SIZES = [50_000, 150_000, 300_000]
+
+
+def test_e7_closest_pair(benchmark, report):
+    rows = []
+    for n in SIZES:
+        points = generate_points(n, "uniform", seed=1)
+        sh = make_system(block_capacity=10_000)
+        sh.load("pts", points)
+        sh.index("pts", "idx", technique="grid")
+        single = single_machine.closest_pair_op(points)
+        spatial = closest_pair_spatial(sh.runner, "idx")
+        d_single = single.answer[0].distance(single.answer[1])
+        d_spatial = spatial.answer[0].distance(spatial.answer[1])
+        assert math.isclose(d_single, d_spatial, rel_tol=1e-9)
+        survivors = spatial.counters["SHUFFLE_RECORDS"]
+        rows.append(
+            [
+                f"{n:,}",
+                fmt_s(single.extra_seconds),
+                fmt_s(spatial.makespan),
+                f"{survivors} ({survivors / n:.2%} of input)",
+            ]
+        )
+    report.add(
+        "E7: closest pair — candidates surviving the delta-buffer pruning",
+        ["records", "single", "spatialhadoop", "points to reducer"],
+        rows,
+    )
+
+    points = generate_points(100_000, "uniform", seed=2)
+    sh = make_system(block_capacity=10_000)
+    sh.load("pts", points)
+    sh.index("pts", "idx", technique="grid")
+    benchmark.pedantic(
+        lambda: closest_pair_spatial(sh.runner, "idx"), rounds=3, iterations=1
+    )
+
+
+def test_e7_farthest_pair(benchmark, report):
+    rows = []
+    for distribution in ["uniform", "gaussian", "circular"]:
+        points = generate_points(150_000, distribution, seed=3)
+        sh = make_system(block_capacity=10_000)
+        sh.load("pts", points)
+        sh.index("pts", "idx", technique="grid")
+        single = single_machine.farthest_pair_op(points)
+        hadoop = farthest_pair_hadoop(sh.runner, "pts")
+        spatial = farthest_pair_spatial(sh.runner, "idx")
+        d_ref = single.answer[0].distance(single.answer[1])
+        for op in (hadoop, spatial):
+            assert math.isclose(
+                op.answer[0].distance(op.answer[1]), d_ref, rel_tol=1e-9
+            )
+        cells = sh.fs.num_blocks("idx")
+        all_pairs = cells * (cells + 1) // 2
+        rows.append(
+            [
+                distribution,
+                fmt_s(single.extra_seconds),
+                fmt_s(hadoop.makespan),
+                fmt_s(spatial.makespan),
+                f"{spatial.counters['MAP_TASKS']}/{all_pairs}",
+            ]
+        )
+    report.add(
+        "E7b: farthest pair, 150k points — partition pairs processed",
+        ["distribution", "single", "hadoop", "spatialhadoop", "pairs read"],
+        rows,
+    )
+
+    points = generate_points(100_000, "circular", seed=4)
+    sh = make_system(block_capacity=10_000)
+    sh.load("pts", points)
+    sh.index("pts", "idx", technique="grid")
+    benchmark.pedantic(
+        lambda: farthest_pair_spatial(sh.runner, "idx"), rounds=3, iterations=1
+    )

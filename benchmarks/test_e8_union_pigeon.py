@@ -1,0 +1,79 @@
+"""E8 — polygon union and the language layer.
+
+Paper claims: spatially partitioned union dissolves interior edges locally
+(small shuffle), and the enhanced union removes the merge step entirely;
+a Pigeon script executes as a small number of MapReduce rounds.
+"""
+
+from bench_utils import fmt_s, make_system
+
+from repro.datagen import generate_points, generate_polygons
+from repro.operations import single_machine, union_enhanced, union_hadoop, union_spatial
+from repro.pigeon import run_script
+
+SIZES = [300, 600, 1_200]
+
+
+def test_e8_union(benchmark, report):
+    rows = []
+    for n in SIZES:
+        polys = generate_polygons(n, "uniform", seed=1, avg_radius_fraction=0.02)
+        sh = make_system(block_capacity=max(40, n // 12))
+        sh.load("polys", polys)
+        sh.index("polys", "idx", technique="str+")
+        single = single_machine.union_op(polys)
+        hadoop = union_hadoop(sh.runner, "polys")
+        spatial = union_spatial(sh.runner, "idx")
+        enhanced = union_enhanced(sh.runner, "idx")
+        rows.append(
+            [
+                n,
+                fmt_s(single.extra_seconds),
+                f"{fmt_s(hadoop.makespan)} ({hadoop.counters['SHUFFLE_RECORDS']} shfl)",
+                f"{fmt_s(spatial.makespan)} ({spatial.counters['SHUFFLE_RECORDS']} shfl)",
+                f"{fmt_s(enhanced.makespan)} (0 shfl, map-only)",
+            ]
+        )
+    report.add(
+        "E8: polygon union — single vs Hadoop vs SpatialHadoop vs enhanced",
+        ["polygons", "single", "hadoop", "spatialhadoop", "enhanced"],
+        rows,
+    )
+
+    polys = generate_polygons(600, "uniform", seed=2, avg_radius_fraction=0.02)
+    sh = make_system(block_capacity=60)
+    sh.load("polys", polys)
+    sh.index("polys", "idx", technique="str+")
+    benchmark.pedantic(
+        lambda: union_enhanced(sh.runner, "idx"), rounds=3, iterations=1
+    )
+
+
+PIGEON_SCRIPT = """
+    pois    = LOAD 'pois';
+    indexed = INDEX pois USING str;
+    window  = FILTER indexed BY Overlaps(geom, MakeBox(0, 0, 250000, 250000));
+    near    = KNN indexed POINT(500000, 500000) K 10;
+    sky     = SKYLINE indexed;
+    STORE window INTO 'window_out';
+"""
+
+
+def test_e8_pigeon_script(benchmark, report):
+    points = generate_points(100_000, "uniform", seed=3)
+    sh = make_system(block_capacity=10_000)
+    sh.fs.create_file("pois", points)
+    result = run_script(sh, PIGEON_SCRIPT)
+    report.add(
+        "E8b: Pigeon script execution (100k points)",
+        ["statements", "MapReduce rounds", "simulated total"],
+        [[6, result.total_rounds, fmt_s(result.total_makespan)]],
+    )
+    assert result.total_rounds <= 8
+
+    def kernel():
+        sh2 = make_system(block_capacity=10_000)
+        sh2.fs.create_file("pois", points)
+        return run_script(sh2, PIGEON_SCRIPT)
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)

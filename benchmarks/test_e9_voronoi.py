@@ -1,0 +1,78 @@
+"""E9 — Voronoi-diagram construction (paper: VD figures).
+
+Paper claims: the single machine cannot hold the diagram for large inputs
+(it is several times larger than the input); the distributed algorithm
+computes local diagrams in parallel and the pruning rule finalises the
+overwhelming majority of regions before the merge (the paper reports ~99%
+pruned after the local step), leaving a small survivor set for merging.
+"""
+
+from bench_utils import fmt_s, make_system
+
+from repro.datagen import generate_points
+from repro.operations import single_machine, voronoi_spatial
+
+SIZES = [5_000, 15_000, 30_000]
+
+
+def distinct(n, distribution, seed):
+    return sorted(set(generate_points(n, distribution, seed=seed)))
+
+
+def test_e9_voronoi_size_sweep(benchmark, report):
+    rows = []
+    for n in SIZES:
+        pts = distinct(n, "uniform", seed=1)
+        sh = make_system(block_capacity=4_000)
+        sh.load("pts", pts)
+        sh.index("pts", "idx", technique="grid")
+        single = single_machine.voronoi_op(pts)
+        spatial = voronoi_spatial(sh.runner, "idx")
+        assert len(spatial.answer.regions) == len(pts)
+        survivors = spatial.counters["SHUFFLE_RECORDS"]
+        rows.append(
+            [
+                f"{len(pts):,}",
+                fmt_s(single.extra_seconds),
+                fmt_s(spatial.makespan),
+                f"{100 * spatial.answer.pruned_fraction:.1f}%",
+                f"{survivors} ({survivors / len(pts):.1%})",
+            ]
+        )
+    report.add(
+        "E9: Voronoi diagram — regions finalised by the local pruning rule",
+        ["sites", "single", "spatialhadoop", "pruned after local VD", "sites to merge"],
+        rows,
+    )
+
+    pts = distinct(10_000, "uniform", seed=2)
+    sh = make_system(block_capacity=4_000)
+    sh.load("pts", pts)
+    sh.index("pts", "idx", technique="grid")
+    benchmark.pedantic(
+        lambda: voronoi_spatial(sh.runner, "idx"), rounds=3, iterations=1
+    )
+
+
+def test_e9_voronoi_distributions(benchmark, report):
+    rows = []
+    for distribution in ("uniform", "gaussian"):
+        pts = distinct(10_000, distribution, seed=3)
+        sh = make_system(block_capacity=2_000)
+        sh.load("pts", pts)
+        sh.index("pts", "idx", technique="quadtree")
+        spatial = voronoi_spatial(sh.runner, "idx")
+        rows.append(
+            [
+                distribution,
+                f"{len(pts):,}",
+                f"{100 * spatial.answer.pruned_fraction:.1f}%",
+                fmt_s(spatial.makespan),
+            ]
+        )
+    report.add(
+        "E9b: Voronoi pruning by distribution (quadtree index)",
+        ["distribution", "sites", "pruned", "spatialhadoop"],
+        rows,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Spatial join scenario: which parks border which lakes?
+
+The motivating workload of the paper's spatial-join operation: two
+OSM-style polygon datasets (here: synthetic "lakes" and "parks" parcel
+polygons) joined on MBR overlap, three ways:
+
+* single machine plane sweep (the traditional baseline),
+* SJMR on plain Hadoop (grid repartition of both inputs),
+* the distributed join on two SpatialHadoop-indexed files (only the
+  overlapping partition pairs are read).
+
+Run with: python examples/lakes_parks_join.py
+"""
+
+from repro import Feature, SpatialHadoop
+from repro.datagen import generate_polygons
+from repro.operations import single_machine
+
+
+def main() -> None:
+    sh = SpatialHadoop(num_nodes=8, block_capacity=400, job_overhead_s=0.2)
+
+    print("Generating 4,000 lakes and 4,000 parks ...")
+    lakes = [
+        Feature(poly, {"lake_id": i})
+        for i, poly in enumerate(
+            generate_polygons(4_000, "uniform", seed=7, avg_radius_fraction=0.008)
+        )
+    ]
+    parks = [
+        Feature(poly, {"park_id": i})
+        for i, poly in enumerate(
+            generate_polygons(4_000, "uniform", seed=8, avg_radius_fraction=0.008)
+        )
+    ]
+    sh.load("lakes", lakes)
+    sh.load("parks", parks)
+
+    print("Indexing both datasets with STR+ (disjoint R+-tree) ...")
+    sh.index("lakes", "lakes_idx", technique="str+")
+    sh.index("parks", "parks_idx", technique="str+")
+
+    baseline = single_machine.spatial_join(lakes, parks)
+    sjmr = sh.spatial_join("lakes", "parks")  # heap files -> SJMR
+    dj = sh.spatial_join("lakes_idx", "parks_idx")  # indexed -> DJ
+
+    assert len(sjmr.answer) == len(dj.answer) == len(baseline.answer)
+
+    print(f"\n{len(dj.answer)} overlapping (lake, park) pairs. Cost comparison:")
+    print(f"  single machine   : {baseline.extra_seconds:.3f}s measured")
+    print(
+        f"  SJMR (Hadoop)    : {sjmr.blocks_read:3d} blocks read, "
+        f"{sjmr.counters['SHUFFLE_RECORDS']:6d} records shuffled, "
+        f"simulated {sjmr.makespan:.3f}s"
+    )
+    print(
+        f"  distributed join : {dj.blocks_read:3d} block-pairs read, "
+        f"{dj.counters['SHUFFLE_RECORDS']:6d} records shuffled, "
+        f"simulated {dj.makespan:.3f}s"
+    )
+
+    sample = dj.answer[0]
+    print(
+        f"\nExample pair: lake #{sample[0]['lake_id']} overlaps "
+        f"park #{sample[1]['park_id']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

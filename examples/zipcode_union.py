@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Polygon union scenario: dissolve ZIP-code areas into coverage regions.
+
+Reproduces the paper's flagship union example (Fig. 1: merging ZIP code
+polygons) at laptop scale, comparing the three union algorithms:
+
+* Hadoop union — random partitioning; the single reducer does most work;
+* SpatialHadoop union — spatial partitioning dissolves interior borders
+  locally, so little is shuffled;
+* enhanced union — map-only: each partition clips the union boundary to
+  its own cell and writes segments directly, so no merge step exists.
+
+Run with: python examples/zipcode_union.py
+"""
+
+from repro import SpatialHadoop
+from repro.datagen import generate_polygons
+from repro.geometry.algorithms.union import polygon_union
+
+
+def main() -> None:
+    sh = SpatialHadoop(num_nodes=8, block_capacity=60, job_overhead_s=0.2)
+
+    print("Generating 600 ZIP-code-style polygons ...")
+    zipcodes = generate_polygons(
+        600, "uniform", seed=17, avg_radius_fraction=0.03
+    )
+    sh.load("zipcodes", zipcodes)
+    sh.index("zipcodes", "zip_idx", technique="str+", block_capacity=60)
+
+    hadoop = sh.union("zipcodes")
+    spatial = sh.union("zip_idx")
+    enhanced = sh.union("zip_idx", enhanced=True)
+
+    reference = polygon_union(zipcodes)
+    ref_perimeter = sum(ring.perimeter for ring in reference)
+    enh_perimeter = sum(a.distance(b) for a, b in enhanced.answer)
+
+    print(f"\nInput polygons          : {len(zipcodes)}")
+    print(f"Merged coverage regions : {len(reference)} rings")
+    print(f"Total boundary length   : {ref_perimeter:,.0f}")
+    print(
+        f"Enhanced-union segments : {len(enhanced.answer)} "
+        f"(boundary length {enh_perimeter:,.0f} — "
+        f"{'matches' if abs(enh_perimeter - ref_perimeter) < 1e-6 * ref_perimeter else 'MISMATCH'})"
+    )
+
+    print("\nCost comparison:")
+    for name, op in (
+        ("Hadoop union", hadoop),
+        ("SpatialHadoop union", spatial),
+        ("enhanced union", enhanced),
+    ):
+        print(
+            f"  {name:20s}: {op.counters['SHUFFLE_RECORDS']:5d} rings shuffled, "
+            f"{op.counters['REDUCE_TASKS']} reduce task(s), "
+            f"simulated {op.makespan:.3f}s"
+        )
+
+    print(
+        "\nThe enhanced algorithm shuffles nothing and has no reduce step — "
+        "that is exactly the paper's point: it removes the single-machine "
+        "merge bottleneck entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

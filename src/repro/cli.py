@@ -1,0 +1,361 @@
+"""Command-line interface, mirroring SpatialHadoop's shell operations.
+
+The real system is driven from the Hadoop shell (``shadoop generate ...``,
+``shadoop index ...``, ``shadoop rangequery ...``). This CLI reproduces
+that workflow on the simulator: a *workspace* file persists the simulated
+HDFS between invocations, so a session looks like::
+
+    python -m repro -w ws.pkl generate pts --n 100000
+    python -m repro -w ws.pkl index pts pts_idx --technique str
+    python -m repro -w ws.pkl rangequery pts_idx --window 0,0,1e5,1e5
+    python -m repro -w ws.pkl knn pts_idx --point 5e5,5e5 --k 10
+    python -m repro -w ws.pkl plot pts_idx --ascii
+    python -m repro -w ws.pkl info pts_idx
+
+Every query command prints the answer summary plus the cost line the
+benchmarks use (blocks read, records shuffled, simulated makespan).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import SpatialHadoop
+from repro.core.result import OperationResult
+from repro.core.splitter import global_index_of
+from repro.datagen import generate_points, generate_polygons, generate_rectangles
+from repro.geometry import Point, Rectangle
+from repro.index.build import PARTITIONERS
+
+
+def _load_workspace(path: Path, num_nodes: int) -> SpatialHadoop:
+    if path.exists():
+        with path.open("rb") as fh:
+            sh = pickle.load(fh)
+        if not isinstance(sh, SpatialHadoop):
+            raise SystemExit(f"{path} is not a repro workspace")
+        return sh
+    return SpatialHadoop(num_nodes=num_nodes, job_overhead_s=0.05)
+
+
+def _save_workspace(sh: SpatialHadoop, path: Path) -> None:
+    with path.open("wb") as fh:
+        pickle.dump(sh, fh)
+
+
+def _parse_window(text: str) -> Rectangle:
+    parts = [float(v) for v in text.split(",")]
+    if len(parts) != 4:
+        raise SystemExit("--window expects x1,y1,x2,y2")
+    return Rectangle(*parts)
+
+
+def _parse_point(text: str) -> Point:
+    parts = [float(v) for v in text.split(",")]
+    if len(parts) != 2:
+        raise SystemExit("--point expects x,y")
+    return Point(*parts)
+
+
+def _cost_line(op: OperationResult) -> str:
+    return (
+        f"[cost] blocks read: {op.blocks_read}, shuffled records: "
+        f"{op.counters['SHUFFLE_RECORDS']}, rounds: {op.rounds}, "
+        f"simulated: {op.makespan:.3f}s"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpatialHadoop reproduction CLI (simulated cluster)",
+    )
+    parser.add_argument(
+        "-w", "--workspace", default="repro_workspace.pkl",
+        help="workspace file persisting the simulated HDFS",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=25,
+        help="cluster size when creating a new workspace",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic dataset")
+    p.add_argument("file")
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--distribution", default="uniform")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--shape", choices=("point", "rect", "polygon"), default="point"
+    )
+
+    p = sub.add_parser("index", help="build a spatial index")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--technique", default="str", choices=sorted(PARTITIONERS))
+    p.add_argument("--block-capacity", type=int, default=None)
+
+    p = sub.add_parser("rangequery", help="range query")
+    p.add_argument("file")
+    p.add_argument("--window", required=True)
+
+    p = sub.add_parser("knn", help="k nearest neighbours")
+    p.add_argument("file")
+    p.add_argument("--point", required=True)
+    p.add_argument("--k", type=int, default=10)
+
+    p = sub.add_parser("sjoin", help="spatial join of two files")
+    p.add_argument("left")
+    p.add_argument("right")
+
+    p = sub.add_parser("knnjoin", help="kNN join: k nearest S per R record")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.add_argument("--k", type=int, default=3)
+
+    p = sub.add_parser("rangecount", help="COUNT records in a window")
+    p.add_argument("file")
+    p.add_argument("--window", required=True)
+
+    for name in ("skyline", "hull", "closestpair", "farthestpair", "voronoi"):
+        p = sub.add_parser(name, help=f"{name} operation")
+        p.add_argument("file")
+
+    p = sub.add_parser("union", help="polygon union")
+    p.add_argument("file")
+    p.add_argument("--enhanced", action="store_true")
+
+    p = sub.add_parser("plot", help="rasterise a file")
+    p.add_argument("file")
+    p.add_argument("--width", type=int, default=70)
+    p.add_argument("--height", type=int, default=30)
+    p.add_argument("--out", default=None, help="write a PGM image here")
+    p.add_argument("--ascii", action="store_true", help="print ASCII art")
+
+    p = sub.add_parser("pigeon", help="run a Pigeon script")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--script", help="path to a script file")
+    group.add_argument("-e", "--execute", help="inline script text")
+
+    sub.add_parser("ls", help="list files in the workspace")
+
+    p = sub.add_parser("info", help="describe one file")
+    p.add_argument("file")
+
+    p = sub.add_parser("rm", help="delete a file")
+    p.add_argument("file")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    path = Path(args.workspace)
+    sh = _load_workspace(path, args.nodes)
+    mutated = False
+
+    try:
+        mutated = _dispatch(sh, args)
+    except (FileNotFoundError, FileExistsError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if mutated:
+        _save_workspace(sh, path)
+    return 0
+
+
+def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
+    """Run one subcommand; returns True when the workspace changed."""
+    cmd = args.command
+    if cmd == "generate":
+        if args.shape == "point":
+            records = generate_points(args.n, args.distribution, seed=args.seed)
+        elif args.shape == "rect":
+            records = generate_rectangles(args.n, args.distribution, seed=args.seed)
+        else:
+            records = generate_polygons(args.n, args.distribution, seed=args.seed)
+        sh.load(args.file, records)
+        print(
+            f"generated {args.n} {args.distribution} {args.shape}s "
+            f"into '{args.file}' ({sh.fs.num_blocks(args.file)} blocks)"
+        )
+        return True
+
+    if cmd == "index":
+        result = sh.index(
+            args.input, args.output,
+            technique=args.technique,
+            block_capacity=args.block_capacity,
+        )
+        print(
+            f"indexed '{args.input}' -> '{args.output}' with {args.technique}: "
+            f"{len(result.global_index)} partitions, "
+            f"replication {result.replication:.3f}, "
+            f"simulated {result.makespan:.3f}s"
+        )
+        return True
+
+    if cmd == "rangequery":
+        op = sh.range_query(args.file, _parse_window(args.window))
+        print(f"{len(op.answer)} records match")
+        print(_cost_line(op))
+        return False
+
+    if cmd == "knn":
+        op = sh.knn(args.file, _parse_point(args.point), args.k)
+        for distance, record in op.answer:
+            print(f"{distance:12.3f}  {record}")
+        print(_cost_line(op))
+        return False
+
+    if cmd == "sjoin":
+        op = sh.spatial_join(args.left, args.right)
+        print(f"{len(op.answer)} overlapping pairs")
+        print(_cost_line(op))
+        return False
+
+    if cmd == "knnjoin":
+        from repro.operations import knn_join_hadoop, knn_join_spatial
+
+        indexed = (
+            global_index_of(sh.fs, args.left) is not None
+            and global_index_of(sh.fs, args.right) is not None
+        )
+        if indexed:
+            op = knn_join_spatial(sh.runner, args.left, args.right, args.k)
+        else:
+            op = knn_join_hadoop(sh.runner, args.left, args.right, args.k)
+        print(f"{len(op.answer)} rows, k={args.k}")
+        print(_cost_line(op))
+        return False
+
+    if cmd == "rangecount":
+        from repro.operations import range_count_hadoop, range_count_spatial
+
+        window = _parse_window(args.window)
+        if global_index_of(sh.fs, args.file) is not None:
+            op = range_count_spatial(sh.runner, args.file, window)
+        else:
+            op = range_count_hadoop(sh.runner, args.file, window)
+        print(f"count: {op.answer}")
+        print(_cost_line(op))
+        return False
+
+    if cmd == "skyline":
+        op = sh.skyline(args.file)
+        print(f"skyline has {len(op.answer)} points:")
+        for p in op.answer:
+            print(f"  {p}")
+        print(_cost_line(op))
+        return False
+
+    if cmd == "hull":
+        op = sh.convex_hull(args.file)
+        print(f"convex hull has {len(op.answer)} vertices")
+        print(_cost_line(op))
+        return False
+
+    if cmd == "closestpair":
+        op = sh.closest_pair(args.file)
+        a, b = op.answer
+        print(f"closest pair: {a} — {b} (distance {a.distance(b):.6f})")
+        print(_cost_line(op))
+        return False
+
+    if cmd == "farthestpair":
+        op = sh.farthest_pair(args.file)
+        a, b = op.answer
+        print(f"farthest pair: {a} — {b} (distance {a.distance(b):.3f})")
+        print(_cost_line(op))
+        return False
+
+    if cmd == "voronoi":
+        op = sh.voronoi(args.file)
+        res = op.answer
+        print(
+            f"voronoi diagram: {len(res.regions)} regions, "
+            f"{100 * res.pruned_fraction:.1f}% finalised before the merge"
+        )
+        print(_cost_line(op))
+        return False
+
+    if cmd == "union":
+        op = sh.union(args.file, enhanced=args.enhanced)
+        if args.enhanced:
+            print(f"union boundary: {len(op.answer)} segments")
+        else:
+            print(f"union: {len(op.answer)} rings")
+        print(_cost_line(op))
+        return False
+
+    if cmd == "plot":
+        from repro.viz import plot as viz_plot
+
+        op = viz_plot(sh.runner, args.file, width=args.width, height=args.height)
+        if args.out:
+            Path(args.out).write_text(op.answer.to_pgm())
+            print(f"wrote {args.out}")
+        if args.ascii or not args.out:
+            print(op.answer.to_ascii())
+        print(_cost_line(op))
+        return False
+
+    if cmd == "pigeon":
+        from repro.pigeon import run_script
+
+        text = args.execute if args.execute else Path(args.script).read_text()
+        result = run_script(sh, text)
+        for name, records in result.dumped.items():
+            print(f"-- DUMP {name} ({len(records)} records)")
+            for record in records[:20]:
+                print(f"  {record}")
+            if len(records) > 20:
+                print(f"  ... {len(records) - 20} more")
+        print(
+            f"[cost] {result.total_rounds} MapReduce rounds, "
+            f"simulated {result.total_makespan:.3f}s"
+        )
+        return True  # scripts may STORE new files
+
+    if cmd == "ls":
+        for name in sh.fs.list_files():
+            entry = sh.fs.get(name)
+            indexed = "indexed" if "global_index" in entry.metadata else "heap"
+            print(
+                f"{name:30s} {entry.num_records:>10d} records "
+                f"{entry.num_blocks:>5d} blocks  {indexed}"
+            )
+        return False
+
+    if cmd == "info":
+        entry = sh.fs.get(args.file)
+        print(f"file      : {args.file}")
+        print(f"records   : {entry.num_records}")
+        print(f"blocks    : {entry.num_blocks}")
+        gindex = global_index_of(sh.fs, args.file)
+        if gindex is None:
+            print("index     : none (heap file)")
+        else:
+            print(f"index     : {gindex.technique} "
+                  f"({'disjoint' if gindex.disjoint else 'overlapping'})")
+            print(f"file MBR  : {gindex.mbr}")
+            for cell in gindex:
+                print(f"  {cell}")
+        return False
+
+    if cmd == "rm":
+        if not sh.fs.delete(args.file):
+            raise FileNotFoundError(f"no such file: {args.file!r}")
+        print(f"deleted '{args.file}'")
+        return True
+
+    raise SystemExit(f"unknown command {cmd!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Operation results: answer plus simulated cost accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from repro.mapreduce import Counters, JobResult
+
+
+@dataclass
+class OperationResult:
+    """What every spatial operation returns.
+
+    ``answer`` is operation-specific (a record list, a pair, hull points,
+    ...). ``jobs`` are the MapReduce rounds executed. ``extra_seconds``
+    captures driver-side single-machine work (e.g. the final merge of a
+    two-phase algorithm) so that the reported makespan stays honest.
+    """
+
+    answer: Any
+    jobs: List[JobResult] = field(default_factory=list)
+    extra_seconds: float = 0.0
+    system: str = "spatialhadoop"
+
+    @property
+    def makespan(self) -> float:
+        """Simulated wall-clock of the whole operation."""
+        return sum(j.makespan for j in self.jobs) + self.extra_seconds
+
+    @property
+    def rounds(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def counters(self) -> Counters:
+        merged = Counters()
+        for job in self.jobs:
+            merged.merge(job.counters)
+        return merged
+
+    @property
+    def blocks_read(self) -> int:
+        return sum(j.blocks_read for j in self.jobs)

@@ -1,0 +1,147 @@
+"""The SpatialHadoop facade: the library's main entry point.
+
+Wraps a simulated cluster (file system + job runner) behind the workflow a
+SpatialHadoop user follows: *load* files, *index* them with a partitioning
+technique, then run *spatial operations* that exploit the index. Every
+operation returns an :class:`~repro.core.result.OperationResult` carrying
+the answer, the MapReduce rounds executed, and the simulated makespan.
+
+    >>> from repro import SpatialHadoop
+    >>> from repro.datagen import generate_points
+    >>> from repro.geometry import Rectangle
+    >>> sh = SpatialHadoop(num_nodes=8)
+    >>> sh.load("pts", generate_points(10_000, "uniform", seed=1))
+    >>> sh.index("pts", "pts_idx", technique="str")
+    >>> result = sh.range_query("pts_idx", Rectangle(0, 0, 1e5, 1e5))
+    >>> len(result.answer), result.blocks_read  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.core.result import OperationResult
+from repro.geometry import Point, Rectangle
+from repro.index.build import IndexBuildResult, build_index
+from repro.mapreduce import ClusterModel, FileSystem, JobRunner
+
+
+class SpatialHadoop:
+    """A simulated SpatialHadoop deployment."""
+
+    def __init__(
+        self,
+        num_nodes: int = 25,
+        block_capacity: int = 10_000,
+        job_overhead_s: float = 0.5,
+    ):
+        self.fs = FileSystem(default_block_capacity=block_capacity)
+        self.cluster = ClusterModel(
+            num_nodes=num_nodes, job_overhead_s=job_overhead_s
+        )
+        self.runner = JobRunner(self.fs, self.cluster)
+
+    # ------------------------------------------------------------------
+    # Storage layer
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        name: str,
+        records: Iterable[Any],
+        block_capacity: Optional[int] = None,
+    ) -> None:
+        """Upload records as a heap file (plain Hadoop loader)."""
+        self.fs.create_file(name, records, block_capacity=block_capacity)
+
+    def index(
+        self,
+        input_file: str,
+        output_file: str,
+        technique: str = "str",
+        **kwargs: Any,
+    ) -> IndexBuildResult:
+        """Build a spatial index over ``input_file`` (see :func:`build_index`)."""
+        return build_index(
+            self.runner, input_file, output_file, technique, **kwargs
+        )
+
+    def records(self, name: str) -> List[Any]:
+        """Full contents of a file (test/debug helper)."""
+        return self.fs.read_records(name)
+
+    # ------------------------------------------------------------------
+    # Operations layer. Each method dispatches to the Hadoop variant for
+    # heap files and the SpatialHadoop variant for indexed files.
+    # ------------------------------------------------------------------
+    def _is_indexed(self, name: str) -> bool:
+        return "global_index" in self.fs.get(name).metadata
+
+    def range_query(
+        self, file_name: str, query: Rectangle, **kwargs: Any
+    ) -> OperationResult:
+        from repro.operations import range_query_hadoop, range_query_spatial
+
+        if self._is_indexed(file_name):
+            return range_query_spatial(self.runner, file_name, query, **kwargs)
+        return range_query_hadoop(self.runner, file_name, query)
+
+    def knn(
+        self, file_name: str, query: Point, k: int, **kwargs: Any
+    ) -> OperationResult:
+        from repro.operations import knn_hadoop, knn_spatial
+
+        if self._is_indexed(file_name):
+            return knn_spatial(self.runner, file_name, query, k, **kwargs)
+        return knn_hadoop(self.runner, file_name, query, k)
+
+    def spatial_join(
+        self, left_file: str, right_file: str, **kwargs: Any
+    ) -> OperationResult:
+        from repro.operations import (
+            spatial_join_distributed,
+            spatial_join_sjmr,
+        )
+
+        if self._is_indexed(left_file) and self._is_indexed(right_file):
+            return spatial_join_distributed(self.runner, left_file, right_file)
+        return spatial_join_sjmr(self.runner, left_file, right_file, **kwargs)
+
+    def skyline(self, file_name: str, **kwargs: Any) -> OperationResult:
+        from repro.operations import skyline_hadoop, skyline_spatial
+
+        if self._is_indexed(file_name):
+            return skyline_spatial(self.runner, file_name, **kwargs)
+        return skyline_hadoop(self.runner, file_name)
+
+    def convex_hull(self, file_name: str, **kwargs: Any) -> OperationResult:
+        from repro.operations import convex_hull_hadoop, convex_hull_spatial
+
+        if self._is_indexed(file_name):
+            return convex_hull_spatial(self.runner, file_name, **kwargs)
+        return convex_hull_hadoop(self.runner, file_name)
+
+    def closest_pair(self, file_name: str) -> OperationResult:
+        from repro.operations import closest_pair_spatial
+
+        return closest_pair_spatial(self.runner, file_name)
+
+    def farthest_pair(self, file_name: str) -> OperationResult:
+        from repro.operations import farthest_pair_hadoop, farthest_pair_spatial
+
+        if self._is_indexed(file_name):
+            return farthest_pair_spatial(self.runner, file_name)
+        return farthest_pair_hadoop(self.runner, file_name)
+
+    def voronoi(self, file_name: str) -> OperationResult:
+        from repro.operations import voronoi_spatial
+
+        return voronoi_spatial(self.runner, file_name)
+
+    def union(self, file_name: str, enhanced: bool = False) -> OperationResult:
+        from repro.operations import union_enhanced, union_hadoop, union_spatial
+
+        if enhanced:
+            return union_enhanced(self.runner, file_name)
+        if self._is_indexed(file_name):
+            return union_spatial(self.runner, file_name)
+        return union_hadoop(self.runner, file_name)

@@ -1,0 +1,23 @@
+"""Seeded synthetic workload generators.
+
+Stand-ins for the papers' OSM extracts and generated datasets. Every
+distribution used in the evaluation is available: ``uniform``, ``gaussian``,
+``correlated``, ``anti_correlated`` (the skyline best/worst cases),
+``circular`` (the farthest-pair worst case) and ``diagonal``. Rectangle
+and polygon generators cover the join and union workloads.
+
+All generators take an explicit seed so experiments are reproducible.
+"""
+
+from repro.datagen.points import (
+    DISTRIBUTIONS,
+    generate_points,
+)
+from repro.datagen.shapes import generate_polygons, generate_rectangles
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "generate_points",
+    "generate_polygons",
+    "generate_rectangles",
+]

@@ -1,0 +1,102 @@
+"""Point dataset generators for every evaluation distribution."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List
+
+from repro.geometry import Point, Rectangle
+
+Sampler = Callable[[random.Random, Rectangle], Point]
+
+
+def _uniform(rng: random.Random, space: Rectangle) -> Point:
+    return Point(rng.uniform(space.x1, space.x2), rng.uniform(space.y1, space.y2))
+
+
+def _clamp(v: float, lo: float, hi: float) -> float:
+    return min(max(v, lo), hi)
+
+
+def _gaussian(rng: random.Random, space: Rectangle) -> Point:
+    cx, cy = space.center.x, space.center.y
+    sx, sy = space.width / 6.0, space.height / 6.0
+    return Point(
+        _clamp(rng.gauss(cx, sx), space.x1, space.x2),
+        _clamp(rng.gauss(cy, sy), space.y1, space.y2),
+    )
+
+
+def _correlated(rng: random.Random, space: Rectangle) -> Point:
+    """Points hugging the main diagonal: the skyline best case."""
+    t = rng.random()
+    jitter = rng.gauss(0, 0.05)
+    return Point(
+        space.x1 + _clamp(t + jitter, 0, 1) * space.width,
+        space.y1 + _clamp(t - jitter, 0, 1) * space.height,
+    )
+
+
+def _anti_correlated(rng: random.Random, space: Rectangle) -> Point:
+    """Points hugging the anti-diagonal: the skyline worst case."""
+    t = rng.random()
+    jitter = rng.gauss(0, 0.05)
+    return Point(
+        space.x1 + _clamp(t + jitter, 0, 1) * space.width,
+        space.y1 + _clamp(1 - t + jitter, 0, 1) * space.height,
+    )
+
+
+def _circular(rng: random.Random, space: Rectangle) -> Point:
+    """Points on a thin annulus: maximises the convex hull size."""
+    angle = rng.uniform(0, 2 * math.pi)
+    radius = min(space.width, space.height) / 2.0
+    r = radius * rng.uniform(0.95, 1.0)
+    c = space.center
+    return Point(
+        _clamp(c.x + r * math.cos(angle), space.x1, space.x2),
+        _clamp(c.y + r * math.sin(angle), space.y1, space.y2),
+    )
+
+
+def _diagonal(rng: random.Random, space: Rectangle) -> Point:
+    """A dense band along the diagonal (heavy 1-D skew)."""
+    t = rng.betavariate(2, 2)
+    off = rng.gauss(0, 0.02)
+    return Point(
+        space.x1 + _clamp(t + off, 0, 1) * space.width,
+        space.y1 + _clamp(t, 0, 1) * space.height,
+    )
+
+
+DISTRIBUTIONS: Dict[str, Sampler] = {
+    "uniform": _uniform,
+    "gaussian": _gaussian,
+    "correlated": _correlated,
+    "anti_correlated": _anti_correlated,
+    "circular": _circular,
+    "diagonal": _diagonal,
+}
+
+DEFAULT_SPACE = Rectangle(0.0, 0.0, 1_000_000.0, 1_000_000.0)
+
+
+def generate_points(
+    n: int,
+    distribution: str = "uniform",
+    seed: int = 0,
+    space: Rectangle = DEFAULT_SPACE,
+) -> List[Point]:
+    """``n`` seeded points drawn from the named distribution."""
+    try:
+        sampler = DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"pick one of {sorted(DISTRIBUTIONS)}"
+        ) from None
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = random.Random(seed)
+    return [sampler(rng, space) for _ in range(n)]

@@ -1,0 +1,96 @@
+"""Rectangle and polygon dataset generators (join and union workloads)."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.datagen.points import DEFAULT_SPACE, DISTRIBUTIONS
+from repro.geometry import Point, Polygon, Rectangle
+
+
+def generate_rectangles(
+    n: int,
+    distribution: str = "uniform",
+    seed: int = 0,
+    space: Rectangle = DEFAULT_SPACE,
+    avg_side_fraction: float = 0.01,
+) -> List[Rectangle]:
+    """``n`` seeded rectangles with centres from the named distribution.
+
+    ``avg_side_fraction`` controls the mean rectangle side as a fraction of
+    the space extent, which directly controls join selectivity.
+    """
+    try:
+        sampler = DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ValueError(f"unknown distribution {distribution!r}") from None
+    rng = random.Random(seed)
+    max_w = space.width * avg_side_fraction * 2
+    max_h = space.height * avg_side_fraction * 2
+    out: List[Rectangle] = []
+    for _ in range(n):
+        c = sampler(rng, space)
+        w = rng.uniform(0, max_w)
+        h = rng.uniform(0, max_h)
+        out.append(
+            Rectangle(
+                max(space.x1, c.x - w / 2),
+                max(space.y1, c.y - h / 2),
+                min(space.x2, c.x + w / 2),
+                min(space.y2, c.y + h / 2),
+            )
+        )
+    return out
+
+
+def generate_polygons(
+    n: int,
+    distribution: str = "uniform",
+    seed: int = 0,
+    space: Rectangle = DEFAULT_SPACE,
+    avg_radius_fraction: float = 0.01,
+    min_vertices: int = 4,
+    max_vertices: int = 10,
+) -> List[Polygon]:
+    """``n`` seeded star-shaped simple polygons (parcel-style workload).
+
+    Each polygon is built by sorting random angular offsets around a centre
+    point, guaranteeing a simple (non self-intersecting) shell — the same
+    construction the SpatialHadoop generator uses for parcel data.
+    """
+    try:
+        sampler = DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ValueError(f"unknown distribution {distribution!r}") from None
+    if min_vertices < 3 or max_vertices < min_vertices:
+        raise ValueError("need max_vertices >= min_vertices >= 3")
+    rng = random.Random(seed)
+    base_radius = min(space.width, space.height) * avg_radius_fraction
+    out: List[Polygon] = []
+    while len(out) < n:
+        c = sampler(rng, space)
+        k = rng.randint(min_vertices, max_vertices)
+        angles = sorted(rng.uniform(0, 2 * math.pi) for _ in range(k))
+        # Angle-sorted vertices give a star-shaped (hence simple) polygon
+        # only when every angular gap stays below pi; otherwise the closing
+        # edge can slice through other sectors. Redraw on a wide gap.
+        gaps = [angles[i + 1] - angles[i] for i in range(k - 1)]
+        gaps.append(2 * math.pi - (angles[-1] - angles[0]))
+        if max(gaps) >= math.pi * 0.95:
+            continue
+        shell = [
+            Point(
+                c.x + rng.uniform(0.5, 1.0) * base_radius * math.cos(a),
+                c.y + rng.uniform(0.5, 1.0) * base_radius * math.sin(a),
+            )
+            for a in angles
+        ]
+        try:
+            poly = Polygon(shell)
+        except ValueError:
+            continue  # nearly coincident vertices: redraw
+        if poly.area > 0 and poly.is_simple():
+            out.append(poly)
+    return out

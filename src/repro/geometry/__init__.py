@@ -1,0 +1,57 @@
+"""Geometry kernel for the SpatialHadoop reproduction.
+
+This package is a small, self-contained computational-geometry library that
+plays the role JTS plays for the real SpatialHadoop: it provides the shapes
+(:class:`Point`, :class:`Rectangle`, :class:`LineString`, :class:`Polygon`),
+the predicates the indexing and operations layers rely on, and the classic
+algorithms (convex hull, closest/farthest pair, skyline, clipping, polygon
+union) that the operations layer distributes over MapReduce.
+
+All coordinates are floats in an arbitrary planar coordinate system; there is
+no notion of geodesy. Comparisons use the module-level :data:`EPS` tolerance.
+"""
+
+from repro.geometry.common import EPS
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rectangle
+from repro.geometry.segment import (
+    Segment,
+    orientation,
+    point_on_segment,
+    segments_intersect,
+    segment_intersection,
+)
+from repro.geometry.linestring import LineString
+from repro.geometry.polygon import Polygon
+from repro.geometry.wkt import parse_wkt, to_wkt
+
+from repro.geometry.algorithms.convex_hull import convex_hull
+from repro.geometry.algorithms.closest_pair import closest_pair
+from repro.geometry.algorithms.farthest_pair import farthest_pair
+from repro.geometry.algorithms.skyline import skyline, dominates
+from repro.geometry.algorithms.clip import clip_polygon, clip_segment
+from repro.geometry.algorithms.union import polygon_union, group_overlapping
+
+__all__ = [
+    "EPS",
+    "Point",
+    "Rectangle",
+    "Segment",
+    "LineString",
+    "Polygon",
+    "orientation",
+    "point_on_segment",
+    "segments_intersect",
+    "segment_intersection",
+    "parse_wkt",
+    "to_wkt",
+    "convex_hull",
+    "closest_pair",
+    "farthest_pair",
+    "skyline",
+    "dominates",
+    "clip_polygon",
+    "clip_segment",
+    "polygon_union",
+    "group_overlapping",
+]

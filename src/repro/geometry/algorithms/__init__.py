@@ -1,0 +1,7 @@
+"""Classic single-machine computational-geometry algorithms.
+
+These are the in-memory building blocks the MapReduce operations layer
+distributes: each operation's *local processing* step calls one of these on
+a single partition's worth of data, and its *merge* step calls the same
+algorithm on the combined partial results.
+"""

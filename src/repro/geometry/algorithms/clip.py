@@ -1,0 +1,112 @@
+"""Clipping: polygons (Sutherland-Hodgman) and segments (Liang-Barsky)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rectangle
+
+
+def clip_polygon(polygon: Polygon, rect: Rectangle) -> Optional[Polygon]:
+    """Clip a polygon to a rectangle (Sutherland-Hodgman).
+
+    Returns the clipped polygon, or None when the intersection is empty or
+    degenerate (a point or a line). The algorithm is exact for convex clip
+    windows, which a rectangle always is. Non-convex *subjects* are fine.
+    """
+    vertices: List[Point] = list(polygon.shell)
+
+    # The four half-planes of the rectangle: (inside-test, intersection).
+    def clip_half_plane(
+        pts: List[Point],
+        inside,  # Callable[[Point], bool]
+        intersect,  # Callable[[Point, Point], Point]
+    ) -> List[Point]:
+        out: List[Point] = []
+        n = len(pts)
+        for i in range(n):
+            cur, prev = pts[i], pts[i - 1]
+            cur_in, prev_in = inside(cur), inside(prev)
+            if cur_in:
+                if not prev_in:
+                    out.append(intersect(prev, cur))
+                out.append(cur)
+            elif prev_in:
+                out.append(intersect(prev, cur))
+        return out
+
+    def x_cross(a: Point, b: Point, x: float) -> Point:
+        t = (x - a.x) / (b.x - a.x)
+        return Point(x, a.y + t * (b.y - a.y))
+
+    def y_cross(a: Point, b: Point, y: float) -> Point:
+        t = (y - a.y) / (b.y - a.y)
+        return Point(a.x + t * (b.x - a.x), y)
+
+    planes = [
+        (lambda p: p.x >= rect.x1, lambda a, b: x_cross(a, b, rect.x1)),
+        (lambda p: p.x <= rect.x2, lambda a, b: x_cross(a, b, rect.x2)),
+        (lambda p: p.y >= rect.y1, lambda a, b: y_cross(a, b, rect.y1)),
+        (lambda p: p.y <= rect.y2, lambda a, b: y_cross(a, b, rect.y2)),
+    ]
+    for inside, intersect in planes:
+        vertices = clip_half_plane(vertices, inside, intersect)
+        if not vertices:
+            return None
+
+    # Deduplicate consecutive (nearly) identical vertices.
+    cleaned: List[Point] = []
+    for p in vertices:
+        if not cleaned or not cleaned[-1].almost_equals(p):
+            cleaned.append(p)
+    if len(cleaned) >= 2 and cleaned[0].almost_equals(cleaned[-1]):
+        cleaned.pop()
+    if len(cleaned) < 3:
+        return None
+    result = Polygon(cleaned)
+    if result.area <= 1e-12:
+        return None
+    return result
+
+
+def clip_segment(
+    a: Point, b: Point, rect: Rectangle
+) -> Optional[Tuple[Point, Point]]:
+    """Clip segment ``ab`` to ``rect`` (Liang-Barsky).
+
+    Returns the clipped endpoints, or None when the segment lies entirely
+    outside the rectangle. Degenerate (zero-length) results are reported as
+    None as well.
+    """
+    dx = b.x - a.x
+    dy = b.y - a.y
+    t0, t1 = 0.0, 1.0
+    for p, q in (
+        (-dx, a.x - rect.x1),
+        (dx, rect.x2 - a.x),
+        (-dy, a.y - rect.y1),
+        (dy, rect.y2 - a.y),
+    ):
+        if p == 0:
+            if q < 0:
+                return None
+            continue
+        r = q / p
+        if p < 0:
+            if r > t1:
+                return None
+            if r > t0:
+                t0 = r
+        else:
+            if r < t0:
+                return None
+            if r < t1:
+                t1 = r
+    if t1 - t0 <= 1e-12:
+        return None
+    return (
+        Point(a.x + t0 * dx, a.y + t0 * dy),
+        Point(a.x + t1 * dx, a.y + t1 * dy),
+    )

@@ -1,0 +1,57 @@
+"""Andrew's monotone-chain convex hull."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.geometry.point import Point
+
+
+def _cross(o: Point, a: Point, b: Point) -> float:
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def convex_hull(points: Iterable[Point]) -> List[Point]:
+    """Convex hull of a point set in counter-clockwise order.
+
+    Collinear points on the hull boundary are dropped, so the result is the
+    minimal vertex set. Degenerate inputs are handled gracefully: zero or one
+    point returns the input; fully collinear input returns its two extremes.
+    """
+    pts: List[Point] = sorted(set(points))
+    if len(pts) <= 2:
+        return pts
+
+    lower: List[Point] = []
+    for p in pts:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+
+    upper: List[Point] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 2:  # all points collinear -> keep the two extremes
+        return [pts[0], pts[-1]]
+    return hull
+
+
+def point_in_convex_hull(p: Point, hull: Sequence[Point]) -> bool:
+    """Closed containment test for a CCW convex hull."""
+    n = len(hull)
+    if n == 0:
+        return False
+    if n == 1:
+        return hull[0].almost_equals(p)
+    if n == 2:
+        from repro.geometry.segment import point_on_segment
+
+        return point_on_segment(p, hull[0], hull[1])
+    for i in range(n):
+        if _cross(hull[i], hull[(i + 1) % n], p) < -1e-9:
+            return False
+    return True

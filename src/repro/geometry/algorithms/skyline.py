@@ -1,0 +1,44 @@
+"""Max-max skyline (maximal points) of a planar point set.
+
+Following the papers, point ``p`` *dominates* ``q`` when ``p.x >= q.x`` and
+``p.y >= q.y`` with strict inequality in at least one coordinate. The skyline
+is the set of non-dominated points, reported in increasing-x order (hence
+decreasing-y order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.geometry.point import Point
+
+
+def dominates(p: Point, q: Point) -> bool:
+    """True when ``p`` dominates ``q`` in the max-max sense."""
+    return p.x >= q.x and p.y >= q.y and (p.x > q.x or p.y > q.y)
+
+
+def skyline(points: Iterable[Point]) -> List[Point]:
+    """The max-max skyline, sorted by increasing x.
+
+    O(n log n): scan points in decreasing ``(x, y)`` order keeping the best
+    y seen so far. Duplicated points appear once.
+    """
+    pts = sorted(set(points), reverse=True)
+    result: List[Point] = []
+    best_y = float("-inf")
+    for p in pts:
+        if p.y > best_y:
+            result.append(p)
+            best_y = p.y
+    result.reverse()
+    return result
+
+
+def skyline_bruteforce(points: Iterable[Point]) -> List[Point]:
+    """O(n^2) reference implementation used as a test oracle."""
+    pts = list(set(points))
+    result = [
+        p for p in pts if not any(dominates(q, p) for q in pts if q != p)
+    ]
+    return sorted(result)

@@ -1,0 +1,129 @@
+"""Voronoi diagram as the dual of the Delaunay triangulation.
+
+Each site's Voronoi region is bounded by the circumcenters of its incident
+Delaunay triangles. Interior sites (whose incident triangles wrap all the
+way around) have *closed* regions; sites on the triangulation's hull have
+unbounded regions, which this module reports with ``closed=False`` and no
+vertex ring (the MapReduce operation never needs their explicit shape —
+unbounded regions are never *safe*).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.geometry.algorithms.delaunay import (
+    Triangulation,
+    circumcenter,
+    delaunay,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rectangle
+
+
+@dataclass(frozen=True)
+class VoronoiRegion:
+    """One site's Voronoi region."""
+
+    site: Point
+    closed: bool
+    #: CCW circumcenter ring for closed regions; None for unbounded ones.
+    vertices: Optional[tuple] = None
+    #: Radii of the *dangerous zone*: for each vertex, the distance from
+    #: that Voronoi vertex to the site (== its circumcircle radius).
+    radii: Optional[tuple] = None
+
+    def polygon(self) -> Polygon:
+        if not self.closed or self.vertices is None:
+            raise ValueError("unbounded Voronoi region has no polygon")
+        return Polygon(list(self.vertices))
+
+    def dangerous_zone_inside(self, rect: Rectangle) -> bool:
+        """Corollary 1's safety test: every vertex circle within ``rect``.
+
+        The dangerous zone is the union of circles centred at the region's
+        vertices passing through the site; the region is *safe* (final
+        under any future merge) when the zone lies inside the partition.
+        """
+        if not self.closed or self.vertices is None:
+            return False
+        for v, r in zip(self.vertices, self.radii):
+            if (
+                v.x - r < rect.x1
+                or v.x + r > rect.x2
+                or v.y - r < rect.y1
+                or v.y + r > rect.y2
+            ):
+                return False
+        return True
+
+
+@dataclass
+class VoronoiDiagram:
+    """Voronoi regions per site, with the underlying triangulation."""
+
+    sites: List[Point]
+    regions: List[VoronoiRegion]
+    triangulation: Triangulation
+
+    def region_of(self, site_index: int) -> VoronoiRegion:
+        return self.regions[site_index]
+
+    def neighbors_of(self) -> Dict[int, Set[int]]:
+        return self.triangulation.neighbors_of()
+
+
+def voronoi(points: Sequence[Point]) -> VoronoiDiagram:
+    """Voronoi diagram of distinct sites.
+
+    Degenerate inputs (fewer than 3 sites, collinear sites) yield a diagram
+    where every region is unbounded — which is also the correct answer.
+    """
+    tri = delaunay(points)
+    pts = tri.points
+    per_site = tri.triangles_of_site()
+
+    # A site is interior iff its incident triangles form a closed fan:
+    # every Delaunay edge at the site is shared by two incident triangles.
+    regions: List[VoronoiRegion] = []
+    for i, site in enumerate(pts):
+        incident = per_site.get(i, [])
+        if len(incident) < 3:
+            regions.append(VoronoiRegion(site=site, closed=False))
+            continue
+        # Count, per neighbour edge (i, other), how many incident triangles
+        # contain it; a closed fan uses each exactly twice.
+        counts: Dict[int, int] = {}
+        for t in incident:
+            for v in t.vertices:
+                if v != i:
+                    counts[v] = counts.get(v, 0) + 1
+        if any(c != 2 for c in counts.values()):
+            regions.append(VoronoiRegion(site=site, closed=False))
+            continue
+        centers = []
+        ok = True
+        for t in incident:
+            c = circumcenter(pts[t.a], pts[t.b], pts[t.c])
+            if c is None:
+                ok = False
+                break
+            centers.append(c)
+        if not ok:
+            regions.append(VoronoiRegion(site=site, closed=False))
+            continue
+        # Order circumcenters CCW around the site.
+        centers.sort(key=lambda c: math.atan2(c.y - site.y, c.x - site.x))
+        radii = tuple(c.distance(site) for c in centers)
+        regions.append(
+            VoronoiRegion(
+                site=site,
+                closed=True,
+                vertices=tuple(centers),
+                radii=radii,
+            )
+        )
+    return VoronoiDiagram(sites=pts, regions=regions, triangulation=tri)

@@ -1,0 +1,17 @@
+"""Shared numeric helpers for the geometry kernel."""
+
+#: Absolute tolerance used by geometric predicates. Coordinates in this
+#: library are expected to be "world sized" (roughly 1e-3 .. 1e7), for which
+#: an absolute epsilon of 1e-9 is a good compromise between robustness and
+#: discrimination.
+EPS = 1e-9
+
+
+def almost_equal(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True when ``a`` and ``b`` differ by at most ``eps``."""
+    return abs(a - b) <= eps
+
+
+def almost_zero(a: float, eps: float = EPS) -> bool:
+    """Return True when ``a`` is within ``eps`` of zero."""
+    return abs(a) <= eps

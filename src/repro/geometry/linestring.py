@@ -1,0 +1,63 @@
+"""Polyline shape."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rectangle
+from repro.geometry.segment import Segment, segments_intersect
+
+
+@dataclass(frozen=True)
+class LineString:
+    """An immutable open polyline through two or more points."""
+
+    points: Tuple[Point, ...]
+    _mbr: Rectangle = field(init=False, repr=False, compare=False)
+
+    def __init__(self, points: Sequence[Point]):
+        if len(points) < 2:
+            raise ValueError("a LineString needs at least two points")
+        object.__setattr__(self, "points", tuple(points))
+        object.__setattr__(self, "_mbr", Rectangle.from_points(points))
+
+    @property
+    def mbr(self) -> Rectangle:
+        return self._mbr
+
+    @property
+    def length(self) -> float:
+        return sum(a.distance(b) for a, b in self.segments())
+
+    def segments(self) -> Iterator[Tuple[Point, Point]]:
+        """Consecutive point pairs."""
+        for i in range(len(self.points) - 1):
+            yield self.points[i], self.points[i + 1]
+
+    def intersects_rect(self, rect: Rectangle) -> bool:
+        """True when any segment of the polyline intersects ``rect``."""
+        if not self.mbr.intersects(rect):
+            return False
+        for p in self.points:
+            if rect.contains_point(p):
+                return True
+        edges: List[Segment] = [
+            Segment(rect.corners[i], rect.corners[(i + 1) % 4]) for i in range(4)
+        ]
+        for a, b in self.segments():
+            for edge in edges:
+                if segments_intersect(a, b, edge.a, edge.b):
+                    return True
+        return False
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{p.x:g} {p.y:g}" for p in self.points)
+        return f"LINESTRING ({inner})"

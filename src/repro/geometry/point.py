@@ -1,0 +1,57 @@
+"""Two-dimensional point shape."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.geometry.common import EPS
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2-D point.
+
+    Points order lexicographically by ``(x, y)``, which is the order used by
+    the sweep-based algorithms (convex hull, closest pair) in this package.
+    """
+
+    x: float
+    y: float
+
+    def distance(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_sq(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other`` (avoids the sqrt)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def almost_equals(self, other: "Point", eps: float = EPS) -> bool:
+        """Tolerance-based equality used by stitching algorithms."""
+        return abs(self.x - other.x) <= eps and abs(self.y - other.y) <= eps
+
+    @property
+    def mbr(self) -> "Rectangle":  # noqa: F821 - forward reference
+        """Degenerate minimum bounding rectangle of the point."""
+        from repro.geometry.rectangle import Rectangle
+
+        return Rectangle(self.x, self.y, self.x, self.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __str__(self) -> str:
+        return f"POINT ({self.x:g} {self.y:g})"

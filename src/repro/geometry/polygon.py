@@ -1,0 +1,207 @@
+"""Simple polygon shape (single shell, no holes)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.geometry.common import EPS
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rectangle
+from repro.geometry.segment import (
+    orientation,
+    point_on_segment,
+    segments_intersect,
+)
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """An immutable simple polygon defined by its shell.
+
+    The shell is stored *without* a repeated closing vertex; the edge from
+    the last vertex back to the first is implicit. Vertex order may be
+    clockwise or counter-clockwise; :meth:`signed_area` reveals which.
+    """
+
+    shell: Tuple[Point, ...]
+    _mbr: Rectangle = field(init=False, repr=False, compare=False)
+
+    def __init__(self, shell: Sequence[Point]):
+        pts = list(shell)
+        if len(pts) >= 2 and pts[0].almost_equals(pts[-1]):
+            pts = pts[:-1]  # tolerate explicitly closed input
+        if len(pts) < 3:
+            raise ValueError("a Polygon needs at least three distinct vertices")
+        object.__setattr__(self, "shell", tuple(pts))
+        object.__setattr__(self, "_mbr", Rectangle.from_points(pts))
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def mbr(self) -> Rectangle:
+        return self._mbr
+
+    @property
+    def signed_area(self) -> float:
+        """Shoelace area: positive for counter-clockwise shells."""
+        total = 0.0
+        for a, b in self.edges():
+            total += a.x * b.y - b.x * a.y
+        return total / 2.0
+
+    @property
+    def area(self) -> float:
+        return abs(self.signed_area)
+
+    @property
+    def perimeter(self) -> float:
+        return sum(a.distance(b) for a, b in self.edges())
+
+    @property
+    def is_ccw(self) -> bool:
+        return self.signed_area > 0
+
+    def normalized(self) -> "Polygon":
+        """Return a counter-clockwise copy starting at the smallest vertex.
+
+        Useful for comparing polygons for geometric (rather than
+        representational) equality in tests.
+        """
+        pts = list(self.shell)
+        if not self.is_ccw:
+            pts.reverse()
+        start = min(range(len(pts)), key=lambda i: (pts[i].x, pts[i].y))
+        return Polygon(pts[start:] + pts[:start])
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def edges(self) -> Iterator[Tuple[Point, Point]]:
+        """All shell edges including the implicit closing edge."""
+        n = len(self.shell)
+        for i in range(n):
+            yield self.shell[i], self.shell[(i + 1) % n]
+
+    def contains_point(self, p: Point, eps: float = EPS) -> bool:
+        """Closed point-in-polygon via ray casting (boundary counts as in)."""
+        if not self.mbr.contains_point(p):
+            return False
+        for a, b in self.edges():
+            if point_on_segment(p, a, b, eps):
+                return True
+        return self._strictly_contains(p)
+
+    def strictly_contains_point(self, p: Point, eps: float = EPS) -> bool:
+        """Open point-in-polygon: boundary points are *not* contained."""
+        if not self.mbr.contains_point(p):
+            return False
+        for a, b in self.edges():
+            if point_on_segment(p, a, b, eps):
+                return False
+        return self._strictly_contains(p)
+
+    def _strictly_contains(self, p: Point) -> bool:
+        """Crossing-number test, assuming ``p`` is not on the boundary."""
+        inside = False
+        n = len(self.shell)
+        j = n - 1
+        for i in range(n):
+            a, b = self.shell[i], self.shell[j]
+            if (a.y > p.y) != (b.y > p.y):
+                x_at = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x
+                if p.x < x_at:
+                    inside = not inside
+            j = i
+        return inside
+
+    def intersects_rect(self, rect: Rectangle) -> bool:
+        """True when polygon interior/boundary shares a point with ``rect``."""
+        if not self.mbr.intersects(rect):
+            return False
+        # Any vertex inside the rectangle, or any rectangle corner inside us.
+        for p in self.shell:
+            if rect.contains_point(p):
+                return True
+        for corner in rect.corners:
+            if self.contains_point(corner):
+                return True
+        # Otherwise boundaries must cross.
+        rect_corners = rect.corners
+        for a, b in self.edges():
+            for i in range(4):
+                c, d = rect_corners[i], rect_corners[(i + 1) % 4]
+                if segments_intersect(a, b, c, d):
+                    return True
+        return False
+
+    def intersects_polygon(self, other: "Polygon") -> bool:
+        """True when the two polygons share at least one point."""
+        if not self.mbr.intersects(other.mbr):
+            return False
+        if self.contains_point(other.shell[0]) or other.contains_point(self.shell[0]):
+            return True
+        for a, b in self.edges():
+            for c, d in other.edges():
+                if segments_intersect(a, b, c, d):
+                    return True
+        return False
+
+    def is_simple(self) -> bool:
+        """True when no two non-adjacent edges intersect.
+
+        O(n^2) pairwise test — fine for the shell sizes this library deals
+        with. Adjacent edges may only meet at their shared vertex; a vertex
+        folding back onto its neighbouring edge (a "spur") is non-simple.
+        """
+        edges = list(self.edges())
+        n = len(edges)
+        for i in range(n):
+            a, b = edges[i]
+            for j in range(i + 1, n):
+                c, d = edges[j]
+                adjacent = j == i + 1 or (i == 0 and j == n - 1)
+                if adjacent:
+                    # (a,b) and (c,d) share one endpoint; a spur exists when
+                    # the far endpoint of either edge lies on the other.
+                    if j == i + 1:  # b == c
+                        if point_on_segment(d, a, b) or point_on_segment(a, c, d):
+                            return False
+                    else:  # d == a (closing edge)
+                        if point_on_segment(c, a, b) or point_on_segment(b, c, d):
+                            return False
+                    continue
+                if segments_intersect(a, b, c, d):
+                    return False
+        return True
+
+    def is_convex(self) -> bool:
+        """True when all turns along the shell have the same orientation."""
+        signs = set()
+        n = len(self.shell)
+        for i in range(n):
+            o = orientation(
+                self.shell[i], self.shell[(i + 1) % n], self.shell[(i + 2) % n]
+            )
+            if o != 0:
+                signs.add(o)
+            if len(signs) > 1:
+                return False
+        return True
+
+    @staticmethod
+    def from_rectangle(rect: Rectangle) -> "Polygon":
+        """The rectangle as a CCW polygon."""
+        return Polygon(rect.corners)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.shell)
+
+    def __len__(self) -> int:
+        return len(self.shell)
+
+    def __str__(self) -> str:
+        pts: List[Point] = list(self.shell) + [self.shell[0]]
+        inner = ", ".join(f"{p.x:g} {p.y:g}" for p in pts)
+        return f"POLYGON (({inner}))"

@@ -1,0 +1,270 @@
+"""Axis-aligned rectangle (envelope / MBR) shape.
+
+Rectangles are the workhorse of the indexing layer: partition boundaries,
+minimum bounding rectangles of shapes, and query ranges are all
+:class:`Rectangle` instances. The convention throughout the library is that
+rectangles are *closed* on all four sides: a point on the boundary is
+contained. Operations that need half-open semantics (e.g. disjoint grid
+partitioning, duplicate avoidance) say so explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.geometry.common import EPS
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, order=True)
+class Rectangle:
+    """An immutable axis-aligned rectangle ``[x1, x2] x [y1, y2]``."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if self.x1 > self.x2 or self.y1 > self.y2:
+            raise ValueError(
+                f"invalid rectangle: ({self.x1}, {self.y1}, {self.x2}, {self.y2})"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter, the quantity R*-tree quality metrics use."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    @property
+    def mbr(self) -> "Rectangle":
+        return self
+
+    @property
+    def corners(self) -> List[Point]:
+        """The four corners in counter-clockwise order from bottom-left."""
+        return [
+            Point(self.x1, self.y1),
+            Point(self.x2, self.y1),
+            Point(self.x2, self.y2),
+            Point(self.x1, self.y2),
+        ]
+
+    @property
+    def bottom_left(self) -> Point:
+        return Point(self.x1, self.y1)
+
+    @property
+    def top_right(self) -> Point:
+        return Point(self.x2, self.y2)
+
+    @property
+    def top_left(self) -> Point:
+        return Point(self.x1, self.y2)
+
+    @property
+    def bottom_right(self) -> Point:
+        return Point(self.x2, self.y1)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, p: Point) -> bool:
+        """Closed containment: boundary points are contained."""
+        return self.x1 <= p.x <= self.x2 and self.y1 <= p.y <= self.y2
+
+    def contains_point_left_inclusive(self, p: Point) -> bool:
+        """Half-open containment ``[x1, x2) x [y1, y2)``.
+
+        Used by disjoint partitioners so that a point on a shared cell border
+        lands in exactly one cell.
+        """
+        return self.x1 <= p.x < self.x2 and self.y1 <= p.y < self.y2
+
+    def contains_rect(self, other: "Rectangle") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """Closed intersection test: touching rectangles intersect."""
+        return (
+            self.x1 <= other.x2
+            and other.x1 <= self.x2
+            and self.y1 <= other.y2
+            and other.y1 <= self.y2
+        )
+
+    def intersects_open(self, other: "Rectangle") -> bool:
+        """Open intersection test: rectangles that merely touch do not."""
+        return (
+            self.x1 < other.x2
+            and other.x1 < self.x2
+            and self.y1 < other.y2
+            and other.y1 < self.y2
+        )
+
+    # ------------------------------------------------------------------
+    # Constructive operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rectangle") -> Optional["Rectangle"]:
+        """The overlapping region, or None when the rectangles are disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rectangle(
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+            min(self.x2, other.x2),
+            min(self.y2, other.y2),
+        )
+
+    def union(self, other: "Rectangle") -> "Rectangle":
+        """The smallest rectangle covering both inputs."""
+        return Rectangle(
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )
+
+    def expand(self, margin: float) -> "Rectangle":
+        """Grow (or shrink, for negative ``margin``) by ``margin`` per side."""
+        return Rectangle(
+            self.x1 - margin, self.y1 - margin, self.x2 + margin, self.y2 + margin
+        )
+
+    def buffer_interior(self, delta: float) -> "Rectangle":
+        """The inner frame boundary: the rectangle shrunk by ``delta``.
+
+        Used by the closest-pair pruning step: points *outside* the shrunk
+        rectangle lie within ``delta`` of the partition boundary.
+        """
+        x1 = min(self.x1 + delta, self.x2)
+        y1 = min(self.y1 + delta, self.y2)
+        x2 = max(self.x2 - delta, x1)
+        y2 = max(self.y2 - delta, y1)
+        return Rectangle(x1, y1, x2, y2)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def min_distance_point(self, p: Point) -> float:
+        """Smallest distance between ``p`` and any point of the rectangle."""
+        dx = max(self.x1 - p.x, 0.0, p.x - self.x2)
+        dy = max(self.y1 - p.y, 0.0, p.y - self.y2)
+        return math.hypot(dx, dy)
+
+    def max_distance_point(self, p: Point) -> float:
+        """Largest distance between ``p`` and any point of the rectangle."""
+        dx = max(abs(p.x - self.x1), abs(p.x - self.x2))
+        dy = max(abs(p.y - self.y1), abs(p.y - self.y2))
+        return math.hypot(dx, dy)
+
+    def min_distance_rect(self, other: "Rectangle") -> float:
+        """Smallest distance between any two points of the rectangles."""
+        dx = max(self.x1 - other.x2, 0.0, other.x1 - self.x2)
+        dy = max(self.y1 - other.y2, 0.0, other.y1 - self.y2)
+        return math.hypot(dx, dy)
+
+    def max_distance_rect(self, other: "Rectangle") -> float:
+        """Largest distance between any two points (corner to corner)."""
+        dx = max(abs(self.x2 - other.x1), abs(other.x2 - self.x1))
+        dy = max(abs(self.y2 - other.y1), abs(other.y2 - self.y1))
+        return math.hypot(dx, dy)
+
+    def farthest_pair_lower_bound(self, other: "Rectangle") -> float:
+        """Guaranteed farthest-pair distance between two *minimal* MBRs.
+
+        Because MBRs are tight there is at least one record point on each
+        side, so a pair at the maximum horizontal side separation and a pair
+        at the maximum vertical side separation both exist; the larger of the
+        two is a valid lower bound (the SpatialHadoop farthest-pair filter).
+        """
+        d_horizontal = max(abs(self.x2 - other.x1), abs(other.x2 - self.x1))
+        d_vertical = max(abs(self.y2 - other.y1), abs(other.y2 - self.y1))
+        return max(d_horizontal, d_vertical)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "Rectangle":
+        """Tight MBR of a non-empty point collection."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot build an MBR from zero points") from None
+        x1 = x2 = first.x
+        y1 = y2 = first.y
+        for p in it:
+            x1 = min(x1, p.x)
+            y1 = min(y1, p.y)
+            x2 = max(x2, p.x)
+            y2 = max(y2, p.y)
+        return Rectangle(x1, y1, x2, y2)
+
+    @staticmethod
+    def from_shapes(shapes: Iterable[object]) -> "Rectangle":
+        """Tight MBR of a non-empty collection of shapes (via their ``mbr``)."""
+        mbr: Optional[Rectangle] = None
+        for shape in shapes:
+            shape_mbr: Rectangle = shape.mbr  # type: ignore[attr-defined]
+            mbr = shape_mbr if mbr is None else mbr.union(shape_mbr)
+        if mbr is None:
+            raise ValueError("cannot build an MBR from zero shapes")
+        return mbr
+
+    def reference_point(self, shape_mbr: "Rectangle") -> bool:
+        """Duplicate-avoidance test (the paper's *reference point* method).
+
+        A record replicated to several disjoint partitions must be reported
+        by exactly one of them: the partition that contains the top-left
+        corner of the intersection of the record's MBR with the partition...
+        canonically, the partition containing the bottom-left corner of the
+        record MBR. Returns True when *this* partition is the one that owns
+        ``shape_mbr``.
+        """
+        return self.contains_point_left_inclusive(Point(shape_mbr.x1, shape_mbr.y1))
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.x1, self.y1, self.x2, self.y2)
+
+    def almost_equals(self, other: "Rectangle", eps: float = EPS) -> bool:
+        return (
+            abs(self.x1 - other.x1) <= eps
+            and abs(self.y1 - other.y1) <= eps
+            and abs(self.x2 - other.x2) <= eps
+            and abs(self.y2 - other.y2) <= eps
+        )
+
+    def __iter__(self) -> Iterator[float]:
+        yield from (self.x1, self.y1, self.x2, self.y2)
+
+    def __str__(self) -> str:
+        return f"RECT ({self.x1:g} {self.y1:g}, {self.x2:g} {self.y2:g})"

@@ -1,0 +1,118 @@
+"""Line-segment primitives and robust-enough intersection predicates."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.common import EPS
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rectangle
+
+
+def orientation(p: Point, q: Point, r: Point, eps: float = EPS) -> int:
+    """Orientation of the ordered triple ``(p, q, r)``.
+
+    Returns ``+1`` for a counter-clockwise turn, ``-1`` for clockwise and
+    ``0`` for (nearly) collinear points.
+    """
+    cross = (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x)
+    if cross > eps:
+        return 1
+    if cross < -eps:
+        return -1
+    return 0
+
+
+def point_on_segment(p: Point, a: Point, b: Point, eps: float = EPS) -> bool:
+    """True when ``p`` lies on the closed segment ``ab``."""
+    if orientation(a, b, p, eps) != 0:
+        return False
+    return (
+        min(a.x, b.x) - eps <= p.x <= max(a.x, b.x) + eps
+        and min(a.y, b.y) - eps <= p.y <= max(a.y, b.y) + eps
+    )
+
+
+def segments_intersect(
+    a: Point, b: Point, c: Point, d: Point, eps: float = EPS
+) -> bool:
+    """True when closed segments ``ab`` and ``cd`` share at least one point."""
+    o1 = orientation(a, b, c, eps)
+    o2 = orientation(a, b, d, eps)
+    o3 = orientation(c, d, a, eps)
+    o4 = orientation(c, d, b, eps)
+    if o1 != o2 and o3 != o4:
+        return True
+    # Collinear special cases.
+    if o1 == 0 and point_on_segment(c, a, b, eps):
+        return True
+    if o2 == 0 and point_on_segment(d, a, b, eps):
+        return True
+    if o3 == 0 and point_on_segment(a, c, d, eps):
+        return True
+    if o4 == 0 and point_on_segment(b, c, d, eps):
+        return True
+    return False
+
+
+def segment_intersection(
+    a: Point, b: Point, c: Point, d: Point, eps: float = EPS
+) -> Optional[Point]:
+    """Intersection point of non-collinear segments ``ab`` and ``cd``.
+
+    Returns None when the segments do not intersect or are (nearly)
+    parallel/collinear — overlapping collinear segments have no single
+    intersection point and are handled separately by callers that care.
+    """
+    r_x, r_y = b.x - a.x, b.y - a.y
+    s_x, s_y = d.x - c.x, d.y - c.y
+    denom = r_x * s_y - r_y * s_x
+    if abs(denom) <= eps:
+        return None
+    t = ((c.x - a.x) * s_y - (c.y - a.y) * s_x) / denom
+    u = ((c.x - a.x) * r_y - (c.y - a.y) * r_x) / denom
+    if -eps <= t <= 1 + eps and -eps <= u <= 1 + eps:
+        return Point(a.x + t * r_x, a.y + t * r_y)
+    return None
+
+
+@dataclass(frozen=True)
+class Segment:
+    """An undirected straight segment between two points."""
+
+    a: Point
+    b: Point
+
+    @property
+    def length(self) -> float:
+        return self.a.distance(self.b)
+
+    @property
+    def midpoint(self) -> Point:
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    @property
+    def mbr(self) -> Rectangle:
+        return Rectangle(
+            min(self.a.x, self.b.x),
+            min(self.a.y, self.b.y),
+            max(self.a.x, self.b.x),
+            max(self.a.y, self.b.y),
+        )
+
+    def intersects(self, other: "Segment") -> bool:
+        return segments_intersect(self.a, self.b, other.a, other.b)
+
+    def distance_point(self, p: Point) -> float:
+        """Distance from ``p`` to the closed segment."""
+        ax, ay = self.a.x, self.a.y
+        bx, by = self.b.x, self.b.y
+        dx, dy = bx - ax, by - ay
+        length_sq = dx * dx + dy * dy
+        if length_sq <= EPS:
+            return p.distance(self.a)
+        t = ((p.x - ax) * dx + (p.y - ay) * dy) / length_sq
+        t = max(0.0, min(1.0, t))
+        return math.hypot(p.x - (ax + t * dx), p.y - (ay + t * dy))

@@ -1,0 +1,71 @@
+"""Minimal Well-Known-Text reader/writer.
+
+Supports the shapes the library defines: ``POINT``, ``LINESTRING``,
+``POLYGON`` (single ring) and the library-specific ``RECT`` shorthand the
+real SpatialHadoop also uses for its rectangle text format.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Union
+
+from repro.geometry.linestring import LineString
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rectangle
+
+Shape = Union[Point, Rectangle, LineString, Polygon]
+
+_NUMBER = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?"
+_POINT_RE = re.compile(
+    rf"^\s*POINT\s*\(\s*({_NUMBER})\s+({_NUMBER})\s*\)\s*$", re.IGNORECASE
+)
+_RECT_RE = re.compile(
+    rf"^\s*RECT\s*\(\s*({_NUMBER})\s+({_NUMBER})\s*,"
+    rf"\s*({_NUMBER})\s+({_NUMBER})\s*\)\s*$",
+    re.IGNORECASE,
+)
+_LINESTRING_RE = re.compile(
+    r"^\s*LINESTRING\s*\(\s*(.*?)\s*\)\s*$", re.IGNORECASE
+)
+_POLYGON_RE = re.compile(
+    r"^\s*POLYGON\s*\(\s*\(\s*(.*?)\s*\)\s*\)\s*$", re.IGNORECASE
+)
+
+
+def _parse_coords(body: str) -> List[Point]:
+    points = []
+    for token in body.split(","):
+        parts = token.split()
+        if len(parts) != 2:
+            raise ValueError(f"bad coordinate pair: {token!r}")
+        points.append(Point(float(parts[0]), float(parts[1])))
+    return points
+
+
+def parse_wkt(text: str) -> Shape:
+    """Parse a WKT string into the corresponding shape.
+
+    Raises ``ValueError`` for unsupported or malformed input.
+    """
+    m = _POINT_RE.match(text)
+    if m:
+        return Point(float(m.group(1)), float(m.group(2)))
+    m = _RECT_RE.match(text)
+    if m:
+        return Rectangle(
+            float(m.group(1)), float(m.group(2)), float(m.group(3)), float(m.group(4))
+        )
+    m = _LINESTRING_RE.match(text)
+    if m:
+        return LineString(_parse_coords(m.group(1)))
+    m = _POLYGON_RE.match(text)
+    if m:
+        return Polygon(_parse_coords(m.group(1)))
+    raise ValueError(f"unsupported WKT: {text[:60]!r}")
+
+
+def to_wkt(shape: Shape) -> str:
+    """Serialise a shape to the text form :func:`parse_wkt` accepts."""
+    return str(shape)

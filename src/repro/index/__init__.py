@@ -1,0 +1,58 @@
+"""SpatialHadoop's storage and indexing layer.
+
+This package implements the two-level index organisation of SpatialHadoop:
+a **global index** describing how the file is partitioned into spatial cells
+(one HDFS block per cell) and per-block **local indexes** (an in-memory
+STR-packed R-tree) organising the records inside each partition.
+
+Index construction follows the paper's three phases, all expressed as
+MapReduce jobs over the simulator:
+
+1. draw a random sample of the input and compute partition boundaries from
+   it with the chosen *partitioning technique*;
+2. a partitioning MapReduce job routes every record to its cell(s) —
+   replicating records that span several cells for *disjoint* techniques;
+3. each reducer packs one cell into a block, builds the local index, and
+   the commit step assembles the indexed file and its global index.
+
+Seven partitioning techniques are provided, matching the SpatialHadoop
+partitioning paper: uniform grid, Quad-tree, K-d tree and STR+ (disjoint,
+with replication), and STR, Z-curve and Hilbert-curve (overlapping,
+each record assigned to exactly one cell).
+"""
+
+from repro.index.global_index import Cell, GlobalIndex
+from repro.index.rtree import RTree, RTreeEntry
+from repro.index.sampler import reservoir_sample
+from repro.index.partitioners.base import Partitioner, shape_mbr
+from repro.index.partitioners.grid import GridPartitioner
+from repro.index.partitioners.str_ import StrPartitioner, StrPlusPartitioner
+from repro.index.partitioners.quadtree import QuadTreePartitioner
+from repro.index.partitioners.kdtree import KdTreePartitioner
+from repro.index.partitioners.space_curves import (
+    HilbertCurvePartitioner,
+    ZCurvePartitioner,
+)
+from repro.index.build import PARTITIONERS, build_index
+from repro.index.quality import PartitionQuality, measure_quality
+
+__all__ = [
+    "Cell",
+    "GlobalIndex",
+    "GridPartitioner",
+    "HilbertCurvePartitioner",
+    "KdTreePartitioner",
+    "PARTITIONERS",
+    "Partitioner",
+    "PartitionQuality",
+    "QuadTreePartitioner",
+    "RTree",
+    "RTreeEntry",
+    "StrPartitioner",
+    "StrPlusPartitioner",
+    "ZCurvePartitioner",
+    "build_index",
+    "measure_quality",
+    "reservoir_sample",
+    "shape_mbr",
+]

@@ -1,0 +1,23 @@
+"""Spatial partitioning techniques (the global-index builders)."""
+
+from repro.index.partitioners.base import Partitioner, shape_mbr
+from repro.index.partitioners.grid import GridPartitioner
+from repro.index.partitioners.str_ import StrPartitioner, StrPlusPartitioner
+from repro.index.partitioners.quadtree import QuadTreePartitioner
+from repro.index.partitioners.kdtree import KdTreePartitioner
+from repro.index.partitioners.space_curves import (
+    HilbertCurvePartitioner,
+    ZCurvePartitioner,
+)
+
+__all__ = [
+    "GridPartitioner",
+    "HilbertCurvePartitioner",
+    "KdTreePartitioner",
+    "Partitioner",
+    "QuadTreePartitioner",
+    "StrPartitioner",
+    "StrPlusPartitioner",
+    "ZCurvePartitioner",
+    "shape_mbr",
+]

@@ -1,0 +1,86 @@
+"""Partitioner interface shared by all techniques.
+
+A partitioner is created from a *sample* of the input (as points), a target
+cell count and the exact file MBR (``space``). It must then route any record
+— sampled or not — to its cell(s):
+
+* **disjoint** techniques tile the space with half-open cells; a point maps
+  to exactly one cell and an extended shape is *replicated* to every cell it
+  overlaps (query-time duplicate avoidance undoes the replication);
+* **overlapping** techniques assign every record to exactly one cell (by
+  its centre); the resulting partition MBRs may overlap.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, List, Sequence
+
+from repro.geometry import Point, Rectangle
+
+#: Fraction by which the space MBR is expanded on the top/right so that
+#: records sitting exactly on the global maximum boundary still fall into
+#: the last (half-open) cell.
+_SPACE_MARGIN = 1e-9
+
+
+def shape_mbr(record: object) -> Rectangle:
+    """The MBR of any record (shapes and features expose ``.mbr``)."""
+    mbr = getattr(record, "mbr", None)
+    if mbr is None:
+        raise TypeError(f"record has no mbr: {record!r}")
+    return mbr
+
+
+def expand_space(space: Rectangle) -> Rectangle:
+    """Nudge the top/right of ``space`` outward for half-open tilings."""
+    pad_x = max(abs(space.x2), 1.0) * _SPACE_MARGIN + 1e-12
+    pad_y = max(abs(space.y2), 1.0) * _SPACE_MARGIN + 1e-12
+    return Rectangle(space.x1, space.y1, space.x2 + pad_x, space.y2 + pad_y)
+
+
+class Partitioner(ABC):
+    """Routes records to global-index cells."""
+
+    technique: ClassVar[str] = "abstract"
+    disjoint: ClassVar[bool] = False
+
+    @abstractmethod
+    def num_cells(self) -> int:
+        """How many cells this partitioner defines."""
+
+    @abstractmethod
+    def assign_point(self, p: Point) -> int:
+        """The single cell id of a point record."""
+
+    def assign(self, mbr: Rectangle) -> List[int]:
+        """Cell ids for a record with the given MBR.
+
+        Default behaviour covers the two families: disjoint partitioners
+        override :meth:`overlapping_cells`; overlapping partitioners route
+        by the MBR centre.
+        """
+        if self.disjoint and (mbr.width > 0 or mbr.height > 0):
+            return self.overlapping_cells(mbr)
+        return [self.assign_point(mbr.center)]
+
+    def overlapping_cells(self, mbr: Rectangle) -> List[int]:
+        """Cells a (non-degenerate) MBR overlaps — disjoint techniques only."""
+        raise NotImplementedError(
+            f"{self.technique} does not replicate extended shapes"
+        )
+
+    def cell_rect(self, cell_id: int) -> Rectangle:
+        """The boundary rectangle of a cell, when the technique defines one.
+
+        Disjoint techniques always have boundary rectangles (they tile the
+        space); curve-based overlapping techniques have none and raise.
+        """
+        raise NotImplementedError(
+            f"{self.technique} cells have no predefined boundary"
+        )
+
+    @staticmethod
+    def sample_points(records: Sequence[object]) -> List[Point]:
+        """Centre points of sampled records (partitioners work on points)."""
+        return [shape_mbr(r).center for r in records]

@@ -1,0 +1,112 @@
+"""Space-filling-curve partitioning: Z-order and Hilbert order.
+
+Both techniques quantise each record's centre onto a ``2^16 x 2^16`` grid,
+map it to a position on the curve, and cut the sorted sample into
+equal-count runs. Every record maps to exactly one cell (no replication),
+but the spatial footprint of a run — especially a Z-order run — can
+overlap other runs, so these indexes are *overlapping*.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, List, Sequence
+
+from repro.geometry import Point, Rectangle
+from repro.index.partitioners.base import Partitioner, expand_space
+
+CURVE_ORDER = 16  # bits per dimension
+_CURVE_SIDE = 1 << CURVE_ORDER
+
+
+def _interleave(v: int) -> int:
+    """Spread the low 16 bits of ``v`` to even bit positions."""
+    v &= 0xFFFF
+    v = (v | (v << 8)) & 0x00FF00FF
+    v = (v | (v << 4)) & 0x0F0F0F0F
+    v = (v | (v << 2)) & 0x33333333
+    v = (v | (v << 1)) & 0x55555555
+    return v
+
+
+def z_value(ix: int, iy: int) -> int:
+    """Morton (Z-order) code of grid coordinates."""
+    return _interleave(ix) | (_interleave(iy) << 1)
+
+
+def hilbert_value(ix: int, iy: int, order: int = CURVE_ORDER) -> int:
+    """Hilbert-curve position of grid coordinates (classic xy2d)."""
+    rx = ry = 0
+    d = 0
+    s = 1 << (order - 1)
+    x, y = ix, iy
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s //= 2
+    return d
+
+
+class _CurvePartitioner(Partitioner):
+    """Shared machinery of the two curve-based techniques."""
+
+    disjoint = False
+    _curve: Callable[[int, int], int]
+
+    def __init__(self, space: Rectangle, split_values: List[int]):
+        self.space = expand_space(space)
+        self._splits = split_values  # interior boundaries, sorted
+
+    @classmethod
+    def create(
+        cls, sample: Sequence[Point], num_cells: int, space: Rectangle
+    ):
+        self = cls(space, [])
+        values = sorted(self._value_of(p) for p in sample)
+        num_cells = max(1, num_cells)
+        if values and num_cells > 1:
+            per_cell = math.ceil(len(values) / num_cells)
+            self._splits = [
+                values[i] for i in range(per_cell, len(values), per_cell)
+            ]
+        return self
+
+    # ------------------------------------------------------------------
+    def _quantize(self, p: Point) -> tuple:
+        fx = (p.x - self.space.x1) / self.space.width
+        fy = (p.y - self.space.y1) / self.space.height
+        ix = min(max(int(fx * _CURVE_SIDE), 0), _CURVE_SIDE - 1)
+        iy = min(max(int(fy * _CURVE_SIDE), 0), _CURVE_SIDE - 1)
+        return ix, iy
+
+    def _value_of(self, p: Point) -> int:
+        ix, iy = self._quantize(p)
+        return type(self)._curve(ix, iy)
+
+    def num_cells(self) -> int:
+        return len(self._splits) + 1
+
+    def assign_point(self, p: Point) -> int:
+        return bisect.bisect_right(self._splits, self._value_of(p))
+
+
+class ZCurvePartitioner(_CurvePartitioner):
+    """Morton-order runs; overlapping partitions."""
+
+    technique = "zcurve"
+    _curve = staticmethod(z_value)
+
+
+class HilbertCurvePartitioner(_CurvePartitioner):
+    """Hilbert-order runs; overlapping partitions with better locality."""
+
+    technique = "hilbert"
+    _curve = staticmethod(hilbert_value)

@@ -1,0 +1,121 @@
+"""Sort-Tile-Recursive partitioning: the R-tree and R+-tree indexes.
+
+STR computes cell boundaries by sorting the sample into vertical slices and
+cutting each slice horizontally into equal-count tiles, giving near
+equal-sized partitions even under heavy skew.
+
+Two variants, as in SpatialHadoop:
+
+* :class:`StrPartitioner` ("R-tree index"): every record goes to exactly one
+  cell — the one containing its centre — so partition *contents* MBRs may
+  overlap. No replication, no duplicate avoidance needed.
+* :class:`StrPlusPartitioner` ("R+-tree index"): cell boundaries are
+  enforced as disjoint partitions and records overlapping several cells are
+  replicated to each.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence
+
+from repro.geometry import Point, Rectangle
+from repro.index.partitioners.base import Partitioner, expand_space
+
+
+class StrPartitioner(Partitioner):
+    """STR tiling, one cell per record (overlapping partitions)."""
+
+    technique = "str"
+    disjoint = False
+
+    def __init__(
+        self,
+        space: Rectangle,
+        x_bounds: List[float],
+        y_bounds_per_slice: List[List[float]],
+    ):
+        # ``x_bounds`` are the interior slice boundaries (len = slices - 1);
+        # ``y_bounds_per_slice[i]`` the interior tile boundaries of slice i.
+        self.space = expand_space(space)
+        self._x_bounds = x_bounds
+        self._y_bounds = y_bounds_per_slice
+        self._cell_offsets = [0]
+        for bounds in y_bounds_per_slice:
+            self._cell_offsets.append(self._cell_offsets[-1] + len(bounds) + 1)
+
+    @classmethod
+    def create(
+        cls, sample: Sequence[Point], num_cells: int, space: Rectangle
+    ) -> "StrPartitioner":
+        pts = sorted(sample, key=lambda p: (p.x, p.y))
+        num_cells = max(1, num_cells)
+        num_slices = max(1, math.ceil(math.sqrt(num_cells)))
+        tiles_per_slice = max(1, math.ceil(num_cells / num_slices))
+
+        if not pts:
+            return cls(space, [], [[]])
+
+        per_slice = math.ceil(len(pts) / num_slices)
+        x_bounds: List[float] = []
+        slices: List[List[Point]] = []
+        for s in range(0, len(pts), per_slice):
+            chunk = pts[s : s + per_slice]
+            slices.append(chunk)
+            if s + per_slice < len(pts):
+                x_bounds.append(pts[s + per_slice].x)
+
+        y_bounds_per_slice: List[List[float]] = []
+        for chunk in slices:
+            by_y = sorted(chunk, key=lambda p: p.y)
+            per_tile = math.ceil(len(by_y) / tiles_per_slice)
+            bounds = [
+                by_y[t].y
+                for t in range(per_tile, len(by_y), per_tile)
+            ]
+            y_bounds_per_slice.append(bounds)
+        return cls(space, x_bounds, y_bounds_per_slice)
+
+    # ------------------------------------------------------------------
+    def num_cells(self) -> int:
+        return self._cell_offsets[-1]
+
+    def _slice_of(self, x: float) -> int:
+        return bisect.bisect_right(self._x_bounds, x)
+
+    def _tile_of(self, slice_index: int, y: float) -> int:
+        return bisect.bisect_right(self._y_bounds[slice_index], y)
+
+    def assign_point(self, p: Point) -> int:
+        s = self._slice_of(p.x)
+        return self._cell_offsets[s] + self._tile_of(s, p.y)
+
+    def cell_rect(self, cell_id: int) -> Rectangle:
+        s = bisect.bisect_right(self._cell_offsets, cell_id) - 1
+        t = cell_id - self._cell_offsets[s]
+        if not (0 <= s < len(self._y_bounds)) or t > len(self._y_bounds[s]):
+            raise KeyError(f"no such cell: {cell_id}")
+        x1 = self.space.x1 if s == 0 else self._x_bounds[s - 1]
+        x2 = self.space.x2 if s == len(self._x_bounds) else self._x_bounds[s]
+        bounds = self._y_bounds[s]
+        y1 = self.space.y1 if t == 0 else bounds[t - 1]
+        y2 = self.space.y2 if t == len(bounds) else bounds[t]
+        return Rectangle(x1, y1, x2, y2)
+
+
+class StrPlusPartitioner(StrPartitioner):
+    """STR tiling with enforced disjoint cells and replication."""
+
+    technique = "str+"
+    disjoint = True
+
+    def overlapping_cells(self, mbr: Rectangle) -> List[int]:
+        s1 = self._slice_of(mbr.x1)
+        s2 = self._slice_of(mbr.x2)
+        cells: List[int] = []
+        for s in range(s1, s2 + 1):
+            t1 = self._tile_of(s, mbr.y1)
+            t2 = self._tile_of(s, mbr.y2)
+            cells.extend(self._cell_offsets[s] + t for t in range(t1, t2 + 1))
+        return cells

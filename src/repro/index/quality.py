@@ -1,0 +1,87 @@
+"""Partition quality metrics (experiment E5).
+
+The SpatialHadoop partitioning study compares techniques with five
+index-quality measures computed over the global index: total partition
+area, total overlap between partitions, total margin, load balance and
+block utilisation, plus the replication overhead of disjoint techniques.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.index.global_index import GlobalIndex
+from repro.mapreduce import FileSystem
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Quality measures of one indexed file."""
+
+    technique: str
+    num_partitions: int
+    #: Q1: sum of partition areas, normalised by the file MBR area. Values
+    #: near 1 mean little dead-space/overlap; larger means redundant area.
+    total_area_ratio: float
+    #: Q2: sum of pairwise intersection areas, normalised by file MBR area.
+    #: Zero for disjoint techniques.
+    overlap_ratio: float
+    #: Q3: sum of partition margins (w + h), normalised by the file margin.
+    total_margin_ratio: float
+    #: Q4: coefficient of variation of partition record counts (lower is
+    #: better balanced).
+    load_balance_cv: float
+    #: Q5: average block fill factor relative to the block capacity.
+    utilization: float
+    #: Stored records / source records (1.0 = no replication).
+    replication: float
+
+
+def measure_quality(
+    fs: FileSystem,
+    indexed_file: str,
+    source_records: Optional[int] = None,
+    block_capacity: Optional[int] = None,
+) -> PartitionQuality:
+    """Compute the E5 metrics for ``indexed_file``."""
+    entry = fs.get(indexed_file)
+    gindex: GlobalIndex = entry.metadata["global_index"]
+    if len(gindex) == 0:
+        raise ValueError("cannot measure an empty index")
+    capacity = block_capacity or fs.default_block_capacity
+    space = gindex.mbr
+    space_area = max(space.area, 1e-12)
+    space_margin = max(space.margin, 1e-12)
+
+    cells = list(gindex)
+    total_area = sum(c.mbr.area for c in cells)
+    total_margin = sum(c.mbr.margin for c in cells)
+
+    overlap = 0.0
+    for i in range(len(cells)):
+        for j in range(i + 1, len(cells)):
+            inter = cells[i].mbr.intersection(cells[j].mbr)
+            if inter is not None:
+                overlap += inter.area
+
+    sizes = [c.num_records for c in cells]
+    mean_size = statistics.fmean(sizes)
+    cv = (statistics.pstdev(sizes) / mean_size) if mean_size > 0 else math.inf
+
+    stored = sum(sizes)
+    source = source_records if source_records is not None else stored
+    utilization = stored / (len(cells) * capacity)
+
+    return PartitionQuality(
+        technique=gindex.technique,
+        num_partitions=len(cells),
+        total_area_ratio=total_area / space_area,
+        overlap_ratio=overlap / space_area,
+        total_margin_ratio=total_margin / space_margin,
+        load_balance_cv=cv,
+        utilization=utilization,
+        replication=stored / max(1, source),
+    )

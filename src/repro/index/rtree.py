@@ -1,0 +1,214 @@
+"""An in-memory STR-packed R-tree.
+
+This is the *local index* SpatialHadoop stores inside every block: it is
+bulk-loaded once when the partition is written and then answers range and
+k-nearest-neighbour queries over the partition's records without scanning
+them all. The same structure indexes global-index cells in the distributed
+join.
+
+The tree is static (bulk-load only), which matches how SpatialHadoop uses
+local indexes — blocks are immutable once written.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry import Point, Rectangle
+
+DEFAULT_NODE_CAPACITY = 32
+
+
+@dataclass(frozen=True)
+class RTreeEntry:
+    """One indexed record: its MBR plus the record itself."""
+
+    mbr: Rectangle
+    record: Any
+
+
+class _Node:
+    __slots__ = ("mbr", "children", "entries")
+
+    def __init__(
+        self,
+        mbr: Rectangle,
+        children: Optional[List["_Node"]] = None,
+        entries: Optional[List[RTreeEntry]] = None,
+    ):
+        self.mbr = mbr
+        self.children = children
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+def _str_pack(
+    items: Sequence[Any],
+    mbr_of: Callable[[Any], Rectangle],
+    capacity: int,
+) -> List[List[Any]]:
+    """Sort-Tile-Recursive grouping of ``items`` into runs of ``capacity``."""
+    n = len(items)
+    num_groups = math.ceil(n / capacity)
+    num_slices = math.ceil(math.sqrt(num_groups))
+    per_slice = math.ceil(n / num_slices)
+    by_x = sorted(items, key=lambda it: mbr_of(it).center.x)
+    groups: List[List[Any]] = []
+    for s in range(0, n, per_slice):
+        vertical = sorted(
+            by_x[s : s + per_slice], key=lambda it: mbr_of(it).center.y
+        )
+        for g in range(0, len(vertical), capacity):
+            groups.append(vertical[g : g + capacity])
+    return groups
+
+
+class RTree:
+    """Static STR-bulk-loaded R-tree over ``(mbr, record)`` entries."""
+
+    def __init__(
+        self,
+        entries: Sequence[RTreeEntry],
+        node_capacity: int = DEFAULT_NODE_CAPACITY,
+    ):
+        if node_capacity < 2:
+            raise ValueError("node capacity must be at least 2")
+        self.node_capacity = node_capacity
+        self._size = len(entries)
+        self._root = self._bulk_load(list(entries)) if entries else None
+
+    @classmethod
+    def from_shapes(
+        cls,
+        shapes: Sequence[Any],
+        node_capacity: int = DEFAULT_NODE_CAPACITY,
+    ) -> "RTree":
+        """Index shapes directly (each shape must expose ``.mbr``)."""
+        return cls(
+            [RTreeEntry(mbr=s.mbr, record=s) for s in shapes],
+            node_capacity=node_capacity,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _bulk_load(self, entries: List[RTreeEntry]) -> _Node:
+        leaves = [
+            _Node(
+                mbr=_group_mbr([e.mbr for e in group]),
+                entries=group,
+            )
+            for group in _str_pack(entries, lambda e: e.mbr, self.node_capacity)
+        ]
+        level = leaves
+        while len(level) > 1:
+            level = [
+                _Node(
+                    mbr=_group_mbr([n.mbr for n in group]),
+                    children=group,
+                )
+                for group in _str_pack(level, lambda n: n.mbr, self.node_capacity)
+            ]
+        return level[0]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def mbr(self) -> Optional[Rectangle]:
+        return self._root.mbr if self._root else None
+
+    def search(self, rect: Rectangle) -> List[RTreeEntry]:
+        """All entries whose MBR intersects ``rect``."""
+        if self._root is None:
+            return []
+        out: List[RTreeEntry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.mbr.intersects(rect):
+                continue
+            if node.is_leaf:
+                out.extend(e for e in node.entries if e.mbr.intersects(rect))
+            else:
+                stack.extend(node.children)
+        return out
+
+    def all_entries(self) -> Iterator[RTreeEntry]:
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)
+
+    def knn(self, query: Point, k: int) -> List[Tuple[float, RTreeEntry]]:
+        """The ``k`` entries nearest to ``query`` as ``(distance, entry)``.
+
+        Best-first search over the tree using MBR minimum distances; exact
+        for point records and MBR-distance-based for extended shapes, which
+        is the contract SpatialHadoop's kNN uses. Ties break arbitrarily.
+        Returns fewer than ``k`` items when the tree is smaller than ``k``.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if self._root is None:
+            return []
+        counter = itertools.count()  # tie-breaker: heap entries stay comparable
+        heap: List[Tuple[float, int, bool, Any]] = [
+            (self._root.mbr.min_distance_point(query), next(counter), False, self._root)
+        ]
+        result: List[Tuple[float, RTreeEntry]] = []
+        while heap and len(result) < k:
+            dist, _, is_entry, item = heapq.heappop(heap)
+            if is_entry:
+                result.append((dist, item))
+                continue
+            node: _Node = item
+            if node.is_leaf:
+                for e in node.entries:
+                    heapq.heappush(
+                        heap,
+                        (e.mbr.min_distance_point(query), next(counter), True, e),
+                    )
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        heap,
+                        (
+                            child.mbr.min_distance_point(query),
+                            next(counter),
+                            False,
+                            child,
+                        ),
+                    )
+        return result
+
+    def depth(self) -> int:
+        """Height of the tree (0 for an empty tree, 1 for a single leaf)."""
+        d = 0
+        node = self._root
+        while node is not None:
+            d += 1
+            node = node.children[0] if not node.is_leaf else None
+        return d
+
+
+def _group_mbr(mbrs: Sequence[Rectangle]) -> Rectangle:
+    mbr = mbrs[0]
+    for m in mbrs[1:]:
+        mbr = mbr.union(m)
+    return mbr

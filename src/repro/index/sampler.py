@@ -1,0 +1,35 @@
+"""Reservoir sampling, the driver of index construction.
+
+SpatialHadoop computes partition boundaries from a random sample of the
+input file so that index building needs only one full pass over the data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+def reservoir_sample(
+    records: Iterable[T], size: int, seed: Optional[int] = None
+) -> List[T]:
+    """Uniform random sample of ``size`` records in one streaming pass.
+
+    Returns all records when the input holds fewer than ``size``. With a
+    fixed ``seed`` the sample is deterministic, which keeps index builds —
+    and therefore every downstream experiment — reproducible.
+    """
+    if size <= 0:
+        raise ValueError("sample size must be positive")
+    rng = random.Random(seed)
+    reservoir: List[T] = []
+    for i, record in enumerate(records):
+        if i < size:
+            reservoir.append(record)
+        else:
+            j = rng.randint(0, i)
+            if j < size:
+                reservoir[j] = record
+    return reservoir

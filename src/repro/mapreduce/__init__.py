@@ -1,0 +1,48 @@
+"""A faithful single-process MapReduce + HDFS simulator.
+
+This package stands in for Apache Hadoop. It preserves the quantities the
+SpatialHadoop evaluation is about — how many blocks a job reads, how many
+records are shuffled, how many MapReduce rounds run, and how the per-task
+work schedules over a cluster of N nodes — while running in one process.
+
+The pieces mirror Hadoop's:
+
+* :class:`FileSystem` — a block-structured file system. Files are split
+  into blocks bounded by a configurable capacity; blocks carry optional
+  metadata (a partition MBR, a serialised local index) exactly as
+  SpatialHadoop stores its index information alongside HDFS blocks.
+* :class:`Job` — the job configuration: map / combine / reduce functions,
+  number of reducers, an input splitter hook (where SpatialHadoop's
+  SpatialFileSplitter plugs in) and a record-reader hook (where the
+  SpatialRecordReader plugs in).
+* :class:`JobRunner` — executes jobs: split, map (with per-task isolation),
+  combine, hash shuffle, sort, reduce, and an optional single-machine
+  job-commit step (Hadoop's ``commitJob``, used by index building and the
+  merge phases of several operations).
+* :class:`ClusterModel` — converts measured per-task work into a simulated
+  makespan on an N-node cluster, adding per-job startup overhead so that
+  the round-count trade-offs the papers discuss are visible.
+"""
+
+from repro.mapreduce.counters import Counter, Counters
+from repro.mapreduce.fs import Block, FileEntry, FileSystem
+from repro.mapreduce.types import InputSplit
+from repro.mapreduce.cluster import ClusterModel, TaskStats
+from repro.mapreduce.job import Job, MapContext, ReduceContext
+from repro.mapreduce.runtime import JobResult, JobRunner
+
+__all__ = [
+    "Block",
+    "ClusterModel",
+    "Counter",
+    "Counters",
+    "FileEntry",
+    "FileSystem",
+    "InputSplit",
+    "Job",
+    "JobResult",
+    "JobRunner",
+    "MapContext",
+    "ReduceContext",
+    "TaskStats",
+]

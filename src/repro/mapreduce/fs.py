@@ -1,0 +1,145 @@
+"""Block-structured in-memory file system (the HDFS stand-in).
+
+Files are sequences of records grouped into *blocks*. The block is the unit
+of parallelism: the default input splitter creates one map task per block,
+exactly as Hadoop creates one map task per 64 MB HDFS block. Block capacity
+is expressed in records (the simulator's proxy for the 64 MB limit) so that
+experiments can sweep "input size in blocks" deterministically.
+
+Blocks carry a metadata mapping. SpatialHadoop's storage layer uses it to
+attach the partition MBR (the global-index entry) and the serialised local
+index to each block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+DEFAULT_BLOCK_CAPACITY = 10_000
+
+
+@dataclass
+class Block:
+    """One block of a file: a record list plus optional metadata."""
+
+    records: List[Any]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records)
+
+
+@dataclass
+class FileEntry:
+    """Namenode-side description of one file."""
+
+    name: str
+    blocks: List[Block] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def records(self) -> Iterator[Any]:
+        for block in self.blocks:
+            yield from block.records
+
+
+class FileSystem:
+    """An in-memory namespace of block-structured files."""
+
+    def __init__(self, default_block_capacity: int = DEFAULT_BLOCK_CAPACITY):
+        if default_block_capacity <= 0:
+            raise ValueError("block capacity must be positive")
+        self._files: Dict[str, FileEntry] = {}
+        self.default_block_capacity = default_block_capacity
+
+    # ------------------------------------------------------------------
+    # Namespace operations
+    # ------------------------------------------------------------------
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)
+
+    def delete(self, name: str) -> bool:
+        """Remove ``name``; returns True when the file existed."""
+        return self._files.pop(name, None) is not None
+
+    def get(self, name: str) -> FileEntry:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no such file: {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def create_file(
+        self,
+        name: str,
+        records: Iterable[Any],
+        block_capacity: Optional[int] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> FileEntry:
+        """Load ``records`` into a new file, chunked into capacity-bound blocks.
+
+        This is the plain Hadoop loader: records are packed in arrival order
+        with no regard for their spatial location (non-spatial partitioning).
+        """
+        if self.exists(name):
+            raise FileExistsError(f"file already exists: {name!r}")
+        capacity = (
+            self.default_block_capacity if block_capacity is None else block_capacity
+        )
+        if capacity <= 0:
+            raise ValueError("block capacity must be positive")
+        entry = FileEntry(name=name, metadata=dict(metadata or {}))
+        current: List[Any] = []
+        for record in records:
+            current.append(record)
+            if len(current) >= capacity:
+                entry.blocks.append(Block(records=current))
+                current = []
+        if current:
+            entry.blocks.append(Block(records=current))
+        self._files[name] = entry
+        return entry
+
+    def create_file_from_blocks(
+        self,
+        name: str,
+        blocks: Iterable[Block],
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> FileEntry:
+        """Install pre-built blocks (used by spatial loaders/index writers)."""
+        if self.exists(name):
+            raise FileExistsError(f"file already exists: {name!r}")
+        entry = FileEntry(
+            name=name, blocks=list(blocks), metadata=dict(metadata or {})
+        )
+        self._files[name] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read_records(self, name: str) -> List[Any]:
+        """All records of a file in block order (a full scan)."""
+        return list(self.get(name).records())
+
+    def num_records(self, name: str) -> int:
+        return self.get(name).num_records
+
+    def num_blocks(self, name: str) -> int:
+        return self.get(name).num_blocks

@@ -1,0 +1,136 @@
+"""Job configuration and task contexts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.fs import FileSystem
+from repro.mapreduce.types import InputSplit
+
+#: map(key, values, context) — one call per input split, mirroring the
+#: papers' pseudo-code where the map function receives a whole partition
+#: (``MAP(k: Rectangle, P: set of shapes)``). Record-at-a-time mappers are
+#: trivially expressed by iterating ``values``.
+MapFn = Callable[[Any, List[Any], "MapContext"], None]
+#: combine/reduce(key, values, context)
+ReduceFn = Callable[[Any, List[Any], "ReduceContext"], None]
+#: splitter(fs, job) -> input splits (the SpatialFileSplitter hook)
+SplitterFn = Callable[[FileSystem, "Job"], List[InputSplit]]
+#: reader(split) -> (key, records) (the SpatialRecordReader hook)
+ReaderFn = Callable[[InputSplit], Tuple[Any, List[Any]]]
+#: partitioner(key, num_reducers) -> reducer index
+PartitionerFn = Callable[[Any, int], int]
+#: commit(context) — single-machine post-processing step
+CommitFn = Callable[["CommitContext"], None]
+
+
+def default_partitioner(key: Any, num_reducers: int) -> int:
+    """Hadoop's hash partitioner."""
+    return hash(key) % num_reducers
+
+
+@dataclass
+class Job:
+    """Configuration of one MapReduce job.
+
+    Only ``input_file`` and ``map_fn`` are mandatory; a job without
+    ``reduce_fn`` is map-only and its map output goes straight to the job
+    output, as in Hadoop.
+    """
+
+    input_file: Any  # one file name, or a list of names for multi-input jobs
+    map_fn: MapFn
+    combine_fn: Optional[ReduceFn] = None
+    reduce_fn: Optional[ReduceFn] = None
+    commit_fn: Optional[CommitFn] = None
+    num_reducers: int = 1
+    partitioner: PartitionerFn = default_partitioner
+    splitter: Optional[SplitterFn] = None
+    reader: Optional[ReaderFn] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+    name: str = "job"
+
+    @property
+    def input_files(self) -> List[str]:
+        """The input file names, whether one or several were configured."""
+        if isinstance(self.input_file, str):
+            return [self.input_file]
+        return list(self.input_file)
+
+
+class _EmitterContext:
+    """Shared plumbing of the map/reduce/commit contexts."""
+
+    def __init__(self, job: Job, counters: Counters):
+        self.job = job
+        self.counters = counters
+        self._emitted: List[Tuple[Any, Any]] = []
+        self._output: List[Any] = []
+
+    @property
+    def config(self) -> Dict[str, Any]:
+        return self.job.config
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit an intermediate key-value pair to the next stage."""
+        self._emitted.append((key, value))
+
+    def write_output(self, record: Any) -> None:
+        """Write a record directly to the final job output.
+
+        This models the *early flush* of the papers' pruning steps: parts of
+        the answer that need no further merging bypass the shuffle entirely.
+        """
+        self._output.append(record)
+
+
+class MapContext(_EmitterContext):
+    """Context passed to map functions."""
+
+    def __init__(self, job: Job, counters: Counters, split: InputSplit):
+        super().__init__(job, counters)
+        self.split = split
+
+    @property
+    def cell(self) -> Optional[Any]:
+        """Partition MBR for spatially partitioned input, else None."""
+        return self.split.cell
+
+
+class ReduceContext(_EmitterContext):
+    """Context passed to combine and reduce functions."""
+
+    def __init__(self, job: Job, counters: Counters, task_index: int):
+        super().__init__(job, counters)
+        self.task_index = task_index
+
+
+class CommitContext(_EmitterContext):
+    """Context passed to the job-commit function.
+
+    The commit step runs once, on "the master", after all reducers finish.
+    It can read everything written so far (``current_output``) and replace
+    it (``replace_output``) — this is how multi-phase merges such as index
+    building finalise their result.
+    """
+
+    def __init__(self, job: Job, counters: Counters, output: List[Any]):
+        super().__init__(job, counters)
+        self._current = output
+
+    @property
+    def current_output(self) -> List[Any]:
+        return self._current
+
+    def replace_output(self, records: Iterable[Any]) -> None:
+        self._current[:] = list(records)

@@ -1,0 +1,248 @@
+"""The MapReduce execution engine."""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.mapreduce.cluster import ClusterModel, TaskStats
+from repro.mapreduce.counters import Counter, Counters
+from repro.mapreduce.fs import FileSystem
+from repro.mapreduce.job import (
+    CommitContext,
+    Job,
+    MapContext,
+    ReduceContext,
+)
+from repro.mapreduce.types import InputSplit
+
+
+def _record_size(record: Any) -> int:
+    """Rough on-the-wire size of a record, for the shuffle-bytes counter."""
+    if isinstance(record, (str, bytes)):
+        return len(record)
+    return max(sys.getsizeof(record), 16)
+
+
+def default_splitter(fs: FileSystem, job: Job) -> List[InputSplit]:
+    """One split per block, key = block index (plain Hadoop behaviour).
+
+    Jobs may read several input files (e.g. the two sides of an SJMR join);
+    map functions see the originating file as ``ctx.split.file``.
+    """
+    splits: List[InputSplit] = []
+    for file_name in job.input_files:
+        entry = fs.get(file_name)
+        splits.extend(
+            InputSplit(file=file_name, block_index=i, block=block, key=i)
+            for i, block in enumerate(entry.blocks)
+        )
+    return splits
+
+
+def default_reader(split: InputSplit) -> Tuple[Any, List[Any]]:
+    """Pass the split's records through untouched."""
+    return split.key, list(split.block.records)
+
+
+@dataclass
+class JobResult:
+    """Everything a driver needs to know about a finished job."""
+
+    output: List[Any]
+    counters: Counters
+    map_tasks: List[TaskStats] = field(default_factory=list)
+    reduce_tasks: List[TaskStats] = field(default_factory=list)
+    makespan: float = 0.0
+
+    @property
+    def blocks_read(self) -> int:
+        return self.counters.get(Counter.BLOCKS_READ)
+
+    @property
+    def shuffle_records(self) -> int:
+        return self.counters.get(Counter.SHUFFLE_RECORDS)
+
+
+class JobRunner:
+    """Executes :class:`Job` instances against a :class:`FileSystem`.
+
+    One runner holds one :class:`ClusterModel`; drivers that issue several
+    jobs for one logical operation should sum the per-job makespans (plus
+    any driver-side work) to report the operation's simulated time.
+    """
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        cluster: Optional[ClusterModel] = None,
+    ):
+        self.fs = fs
+        self.cluster = cluster or ClusterModel()
+
+    # ------------------------------------------------------------------
+    def run(self, job: Job) -> JobResult:
+        """Run ``job`` to completion and return its result."""
+        counters = Counters()
+        splitter = job.splitter or default_splitter
+        reader = job.reader or default_reader
+
+        for file_name in job.input_files:
+            counters.increment(
+                Counter.BLOCKS_TOTAL, self.fs.get(file_name).num_blocks
+            )
+
+        splits = splitter(self.fs, job)
+        counters.increment(Counter.BLOCKS_READ, len(splits))
+        pruned = counters.get(Counter.BLOCKS_TOTAL) - len(splits)
+        if pruned > 0:
+            counters.increment(Counter.BLOCKS_PRUNED, pruned)
+
+        output: List[Any] = []
+        map_stats, intermediate = self._run_map_wave(
+            job, splits, reader, counters, output
+        )
+
+        reduce_stats: List[TaskStats] = []
+        shuffle_records = 0
+        if job.reduce_fn is not None:
+            shuffle_records = len(intermediate)
+            counters.increment(Counter.SHUFFLE_RECORDS, shuffle_records)
+            counters.increment(
+                Counter.SHUFFLE_BYTES,
+                sum(_record_size(v) for _, v in intermediate),
+            )
+            reduce_stats = self._run_reduce_wave(
+                job, intermediate, counters, output
+            )
+        else:
+            # Map-only job: emitted pairs join the direct output.
+            output.extend(v for _, v in intermediate)
+
+        if job.commit_fn is not None:
+            commit_ctx = CommitContext(job, counters, output)
+            job.commit_fn(commit_ctx)
+
+        counters.increment(Counter.OUTPUT_RECORDS, len(output))
+        makespan = self.cluster.job_makespan(
+            map_stats, reduce_stats, shuffle_records
+        )
+        return JobResult(
+            output=output,
+            counters=counters,
+            map_tasks=map_stats,
+            reduce_tasks=reduce_stats,
+            makespan=makespan,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_map_wave(
+        self,
+        job: Job,
+        splits: List[InputSplit],
+        reader,
+        counters: Counters,
+        output: List[Any],
+    ) -> Tuple[List[TaskStats], List[Tuple[Any, Any]]]:
+        intermediate: List[Tuple[Any, Any]] = []
+        stats: List[TaskStats] = []
+        counters.increment(Counter.MAP_TASKS, len(splits))
+        for split in splits:
+            ctx = MapContext(job, counters, split)
+            started = time.perf_counter()
+            key, records = reader(split)
+            job.map_fn(key, records, ctx)
+            emitted = ctx._emitted
+            if job.combine_fn is not None and emitted:
+                emitted = self._combine(job, counters, emitted)
+            elapsed = time.perf_counter() - started
+            counters.increment(Counter.MAP_INPUT_RECORDS, len(records))
+            counters.increment(Counter.MAP_OUTPUT_RECORDS, len(ctx._emitted))
+            stats.append(
+                TaskStats(
+                    task_id=f"map-{split.block_index}",
+                    records_in=len(records),
+                    records_out=len(emitted) + len(ctx._output),
+                    seconds=elapsed,
+                )
+            )
+            intermediate.extend(emitted)
+            output.extend(ctx._output)
+        return stats, intermediate
+
+    def _combine(
+        self,
+        job: Job,
+        counters: Counters,
+        emitted: List[Tuple[Any, Any]],
+    ) -> List[Tuple[Any, Any]]:
+        """Run the combiner over one map task's output (grouped by key)."""
+        groups: Dict[Any, List[Any]] = {}
+        for k, v in emitted:
+            groups.setdefault(k, []).append(v)
+        ctx = ReduceContext(job, counters, task_index=-1)
+        for k, values in groups.items():
+            job.combine_fn(k, values, ctx)  # type: ignore[misc]
+        counters.increment(Counter.COMBINE_INPUT_RECORDS, len(emitted))
+        counters.increment(Counter.COMBINE_OUTPUT_RECORDS, len(ctx._emitted))
+        # Combiner may also early-flush via write_output; preserve that.
+        if ctx._output:
+            raise RuntimeError(
+                "combiners must not write final output; emit instead"
+            )
+        return ctx._emitted
+
+    def _run_reduce_wave(
+        self,
+        job: Job,
+        intermediate: List[Tuple[Any, Any]],
+        counters: Counters,
+        output: List[Any],
+    ) -> List[TaskStats]:
+        num_reducers = max(1, job.num_reducers)
+        buckets: List[Dict[Any, List[Any]]] = [{} for _ in range(num_reducers)]
+        for k, v in intermediate:
+            index = job.partitioner(k, num_reducers) if num_reducers > 1 else 0
+            buckets[index].setdefault(k, []).append(v)
+
+        stats: List[TaskStats] = []
+        active = [b for b in buckets if b]
+        counters.increment(Counter.REDUCE_TASKS, len(active))
+        for task_index, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            ctx = ReduceContext(job, counters, task_index)
+            started = time.perf_counter()
+            # Hadoop sorts by key before reducing; keep that contract for
+            # reducers that rely on key order.
+            for k in _sorted_keys(bucket):
+                job.reduce_fn(k, bucket[k], ctx)  # type: ignore[misc]
+            elapsed = time.perf_counter() - started
+            records_in = sum(len(vs) for vs in bucket.values())
+            counters.increment(Counter.REDUCE_INPUT_RECORDS, records_in)
+            counters.increment(
+                Counter.REDUCE_OUTPUT_RECORDS, len(ctx._emitted) + len(ctx._output)
+            )
+            stats.append(
+                TaskStats(
+                    task_id=f"reduce-{task_index}",
+                    records_in=records_in,
+                    records_out=len(ctx._emitted) + len(ctx._output),
+                    seconds=elapsed,
+                )
+            )
+            # Reduce emit() goes to the job output (there is no later stage).
+            output.extend(v for _, v in ctx._emitted)
+            output.extend(ctx._output)
+        return stats
+
+
+def _sorted_keys(bucket: Dict[Any, List[Any]]) -> List[Any]:
+    """Keys in sorted order when comparable, insertion order otherwise."""
+    keys = list(bucket.keys())
+    try:
+        return sorted(keys)
+    except TypeError:
+        return keys

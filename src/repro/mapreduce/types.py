@@ -1,0 +1,34 @@
+"""Shared datatypes of the MapReduce runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.mapreduce.fs import Block
+
+
+@dataclass(frozen=True)
+class InputSplit:
+    """The unit of work of one map task.
+
+    ``key`` is what the map function receives as its input key. The default
+    splitter passes the block index; SpatialHadoop's splitter passes the
+    partition cell (an MBR) so map functions can implement per-partition
+    pruning rules, exactly as in the paper's pseudo-code (``MAP(k: Rectangle,
+    ...)``).
+    """
+
+    file: str
+    block_index: int
+    block: Block
+    key: Any = None
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        return self.block.metadata
+
+    @property
+    def cell(self) -> Optional[Any]:
+        """The partition MBR for spatially partitioned files, else None."""
+        return self.block.metadata.get("cell")

@@ -1,0 +1,73 @@
+"""SpatialHadoop's operations layer.
+
+Every operation comes in (at least) two flavours, matching the papers:
+
+* a **Hadoop** variant that runs on a non-indexed heap file — the baseline
+  every figure compares against;
+* a **SpatialHadoop** variant that exploits the global index through the
+  SpatialFileSplitter (the *filter* step), the local indexes through the
+  SpatialRecordReader (the *local processing* step), and, where the
+  algorithm allows it, a *pruning* step that early-flushes final results.
+
+Operations return :class:`~repro.core.result.OperationResult` carrying both
+the answer and the simulated cluster cost, so benchmarks can print the
+paper's tables directly. Single-machine baselines live in
+:mod:`repro.operations.single_machine`.
+"""
+
+from repro.operations.range_count import range_count_hadoop, range_count_spatial
+from repro.operations.range_query import range_query_hadoop, range_query_spatial
+from repro.operations.stats import FileStats, file_stats
+from repro.operations.knn import knn_hadoop, knn_spatial
+from repro.operations.knn_join import knn_join_hadoop, knn_join_spatial
+from repro.operations.spatial_join import (
+    spatial_join_distributed,
+    spatial_join_sjmr,
+)
+from repro.operations.skyline import (
+    skyline_hadoop,
+    skyline_output_sensitive,
+    skyline_spatial,
+)
+from repro.operations.convex_hull import convex_hull_hadoop, convex_hull_spatial
+from repro.operations.closest_pair import closest_pair_spatial
+from repro.operations.farthest_pair import (
+    farthest_pair_hadoop,
+    farthest_pair_spatial,
+)
+from repro.operations.union import (
+    union_enhanced,
+    union_hadoop,
+    union_spatial,
+)
+from repro.operations.voronoi import VoronoiResult, voronoi_spatial
+from repro.operations import single_machine
+
+__all__ = [
+    "FileStats",
+    "closest_pair_spatial",
+    "file_stats",
+    "convex_hull_hadoop",
+    "convex_hull_spatial",
+    "farthest_pair_hadoop",
+    "farthest_pair_spatial",
+    "knn_hadoop",
+    "knn_join_hadoop",
+    "knn_join_spatial",
+    "knn_spatial",
+    "range_count_hadoop",
+    "range_count_spatial",
+    "range_query_hadoop",
+    "range_query_spatial",
+    "single_machine",
+    "skyline_hadoop",
+    "skyline_output_sensitive",
+    "skyline_spatial",
+    "spatial_join_distributed",
+    "spatial_join_sjmr",
+    "union_enhanced",
+    "union_hadoop",
+    "union_spatial",
+    "VoronoiResult",
+    "voronoi_spatial",
+]

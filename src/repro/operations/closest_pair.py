@@ -1,0 +1,72 @@
+"""Closest pair in SpatialHadoop.
+
+The algorithm needs a *disjoint* index on points: each partition computes
+its local closest pair at distance delta, keeps its two endpoints plus every
+point within delta of the partition boundary (the candidate buffer), and
+prunes everything else. One reducer runs the closest-pair algorithm over
+the survivors. Disjointness is what makes the pruning safe: a pruned point
+is more than delta away from anything outside its cell, and something
+within delta inside its cell survives with it.
+
+The papers argue a Hadoop variant is impractical (random partitioning makes
+local pruning unsound); the single-machine baseline lives in
+:mod:`repro.operations.single_machine`.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import OperationResult
+from repro.core.reader import spatial_reader
+from repro.core.splitter import global_index_of, spatial_splitter
+from repro.geometry.algorithms.closest_pair import closest_pair
+from repro.operations.common import as_points
+from repro.mapreduce import Job, JobRunner
+
+
+def closest_pair_spatial(runner: JobRunner, file_name: str) -> OperationResult:
+    """Closest pair over a disjointly indexed point file."""
+    gindex = global_index_of(runner.fs, file_name)
+    if gindex is None:
+        raise ValueError(f"{file_name!r} is not spatially indexed")
+    if not gindex.disjoint:
+        raise ValueError("the closest-pair pruning step needs a disjoint index")
+
+    def map_fn(cell, records, ctx):
+        records = as_points(records)
+        pair = closest_pair(records)
+        if pair is None:
+            # Zero or one point: nothing can be pruned safely.
+            for p in records:
+                ctx.emit(1, p)
+            return
+        delta = pair[0].distance(pair[1])
+        ctx.emit(1, pair[0])
+        ctx.emit(1, pair[1])
+        for p in records:
+            if p in pair:
+                continue
+            near_boundary = (
+                p.x - cell.x1 < delta
+                or cell.x2 - p.x < delta
+                or p.y - cell.y1 < delta
+                or cell.y2 - p.y < delta
+            )
+            if near_boundary:
+                ctx.emit(1, p)
+
+    def reduce_fn(_key, points, ctx):
+        pair = closest_pair(points)
+        if pair is not None:
+            ctx.emit(1, pair)
+
+    job = Job(
+        input_file=file_name,
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        splitter=spatial_splitter(),
+        reader=spatial_reader,
+        name=f"closest-pair({file_name})",
+    )
+    result = runner.run(job)
+    answer = result.output[0] if result.output else None
+    return OperationResult(answer=answer, jobs=[result])

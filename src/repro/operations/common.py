@@ -1,0 +1,29 @@
+"""Small helpers shared by the operations layer."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List
+
+from repro.geometry import Point
+
+
+def as_point(record: Any) -> Point:
+    """The point of a point-record (bare Point or a Feature wrapping one).
+
+    The computational-geometry operations (skyline, convex hull, closest
+    and farthest pair) are defined over point sets; extended shapes are
+    rejected rather than silently reduced to centroids.
+    """
+    if isinstance(record, Point):
+        return record
+    shape = getattr(record, "shape", None)
+    if isinstance(shape, Point):
+        return shape
+    raise TypeError(
+        f"operation defined on points only; found {type(record).__name__}"
+    )
+
+
+def as_points(records: Iterable[Any]) -> List[Point]:
+    """Convert a record iterable to points (see :func:`as_point`)."""
+    return [as_point(r) for r in records]

@@ -1,0 +1,135 @@
+"""Farthest pair (diameter) in MapReduce.
+
+* **Hadoop**: local convex hull per block; one reducer computes the hull of
+  the local hulls and runs rotating calipers — correct because the two
+  farthest points lie on the global hull, which is the hull of the union of
+  the local hulls.
+* **SpatialHadoop**: the filter step works on *pairs of partitions*. The
+  tight MBRs give a lower bound (minimality: a record touches each side)
+  and an upper bound (corner-to-corner) on the farthest pair of every cell
+  pair; a pair whose upper bound is below the greatest lower bound can
+  never win and is pruned. Each surviving pair is processed by one map
+  task; the reducer keeps the maximum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.result import OperationResult
+from repro.core.splitter import global_index_of
+from repro.geometry.algorithms.convex_hull import convex_hull
+from repro.geometry.algorithms.farthest_pair import farthest_pair_on_hull
+from repro.operations.common import as_points
+from repro.index.global_index import GlobalIndex
+from repro.mapreduce import Block, Job, JobRunner
+from repro.mapreduce.types import InputSplit
+
+
+def _map_local_hull(_key, records, ctx):
+    for p in convex_hull(as_points(records)):
+        ctx.emit(1, p)
+
+
+def farthest_pair_hadoop(runner: JobRunner, file_name: str) -> OperationResult:
+    """Unindexed farthest pair via hull-of-hulls."""
+
+    def reduce_fn(_key, points, ctx):
+        pair = farthest_pair_on_hull(convex_hull(points))
+        if pair is not None:
+            ctx.emit(1, pair)
+
+    job = Job(
+        input_file=file_name,
+        map_fn=_map_local_hull,
+        combine_fn=lambda k, pts, ctx: [ctx.emit(1, p) for p in convex_hull(pts)],
+        reduce_fn=reduce_fn,
+        name=f"farthest-hadoop({file_name})",
+    )
+    result = runner.run(job)
+    answer = result.output[0] if result.output else None
+    return OperationResult(answer=answer, jobs=[result], system="hadoop")
+
+
+def select_cell_pairs(gindex: GlobalIndex) -> List[Tuple[int, int]]:
+    """The two-pass pair filter: keep pairs whose upper bound >= GLB."""
+    cells = [c for c in gindex if c.num_records > 0]
+    glb = 0.0
+    for i in range(len(cells)):
+        for j in range(i, len(cells)):
+            a, b = cells[i].tight_mbr, cells[j].tight_mbr
+            if i == j:
+                # A single minimal MBR guarantees a pair spanning its
+                # longer side (one record on each of the two far edges).
+                lower = max(a.width, a.height) if cells[i].num_records >= 2 else 0.0
+            else:
+                lower = a.farthest_pair_lower_bound(b)
+            glb = max(glb, lower)
+    selected: List[Tuple[int, int]] = []
+    for i in range(len(cells)):
+        for j in range(i, len(cells)):
+            a, b = cells[i].tight_mbr, cells[j].tight_mbr
+            upper = a.max_distance_rect(b)
+            if upper >= glb:
+                selected.append((cells[i].cell_id, cells[j].cell_id))
+    return selected
+
+
+def farthest_pair_spatial(runner: JobRunner, file_name: str) -> OperationResult:
+    """Indexed farthest pair with the cell-pair dominance filter."""
+    fs = runner.fs
+    gindex = global_index_of(fs, file_name)
+    if gindex is None:
+        raise ValueError(f"{file_name!r} is not spatially indexed")
+
+    entry = fs.get(file_name)
+    blocks = {b.metadata["cell_id"]: b for b in entry.blocks}
+    pairs = select_cell_pairs(gindex)
+
+    pair_blocks: List[Block] = []
+    for left_id, right_id in pairs:
+        records = list(blocks[left_id].records)
+        if right_id != left_id:
+            records = records + list(blocks[right_id].records)
+        pair_blocks.append(
+            Block(records=records, metadata={"pair": (left_id, right_id)})
+        )
+    pairs_file = f"__fp_pairs__{file_name}"
+    if fs.exists(pairs_file):
+        fs.delete(pairs_file)
+    fs.create_file_from_blocks(pairs_file, pair_blocks)
+
+    def pair_splitter(fs_, job_):
+        entry_ = fs_.get(job_.input_file)
+        return [
+            InputSplit(
+                file=job_.input_file,
+                block_index=i,
+                block=block,
+                key=block.metadata["pair"],
+            )
+            for i, block in enumerate(entry_.blocks)
+        ]
+
+    def map_fn(_pair, records, ctx):
+        pair = farthest_pair_on_hull(convex_hull(as_points(records)))
+        if pair is not None:
+            ctx.emit(1, pair)
+
+    def reduce_fn(_key, candidate_pairs, ctx):
+        best = max(candidate_pairs, key=lambda pr: pr[0].distance_sq(pr[1]))
+        ctx.emit(1, best)
+
+    job = Job(
+        input_file=pairs_file,
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        splitter=pair_splitter,
+        name=f"farthest-spatial({file_name})",
+    )
+    try:
+        result = runner.run(job)
+    finally:
+        fs.delete(pairs_file)
+    answer = result.output[0] if result.output else None
+    return OperationResult(answer=answer, jobs=[result])

@@ -1,0 +1,108 @@
+"""Range query: all records intersecting a query rectangle.
+
+The Hadoop variant scans every block. The SpatialHadoop variant prunes
+non-overlapping partitions with the SpatialFileSplitter, searches each
+surviving partition's local index, and applies the *reference point*
+duplicate-avoidance technique when the index replicates records across
+disjoint partitions.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import OperationResult
+from repro.core.reader import local_index_of, spatial_reader
+from repro.core.splitter import global_index_of, overlapping_filter, spatial_splitter
+from repro.geometry import Point, Rectangle
+from repro.index.partitioners.base import shape_mbr
+from repro.mapreduce import Job, JobRunner
+
+
+def _matches(record, query: Rectangle) -> bool:
+    """MBR-level match: the record's MBR intersects the query window."""
+    return query.intersects(shape_mbr(record))
+
+
+def _owned_by_cell(record_mbr: Rectangle, cell: Rectangle, query: Rectangle) -> bool:
+    """Reference-point duplicate avoidance.
+
+    A record replicated to several disjoint partitions must be reported
+    exactly once: by the partition containing the *reference point* — the
+    bottom-left corner of the intersection of the record's MBR with the
+    query window. Every partition evaluates this test independently,
+    without communication, which is the whole trick.
+    """
+    ref = Point(
+        max(record_mbr.x1, query.x1),
+        max(record_mbr.y1, query.y1),
+    )
+    # Half-open containment gives exactly-once ownership; partitioners
+    # expand the space past the global maximum so the reference point always
+    # falls strictly inside some cell's half-open range.
+    return cell.contains_point_left_inclusive(ref)
+
+
+def range_query_hadoop(
+    runner: JobRunner, file_name: str, query: Rectangle
+) -> OperationResult:
+    """Full-scan range query on a heap (or indexed) file."""
+
+    def map_fn(_key, records, ctx):
+        q = ctx.config["query"]
+        for record in records:
+            if _matches(record, q):
+                ctx.write_output(record)
+
+    job = Job(
+        input_file=file_name,
+        map_fn=map_fn,
+        config={"query": query},
+        name=f"range-hadoop({file_name})",
+    )
+    result = runner.run(job)
+    return OperationResult(answer=result.output, jobs=[result], system="hadoop")
+
+
+def range_query_spatial(
+    runner: JobRunner,
+    file_name: str,
+    query: Rectangle,
+    use_local_index: bool = True,
+    prune: bool = True,
+) -> OperationResult:
+    """Indexed range query with partition pruning and duplicate avoidance.
+
+    ``use_local_index=False`` scans surviving partitions record by record
+    (the local-index ablation); ``prune=False`` disables the filter step
+    (the global-index ablation).
+    """
+    gindex = global_index_of(runner.fs, file_name)
+    if gindex is None:
+        raise ValueError(f"{file_name!r} is not spatially indexed")
+    dedup = gindex.disjoint
+
+    def map_fn(cell, records, ctx):
+        q = ctx.config["query"]
+        local = local_index_of(ctx) if ctx.config["use_local_index"] else None
+        if local is not None:
+            candidates = [e.record for e in local.search(q)]
+        else:
+            candidates = [r for r in records if _matches(r, q)]
+        for record in candidates:
+            if not _matches(record, q):
+                continue
+            if ctx.config["dedup"] and not _owned_by_cell(
+                shape_mbr(record), cell, q
+            ):
+                continue
+            ctx.write_output(record)
+
+    job = Job(
+        input_file=file_name,
+        map_fn=map_fn,
+        splitter=spatial_splitter(overlapping_filter(query) if prune else None),
+        reader=spatial_reader,
+        config={"query": query, "use_local_index": use_local_index, "dedup": dedup},
+        name=f"range-spatial({file_name})",
+    )
+    result = runner.run(job)
+    return OperationResult(answer=result.output, jobs=[result])

@@ -1,0 +1,39 @@
+"""Pigeon: the SpatialHadoop language layer.
+
+A small Pig-Latin-like language with spatial types and operations that
+compiles to MapReduce jobs over the simulator — the reproduction of the
+demo paper's top layer. A script is a sequence of statements::
+
+    points  = LOAD 'pois';
+    indexed = INDEX points USING str;
+    cafes   = FILTER indexed BY category == 'cafe';
+    window  = RANGE indexed RECTANGLE(0, 0, 500, 500);
+    near    = KNN indexed POINT(120, 240) K 5;
+    pairs   = SJOIN indexed, other;
+    sky     = SKYLINE indexed;
+    hull    = CONVEXHULL indexed;
+    proj    = FOREACH window GENERATE name, Area(geom);
+    STORE window INTO 'result';
+    DUMP near;
+
+Filter predicates are boolean expressions over record attributes and the
+built-in spatial functions ``Overlaps``, ``Contains``, ``Distance``,
+``Area``, ``X``, ``Y``, ``MakeBox`` and ``MakePoint``; ``geom`` names the
+record's shape.
+
+Use :func:`run_script` to execute a script against a
+:class:`~repro.core.system.SpatialHadoop` instance.
+"""
+
+from repro.pigeon.lexer import PigeonSyntaxError, tokenize
+from repro.pigeon.parser import parse
+from repro.pigeon.runner import PigeonError, ScriptResult, run_script
+
+__all__ = [
+    "PigeonError",
+    "PigeonSyntaxError",
+    "ScriptResult",
+    "parse",
+    "run_script",
+    "tokenize",
+]

@@ -1,0 +1,134 @@
+"""Pigeon abstract syntax trees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+# ----------------------------------------------------------------------
+# Expressions (used by FILTER predicates and FOREACH projections)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Union[float, str, bool]
+
+
+@dataclass(frozen=True)
+class Identifier:
+    """A record attribute reference; ``geom`` names the record's shape."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # "-" or "NOT"
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # arithmetic, comparison, AND, OR
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str  # upper-cased
+    args: Tuple["Expr", ...]
+
+
+Expr = Union[Literal, Identifier, UnaryOp, BinaryOp, FunctionCall]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Load:
+    target: str
+    file_name: str
+
+
+@dataclass(frozen=True)
+class Index:
+    target: str
+    source: str
+    technique: str
+
+
+@dataclass(frozen=True)
+class Filter:
+    target: str
+    source: str
+    predicate: Expr
+
+
+@dataclass(frozen=True)
+class Foreach:
+    target: str
+    source: str
+    expressions: Tuple[Expr, ...]
+    names: Tuple[Optional[str], ...] = ()
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    target: str
+    source: str
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+
+@dataclass(frozen=True)
+class Knn:
+    target: str
+    source: str
+    x: float
+    y: float
+    k: int
+
+
+@dataclass(frozen=True)
+class SpatialJoin:
+    target: str
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class UnaryOperation:
+    """SKYLINE / CONVEXHULL / UNION / CLOSESTPAIR / FARTHESTPAIR."""
+
+    target: str
+    source: str
+    operation: str  # upper-cased keyword
+
+
+@dataclass(frozen=True)
+class Store:
+    source: str
+    file_name: str
+
+
+@dataclass(frozen=True)
+class Dump:
+    source: str
+
+
+Statement = Union[
+    Load, Index, Filter, Foreach, RangeQuery, Knn, SpatialJoin,
+    UnaryOperation, Store, Dump,
+]
+
+
+@dataclass
+class Script:
+    statements: List[Statement] = field(default_factory=list)

@@ -1,0 +1,105 @@
+"""Tokenizer for Pigeon scripts."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class PigeonSyntaxError(ValueError):
+    """Raised for malformed Pigeon scripts, with a line number."""
+
+
+#: Token kinds.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+EOF = "EOF"
+
+#: Keywords are case-insensitive and reported upper-cased as their own kind.
+KEYWORDS = {
+    "LOAD", "STORE", "INTO", "DUMP", "AS",
+    "INDEX", "USING",
+    "FILTER", "BY",
+    "FOREACH", "GENERATE",
+    "RANGE", "KNN", "K", "SJOIN", "SKYLINE", "CONVEXHULL",
+    "UNION", "CLOSESTPAIR", "FARTHESTPAIR", "VORONOI",
+    "RECTANGLE", "POINT",
+    "AND", "OR", "NOT", "TRUE", "FALSE",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|[-+*/()=,;<>])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT, NUMBER, STRING, OP, a keyword, or EOF
+    value: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, line {self.line})"
+
+
+def tokenize(script: str) -> List[Token]:
+    """Tokenize a whole script; raises :class:`PigeonSyntaxError` on junk."""
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(script):
+        m = _TOKEN_RE.match(script, pos)
+        if m is None:
+            snippet = script[pos : pos + 20].splitlines()[0]
+            raise PigeonSyntaxError(
+                f"line {line}: unexpected character {snippet!r}"
+            )
+        pos = m.end()
+        text = m.group(0)
+        line += text.count("\n")
+        if m.lastgroup in ("ws", "comment"):
+            continue
+        if m.lastgroup == "number":
+            tokens.append(Token(NUMBER, text, line))
+        elif m.lastgroup == "string":
+            body = text[1:-1].replace("\\'", "'").replace("\\\\", "\\")
+            tokens.append(Token(STRING, body, line))
+        elif m.lastgroup == "ident":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(upper, upper, line))
+            else:
+                tokens.append(Token(IDENT, text, line))
+        else:
+            tokens.append(Token(OP, text, line))
+    tokens.append(Token(EOF, "", line))
+    return tokens
+
+
+def iter_statements(tokens: List[Token]) -> Iterator[List[Token]]:
+    """Split a token stream on ';' into per-statement chunks."""
+    current: List[Token] = []
+    for tok in tokens:
+        if tok.kind == EOF:
+            break
+        if tok.kind == OP and tok.value == ";":
+            if current:
+                yield current
+                current = []
+        else:
+            current.append(tok)
+    if current:
+        raise PigeonSyntaxError(
+            f"line {current[-1].line}: missing ';' after statement"
+        )

@@ -1,0 +1,269 @@
+"""Recursive-descent parser for Pigeon scripts."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.pigeon import ast
+from repro.pigeon.lexer import (
+    EOF,
+    IDENT,
+    NUMBER,
+    OP,
+    STRING,
+    PigeonSyntaxError,
+    Token,
+    iter_statements,
+    tokenize,
+)
+
+
+def parse(script: str) -> ast.Script:
+    """Parse a whole script into a :class:`~repro.pigeon.ast.Script`."""
+    result = ast.Script()
+    for chunk in iter_statements(tokenize(script)):
+        result.statements.append(_StatementParser(chunk).parse())
+    return result
+
+
+class _StatementParser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        last = self._tokens[-1] if self._tokens else Token(EOF, "", 0)
+        return Token(EOF, "", last.line)
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        self._pos += 1
+        return tok
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self._next()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            wanted = value or kind
+            raise PigeonSyntaxError(
+                f"line {tok.line}: expected {wanted}, found {tok.value!r}"
+            )
+        return tok
+
+    def _at(self, kind: str, value: Optional[str] = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def _error(self, message: str) -> PigeonSyntaxError:
+        return PigeonSyntaxError(f"line {self._peek().line}: {message}")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse(self) -> ast.Statement:
+        if self._at("STORE"):
+            return self._parse_store()
+        if self._at("DUMP"):
+            self._next()
+            return ast.Dump(source=self._expect(IDENT).value)
+        target = self._expect(IDENT).value
+        self._expect(OP, "=")
+        return self._parse_relation_expr(target)
+
+    def _parse_store(self) -> ast.Store:
+        self._next()
+        source = self._expect(IDENT).value
+        self._expect("INTO")
+        file_name = self._expect(STRING).value
+        return ast.Store(source=source, file_name=file_name)
+
+    def _parse_relation_expr(self, target: str) -> ast.Statement:
+        tok = self._next()
+        if tok.kind == "LOAD":
+            return ast.Load(target=target, file_name=self._expect(STRING).value)
+        if tok.kind == "INDEX":
+            source = self._expect(IDENT).value
+            self._expect("USING")
+            technique_tok = self._next()
+            if technique_tok.kind not in (IDENT, STRING):
+                raise self._error("expected an index technique name")
+            return ast.Index(
+                target=target, source=source, technique=technique_tok.value
+            )
+        if tok.kind == "FILTER":
+            source = self._expect(IDENT).value
+            self._expect("BY")
+            predicate = self._parse_expression()
+            self._expect_end()
+            return ast.Filter(target=target, source=source, predicate=predicate)
+        if tok.kind == "FOREACH":
+            source = self._expect(IDENT).value
+            self._expect("GENERATE")
+            exprs, names = self._parse_projection_list()
+            return ast.Foreach(
+                target=target, source=source, expressions=exprs, names=names
+            )
+        if tok.kind == "RANGE":
+            source = self._expect(IDENT).value
+            self._expect("RECTANGLE")
+            coords = self._parse_number_args(4)
+            return ast.RangeQuery(target, source, *coords)
+        if tok.kind == "KNN":
+            source = self._expect(IDENT).value
+            self._expect("POINT")
+            x, y = self._parse_number_args(2)
+            self._expect("K")
+            k_tok = self._expect(NUMBER)
+            return ast.Knn(target, source, x, y, int(float(k_tok.value)))
+        if tok.kind == "SJOIN":
+            left = self._expect(IDENT).value
+            self._expect(OP, ",")
+            right = self._expect(IDENT).value
+            return ast.SpatialJoin(target=target, left=left, right=right)
+        if tok.kind in (
+            "SKYLINE", "CONVEXHULL", "UNION", "CLOSESTPAIR",
+            "FARTHESTPAIR", "VORONOI",
+        ):
+            source = self._expect(IDENT).value
+            return ast.UnaryOperation(
+                target=target, source=source, operation=tok.kind
+            )
+        raise PigeonSyntaxError(
+            f"line {tok.line}: unknown operation {tok.value!r}"
+        )
+
+    def _expect_end(self) -> None:
+        tok = self._peek()
+        if tok.kind != EOF:
+            raise PigeonSyntaxError(
+                f"line {tok.line}: unexpected trailing input {tok.value!r}"
+            )
+
+    def _parse_number_args(self, count: int) -> List[float]:
+        self._expect(OP, "(")
+        values: List[float] = []
+        for i in range(count):
+            if i:
+                self._expect(OP, ",")
+            values.append(self._parse_signed_number())
+        self._expect(OP, ")")
+        return values
+
+    def _parse_signed_number(self) -> float:
+        sign = 1.0
+        if self._at(OP, "-"):
+            self._next()
+            sign = -1.0
+        return sign * float(self._expect(NUMBER).value)
+
+    def _parse_projection_list(
+        self,
+    ) -> Tuple[Tuple[ast.Expr, ...], Tuple[Optional[str], ...]]:
+        exprs: List[ast.Expr] = []
+        names: List[Optional[str]] = []
+        while True:
+            expr = self._parse_expression()
+            name: Optional[str] = None
+            if self._at("AS"):
+                self._next()
+                name = self._expect(IDENT).value
+            exprs.append(expr)
+            names.append(name)
+            if self._at(OP, ","):
+                self._next()
+                continue
+            break
+        self._expect_end()
+        return tuple(exprs), tuple(names)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._at("OR"):
+            self._next()
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._at("AND"):
+            self._next()
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._at("NOT"):
+            self._next()
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    _COMPARISONS = ("==", "!=", "<=", ">=", "<", ">")
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        if self._peek().kind == OP and self._peek().value in self._COMPARISONS:
+            op = self._next().value
+            return ast.BinaryOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind == OP and self._peek().value in ("+", "-"):
+            op = self._next().value
+            left = ast.BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._peek().kind == OP and self._peek().value in ("*", "/"):
+            op = self._next().value
+            left = ast.BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._at(OP, "-"):
+            self._next()
+            return ast.UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._next()
+        if tok.kind == NUMBER:
+            return ast.Literal(float(tok.value))
+        if tok.kind == STRING:
+            return ast.Literal(tok.value)
+        if tok.kind in ("TRUE", "FALSE"):
+            return ast.Literal(tok.kind == "TRUE")
+        if tok.kind == IDENT:
+            if self._at(OP, "("):
+                return self._parse_call(tok.value)
+            return ast.Identifier(tok.value)
+        if tok.kind == OP and tok.value == "(":
+            inner = self._parse_expression()
+            self._expect(OP, ")")
+            return inner
+        raise PigeonSyntaxError(
+            f"line {tok.line}: unexpected token {tok.value!r} in expression"
+        )
+
+    def _parse_call(self, name: str) -> ast.Expr:
+        self._expect(OP, "(")
+        args: List[ast.Expr] = []
+        if not self._at(OP, ")"):
+            while True:
+                args.append(self._parse_expression())
+                if self._at(OP, ","):
+                    self._next()
+                    continue
+                break
+        self._expect(OP, ")")
+        return ast.FunctionCall(name=name.upper(), args=tuple(args))

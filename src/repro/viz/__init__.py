@@ -1,0 +1,14 @@
+"""Visualization layer: MapReduce rasterisation of spatial files.
+
+SpatialHadoop's visualization layer renders a whole file into an image
+with a single-level MapReduce job: every map task rasterises its partition
+onto a partial canvas and the reducer overlays the partials. This package
+reproduces that pipeline with a dependency-free integer canvas that can be
+written as PGM (portable graymap) or rendered as ASCII art.
+"""
+
+from repro.viz.canvas import Canvas
+from repro.viz.plot import plot
+from repro.viz.pyramid import TilePyramid, plot_pyramid, tile_rect
+
+__all__ = ["Canvas", "TilePyramid", "plot", "plot_pyramid", "tile_rect"]

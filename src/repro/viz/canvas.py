@@ -1,0 +1,141 @@
+"""A dependency-free raster canvas with density counts per pixel."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geometry import LineString, Point, Polygon, Rectangle
+
+
+class Canvas:
+    """A ``width x height`` grid of hit counters over a world rectangle.
+
+    Pixel (0, 0) is the *bottom-left* of the world window, matching the
+    geometry's y-up convention; :meth:`to_ascii` and :meth:`to_pgm` flip
+    rows so the output reads the usual way (top row = max y).
+    """
+
+    def __init__(self, width: int, height: int, world: Rectangle):
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        if world.width <= 0 or world.height <= 0:
+            raise ValueError("world window must have positive area")
+        self.width = width
+        self.height = height
+        self.world = world
+        self.counts: List[List[int]] = [[0] * width for _ in range(height)]
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+    def _px(self, x: float) -> int:
+        fx = (x - self.world.x1) / self.world.width
+        return min(max(int(fx * self.width), 0), self.width - 1)
+
+    def _py(self, y: float) -> int:
+        fy = (y - self.world.y1) / self.world.height
+        return min(max(int(fy * self.height), 0), self.height - 1)
+
+    def _bump(self, px: int, py: int) -> None:
+        self.counts[py][px] += 1
+
+    # ------------------------------------------------------------------
+    # Drawing
+    # ------------------------------------------------------------------
+    def draw_point(self, p: Point) -> None:
+        if self.world.contains_point(p):
+            self._bump(self._px(p.x), self._py(p.y))
+
+    def draw_segment(self, a: Point, b: Point) -> None:
+        """Rasterise a segment with Bresenham over pixel coordinates."""
+        from repro.geometry.algorithms.clip import clip_segment
+
+        clipped = clip_segment(a, b, self.world)
+        if clipped is None:
+            if a.almost_equals(b) and self.world.contains_point(a):
+                self.draw_point(a)
+            return
+        a, b = clipped
+        x0, y0 = self._px(a.x), self._py(a.y)
+        x1, y1 = self._px(b.x), self._py(b.y)
+        dx = abs(x1 - x0)
+        dy = -abs(y1 - y0)
+        sx = 1 if x0 < x1 else -1
+        sy = 1 if y0 < y1 else -1
+        err = dx + dy
+        while True:
+            self._bump(x0, y0)
+            if x0 == x1 and y0 == y1:
+                break
+            e2 = 2 * err
+            if e2 >= dy:
+                err += dy
+                x0 += sx
+            if e2 <= dx:
+                err += dx
+                y0 += sy
+
+    def draw_shape(self, shape: object) -> None:
+        """Dispatch on the shape type (Feature shapes unwrap)."""
+        inner = getattr(shape, "shape", None)
+        if inner is not None:
+            shape = inner
+        if isinstance(shape, Point):
+            self.draw_point(shape)
+        elif isinstance(shape, Rectangle):
+            corners = shape.corners
+            for i in range(4):
+                self.draw_segment(corners[i], corners[(i + 1) % 4])
+        elif isinstance(shape, Polygon):
+            for a, b in shape.edges():
+                self.draw_segment(a, b)
+        elif isinstance(shape, LineString):
+            for a, b in shape.segments():
+                self.draw_segment(a, b)
+        else:
+            raise TypeError(f"cannot draw {type(shape).__name__}")
+
+    # ------------------------------------------------------------------
+    # Combination and output
+    # ------------------------------------------------------------------
+    def merge(self, other: "Canvas") -> None:
+        """Overlay another canvas (same geometry) onto this one."""
+        if (other.width, other.height) != (self.width, self.height):
+            raise ValueError("cannot merge canvases of different sizes")
+        if not other.world.almost_equals(self.world):
+            raise ValueError("cannot merge canvases of different worlds")
+        for row, other_row in zip(self.counts, other.counts):
+            for i, v in enumerate(other_row):
+                row[i] += v
+
+    @property
+    def max_count(self) -> int:
+        return max(max(row) for row in self.counts)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(sum(row) for row in self.counts)
+
+    def to_pgm(self, invert: bool = True) -> str:
+        """Serialise as an ASCII PGM (P2) image, intensity-scaled."""
+        peak = max(self.max_count, 1)
+        lines = [f"P2", f"{self.width} {self.height}", "255"]
+        for row in reversed(self.counts):  # top row first
+            values = []
+            for count in row:
+                level = round(255 * count / peak)
+                values.append(str(255 - level if invert else level))
+            lines.append(" ".join(values))
+        return "\n".join(lines) + "\n"
+
+    def to_ascii(self, ramp: str = " .:-=+*#%@") -> str:
+        """Render as ASCII art (darker character = denser pixel)."""
+        peak = max(self.max_count, 1)
+        out = []
+        for row in reversed(self.counts):
+            chars = []
+            for count in row:
+                idx = min(int(count / peak * (len(ramp) - 1) + 0.999), len(ramp) - 1)
+                chars.append(ramp[idx] if count else ramp[0])
+            out.append("".join(chars))
+        return "\n".join(out)

@@ -1,0 +1,203 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def ws(tmp_path):
+    return str(tmp_path / "ws.pkl")
+
+
+def run(ws, *argv, capsys=None):
+    code = main(["-w", ws, *argv])
+    return code
+
+
+class TestGenerateAndLs:
+    def test_generate_points(self, ws, capsys):
+        assert run(ws, "generate", "pts", "--n", "500") == 0
+        out = capsys.readouterr().out
+        assert "generated 500 uniform points" in out
+
+    def test_workspace_persists(self, ws, capsys):
+        run(ws, "generate", "pts", "--n", "100")
+        capsys.readouterr()
+        assert run(ws, "ls") == 0
+        out = capsys.readouterr().out
+        assert "pts" in out
+        assert "100" in out
+        assert "heap" in out
+
+    def test_generate_duplicate_fails(self, ws, capsys):
+        run(ws, "generate", "pts", "--n", "10")
+        assert run(ws, "generate", "pts", "--n", "10") == 1
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("shape", ["point", "rect", "polygon"])
+    def test_shapes(self, ws, shape, capsys):
+        assert run(ws, "generate", "d", "--n", "50", "--shape", shape) == 0
+
+
+class TestIndexAndQueries:
+    @pytest.fixture
+    def loaded(self, ws, capsys):
+        run(ws, "generate", "pts", "--n", "3000", "--seed", "1")
+        run(ws, "index", "pts", "idx", "--technique", "grid")
+        capsys.readouterr()
+        return ws
+
+    def test_index_output(self, ws, capsys):
+        run(ws, "generate", "pts", "--n", "1000")
+        capsys.readouterr()
+        assert run(ws, "index", "pts", "idx") == 0
+        out = capsys.readouterr().out
+        assert "partitions" in out
+
+    def test_rangequery(self, loaded, capsys):
+        assert run(loaded, "rangequery", "idx", "--window", "0,0,5e5,5e5") == 0
+        out = capsys.readouterr().out
+        assert "records match" in out
+        assert "[cost]" in out
+
+    def test_rangequery_bad_window(self, loaded):
+        with pytest.raises(SystemExit):
+            run(loaded, "rangequery", "idx", "--window", "1,2,3")
+
+    def test_knn(self, loaded, capsys):
+        assert run(loaded, "knn", "idx", "--point", "5e5,5e5", "--k", "3") == 0
+        out = capsys.readouterr().out
+        assert out.count("POINT") == 3
+
+    def test_skyline(self, loaded, capsys):
+        assert run(loaded, "skyline", "idx") == 0
+        assert "skyline has" in capsys.readouterr().out
+
+    def test_hull(self, loaded, capsys):
+        assert run(loaded, "hull", "idx") == 0
+        assert "convex hull has" in capsys.readouterr().out
+
+    def test_closest_and_farthest(self, loaded, capsys):
+        assert run(loaded, "closestpair", "idx") == 0
+        assert "closest pair" in capsys.readouterr().out
+        assert run(loaded, "farthestpair", "idx") == 0
+        assert "farthest pair" in capsys.readouterr().out
+
+    def test_voronoi(self, loaded, capsys):
+        assert run(loaded, "voronoi", "idx") == 0
+        assert "finalised before the merge" in capsys.readouterr().out
+
+    def test_info(self, loaded, capsys):
+        assert run(loaded, "info", "idx") == 0
+        out = capsys.readouterr().out
+        assert "index     : grid (disjoint)" in out
+        assert "file MBR" in out
+
+    def test_info_heap(self, loaded, capsys):
+        assert run(loaded, "info", "pts") == 0
+        assert "heap file" in capsys.readouterr().out
+
+    def test_rm(self, loaded, capsys):
+        assert run(loaded, "rm", "pts") == 0
+        capsys.readouterr()
+        assert run(loaded, "rm", "pts") == 1
+
+
+class TestJoinUnionPlot:
+    def test_sjoin(self, ws, capsys):
+        run(ws, "generate", "a", "--n", "300", "--shape", "rect", "--seed", "1")
+        run(ws, "generate", "b", "--n", "300", "--shape", "rect", "--seed", "2")
+        capsys.readouterr()
+        assert run(ws, "sjoin", "a", "b") == 0
+        assert "overlapping pairs" in capsys.readouterr().out
+
+    def test_union(self, ws, capsys):
+        run(ws, "generate", "polys", "--n", "80", "--shape", "polygon")
+        capsys.readouterr()
+        assert run(ws, "union", "polys") == 0
+        assert "rings" in capsys.readouterr().out
+
+    def test_union_enhanced(self, ws, capsys):
+        run(ws, "generate", "polys", "--n", "80", "--shape", "polygon")
+        run(ws, "index", "polys", "pidx", "--technique", "str+",
+            "--block-capacity", "30")
+        capsys.readouterr()
+        assert run(ws, "union", "pidx", "--enhanced") == 0
+        assert "segments" in capsys.readouterr().out
+
+    def test_plot_ascii(self, ws, capsys):
+        run(ws, "generate", "pts", "--n", "500")
+        capsys.readouterr()
+        assert run(ws, "plot", "pts", "--width", "20", "--height", "10") == 0
+        out = capsys.readouterr().out
+        assert "[cost]" in out
+
+    def test_plot_pgm(self, ws, tmp_path, capsys):
+        run(ws, "generate", "pts", "--n", "200")
+        capsys.readouterr()
+        out_file = tmp_path / "img.pgm"
+        assert run(ws, "plot", "pts", "--out", str(out_file)) == 0
+        assert out_file.read_text().startswith("P2")
+
+
+class TestPigeon:
+    def test_inline_script(self, ws, capsys):
+        run(ws, "generate", "pts", "--n", "500")
+        capsys.readouterr()
+        code = run(
+            ws, "pigeon", "-e",
+            "p = LOAD 'pts'; s = SKYLINE p; DUMP s;",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DUMP s" in out
+        assert "MapReduce rounds" in out
+
+    def test_script_file(self, ws, tmp_path, capsys):
+        run(ws, "generate", "pts", "--n", "200")
+        capsys.readouterr()
+        script = tmp_path / "job.pig"
+        script.write_text("p = LOAD 'pts'; STORE p INTO 'copy';")
+        assert run(ws, "pigeon", "--script", str(script)) == 0
+        capsys.readouterr()
+        assert run(ws, "ls") == 0
+        assert "copy" in capsys.readouterr().out
+
+    def test_bad_script(self, ws, capsys):
+        run(ws, "generate", "pts", "--n", "10")
+        capsys.readouterr()
+        assert run(ws, "pigeon", "-e", "p = LOAD 'missing';") == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExtensionCommands:
+    def test_knnjoin(self, ws, capsys):
+        run(ws, "generate", "a", "--n", "200", "--seed", "1")
+        run(ws, "generate", "b", "--n", "400", "--seed", "2")
+        run(ws, "index", "a", "ai")
+        run(ws, "index", "b", "bi")
+        capsys.readouterr()
+        assert run(ws, "knnjoin", "ai", "bi", "--k", "2") == 0
+        out = capsys.readouterr().out
+        assert "200 rows, k=2" in out
+
+    def test_knnjoin_heap_fallback(self, ws, capsys):
+        run(ws, "generate", "a", "--n", "50", "--seed", "1")
+        run(ws, "generate", "b", "--n", "50", "--seed", "2")
+        capsys.readouterr()
+        assert run(ws, "knnjoin", "a", "b") == 0
+        assert "50 rows" in capsys.readouterr().out
+
+    def test_rangecount(self, ws, capsys):
+        run(ws, "generate", "pts", "--n", "1000", "--seed", "3")
+        run(ws, "index", "pts", "idx")
+        capsys.readouterr()
+        assert run(ws, "rangecount", "idx", "--window", "0,0,1e6,1e6") == 0
+        assert "count: 1000" in capsys.readouterr().out
+
+    def test_rangecount_heap(self, ws, capsys):
+        run(ws, "generate", "pts", "--n", "300", "--seed", "4")
+        capsys.readouterr()
+        assert run(ws, "rangecount", "pts", "--window", "0,0,1e6,1e6") == 0
+        assert "count: 300" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Tests for Feature records and OperationResult accounting."""
+
+import pytest
+
+from repro.core import Feature, OperationResult
+from repro.geometry import Point, Rectangle
+from repro.mapreduce import Counters, JobResult
+from repro.mapreduce.cluster import TaskStats
+
+
+class TestFeature:
+    def test_mbr_delegates_to_shape(self):
+        f = Feature(Point(1, 2), {"name": "cafe"})
+        assert f.mbr == Rectangle(1, 2, 1, 2)
+
+    def test_attribute_access(self):
+        f = Feature(Point(0, 0), {"name": "park", "size": 3})
+        assert f["name"] == "park"
+        assert f.get("size") == 3
+        assert f.get("missing", 42) == 42
+        with pytest.raises(KeyError):
+            f["missing"]
+
+    def test_with_attributes_copies(self):
+        f = Feature(Point(0, 0), {"a": 1})
+        g = f.with_attributes(b=2)
+        assert g["a"] == 1 and g["b"] == 2
+        assert "b" not in f.attributes
+
+    def test_hashable(self):
+        a = Feature(Point(1, 1), {"k": "v"})
+        b = Feature(Point(1, 1), {"k": "v"})
+        assert len({a, b}) == 1
+
+    def test_indexable_like_shape(self):
+        from repro.index.partitioners.base import shape_mbr
+
+        f = Feature(Rectangle(0, 0, 2, 2), {"id": 1})
+        assert shape_mbr(f) == Rectangle(0, 0, 2, 2)
+
+
+def _job(makespan, blocks=1, **counters):
+    c = Counters()
+    for k, v in counters.items():
+        c.increment(k, v)
+    c.increment("BLOCKS_READ", blocks)
+    return JobResult(
+        output=[], counters=c, map_tasks=[TaskStats("m")], makespan=makespan
+    )
+
+
+class TestOperationResult:
+    def test_empty(self):
+        r = OperationResult(answer=None)
+        assert r.makespan == 0
+        assert r.rounds == 0
+        assert r.blocks_read == 0
+
+    def test_makespan_sums_jobs_and_extra(self):
+        r = OperationResult(
+            answer=[], jobs=[_job(1.5), _job(2.0)], extra_seconds=0.5
+        )
+        assert r.makespan == pytest.approx(4.0)
+        assert r.rounds == 2
+
+    def test_counters_merged(self):
+        r = OperationResult(
+            answer=[], jobs=[_job(1, blocks=3, X=5), _job(1, blocks=2, X=7)]
+        )
+        assert r.counters["X"] == 12
+        assert r.blocks_read == 5

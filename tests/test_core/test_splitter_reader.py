@@ -1,0 +1,116 @@
+"""Tests for the SpatialFileSplitter and SpatialRecordReader."""
+
+import pytest
+
+from repro.core import (
+    every_partition,
+    local_index_of,
+    overlapping_filter,
+    spatial_splitter,
+)
+from repro.core.splitter import global_index_of
+from repro.datagen import generate_points
+from repro.geometry import Rectangle
+from repro.index import build_index
+from repro.mapreduce import ClusterModel, FileSystem, Job, JobRunner
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+
+
+@pytest.fixture
+def indexed():
+    fs = FileSystem(default_block_capacity=100)
+    fs.create_file("pts", generate_points(1000, "uniform", seed=1, space=SPACE))
+    runner = JobRunner(fs, ClusterModel(num_nodes=4, job_overhead_s=0.0))
+    build_index(runner, "pts", "idx", "grid")
+    return runner
+
+
+class TestSplitter:
+    def test_requires_index(self, indexed):
+        job = Job(
+            input_file="pts", map_fn=lambda k, v, c: None, splitter=spatial_splitter()
+        )
+        with pytest.raises(ValueError, match="not spatially indexed"):
+            indexed.run(job)
+
+    def test_no_filter_reads_everything(self, indexed):
+        job = Job(
+            input_file="idx", map_fn=lambda k, v, c: None, splitter=spatial_splitter()
+        )
+        result = indexed.run(job)
+        assert result.blocks_read == indexed.fs.num_blocks("idx")
+
+    def test_every_partition_filter(self, indexed):
+        job = Job(
+            input_file="idx",
+            map_fn=lambda k, v, c: None,
+            splitter=spatial_splitter(every_partition),
+        )
+        result = indexed.run(job)
+        assert result.counters["BLOCKS_PRUNED"] == 0
+
+    def test_overlapping_filter_prunes(self, indexed):
+        query = Rectangle(0, 0, 100, 100)
+        job = Job(
+            input_file="idx",
+            map_fn=lambda k, v, c: None,
+            splitter=spatial_splitter(overlapping_filter(query)),
+        )
+        result = indexed.run(job)
+        assert 0 < result.blocks_read < indexed.fs.num_blocks("idx")
+
+    def test_splits_keyed_by_cell(self, indexed):
+        keys = []
+
+        def map_fn(key, _records, _ctx):
+            keys.append(key)
+
+        job = Job(
+            input_file="idx", map_fn=map_fn, splitter=spatial_splitter()
+        )
+        indexed.run(job)
+        assert all(isinstance(k, Rectangle) for k in keys)
+
+    def test_filter_sees_full_global_index(self, indexed):
+        seen = {}
+
+        def spy(gindex):
+            seen["cells"] = len(gindex)
+            return list(gindex)[:1]
+
+        job = Job(
+            input_file="idx", map_fn=lambda k, v, c: None, splitter=spatial_splitter(spy)
+        )
+        result = indexed.run(job)
+        assert seen["cells"] == len(global_index_of(indexed.fs, "idx"))
+        assert result.blocks_read == 1
+
+
+class TestReader:
+    def test_local_index_available_in_map(self, indexed):
+        found = []
+
+        def map_fn(_key, records, ctx):
+            local = local_index_of(ctx)
+            found.append(local is not None and len(local) == len(records))
+
+        job = Job(
+            input_file="idx", map_fn=map_fn, splitter=spatial_splitter()
+        )
+        indexed.run(job)
+        assert found and all(found)
+
+    def test_local_index_absent_on_heap_file(self, indexed):
+        found = []
+
+        def map_fn(_key, records, ctx):
+            found.append(local_index_of(ctx))
+
+        job = Job(input_file="pts", map_fn=map_fn)
+        indexed.run(job)
+        assert found and all(f is None for f in found)
+
+    def test_global_index_lookup(self, indexed):
+        assert global_index_of(indexed.fs, "idx") is not None
+        assert global_index_of(indexed.fs, "pts") is None

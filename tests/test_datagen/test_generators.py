@@ -1,0 +1,124 @@
+"""Tests for the synthetic workload generators."""
+
+import math
+
+import pytest
+
+from repro.datagen import (
+    DISTRIBUTIONS,
+    generate_points,
+    generate_polygons,
+    generate_rectangles,
+)
+from repro.geometry import Rectangle
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+
+
+class TestPoints:
+    @pytest.mark.parametrize("distribution", sorted(DISTRIBUTIONS))
+    def test_count_and_bounds(self, distribution):
+        pts = generate_points(500, distribution, seed=1, space=SPACE)
+        assert len(pts) == 500
+        for p in pts:
+            assert SPACE.contains_point(p)
+
+    @pytest.mark.parametrize("distribution", sorted(DISTRIBUTIONS))
+    def test_deterministic(self, distribution):
+        a = generate_points(100, distribution, seed=7, space=SPACE)
+        b = generate_points(100, distribution, seed=7, space=SPACE)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_points(100, "uniform", seed=1, space=SPACE)
+        b = generate_points(100, "uniform", seed=2, space=SPACE)
+        assert a != b
+
+    def test_zero_points(self):
+        assert generate_points(0, "uniform") == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            generate_points(-1, "uniform")
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            generate_points(10, "zipf")
+
+    def test_gaussian_concentrates_centrally(self):
+        pts = generate_points(2000, "gaussian", seed=3, space=SPACE)
+        central = Rectangle(250, 250, 750, 750)
+        # sigma = extent / 6, so the +-1.5 sigma box holds ~0.866^2 ~ 75%.
+        inside = sum(1 for p in pts if central.contains_point(p))
+        assert inside > 0.7 * len(pts)
+
+    def test_correlated_hugs_diagonal(self):
+        pts = generate_points(1000, "correlated", seed=4, space=SPACE)
+        avg_offset = sum(abs(p.x - p.y) for p in pts) / len(pts)
+        assert avg_offset < 150
+
+    def test_anti_correlated_hugs_antidiagonal(self):
+        pts = generate_points(1000, "anti_correlated", seed=5, space=SPACE)
+        avg_offset = sum(abs(p.x + p.y - 1000) for p in pts) / len(pts)
+        assert avg_offset < 150
+
+    def test_circular_on_annulus(self):
+        pts = generate_points(1000, "circular", seed=6, space=SPACE)
+        c = SPACE.center
+        radii = [math.hypot(p.x - c.x, p.y - c.y) for p in pts]
+        assert min(radii) > 0.9 * 500
+        assert max(radii) <= 500 + 1e-9
+
+
+class TestRectangles:
+    def test_count_bounds_validity(self):
+        rects = generate_rectangles(300, "uniform", seed=1, space=SPACE)
+        assert len(rects) == 300
+        for r in rects:
+            assert SPACE.contains_rect(r)
+
+    def test_side_fraction_controls_size(self):
+        small = generate_rectangles(
+            200, "uniform", seed=2, space=SPACE, avg_side_fraction=0.01
+        )
+        large = generate_rectangles(
+            200, "uniform", seed=2, space=SPACE, avg_side_fraction=0.1
+        )
+        avg = lambda rs: sum(r.area for r in rs) / len(rs)  # noqa: E731
+        assert avg(large) > 10 * avg(small)
+
+    def test_deterministic(self):
+        assert generate_rectangles(50, seed=9) == generate_rectangles(50, seed=9)
+
+
+class TestPolygons:
+    def test_count_and_validity(self):
+        polys = generate_polygons(100, "uniform", seed=1, space=SPACE)
+        assert len(polys) == 100
+        for p in polys:
+            assert p.area > 0
+            assert p.is_simple()
+            assert 3 <= len(p) <= 10
+
+    def test_all_simple_many_seeds(self):
+        for seed in range(5):
+            for p in generate_polygons(40, "uniform", seed=seed, space=SPACE):
+                assert p.is_simple()
+
+    def test_vertex_bounds_respected(self):
+        polys = generate_polygons(
+            50, "uniform", seed=2, space=SPACE, min_vertices=5, max_vertices=6
+        )
+        for p in polys:
+            assert 5 <= len(p) <= 6
+
+    def test_invalid_vertex_bounds(self):
+        with pytest.raises(ValueError):
+            generate_polygons(1, min_vertices=2)
+        with pytest.raises(ValueError):
+            generate_polygons(1, min_vertices=5, max_vertices=4)
+
+    def test_deterministic(self):
+        a = generate_polygons(30, seed=11)
+        b = generate_polygons(30, seed=11)
+        assert a == b

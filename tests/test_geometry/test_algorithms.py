@@ -1,0 +1,264 @@
+"""Unit + property tests for hull, pairs, skyline, clipping algorithms."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Polygon,
+    Rectangle,
+    clip_polygon,
+    clip_segment,
+    convex_hull,
+    closest_pair,
+    dominates,
+    farthest_pair,
+    skyline,
+)
+from repro.geometry.algorithms.closest_pair import closest_pair_bruteforce
+from repro.geometry.algorithms.convex_hull import point_in_convex_hull
+from repro.geometry.algorithms.farthest_pair import farthest_pair_bruteforce
+from repro.geometry.algorithms.skyline import skyline_bruteforce
+
+coords = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+point_lists = st.lists(points, min_size=0, max_size=60)
+
+# Integer grids provoke collinear/duplicate degeneracies.
+grid_points = st.builds(
+    Point,
+    st.integers(-8, 8).map(float),
+    st.integers(-8, 8).map(float),
+)
+grid_lists = st.lists(grid_points, min_size=0, max_size=40)
+
+
+def _pair_dist(pair):
+    return pair[0].distance(pair[1])
+
+
+class TestConvexHull:
+    def test_empty_and_tiny(self):
+        assert convex_hull([]) == []
+        assert convex_hull([Point(1, 1)]) == [Point(1, 1)]
+        assert len(convex_hull([Point(0, 0), Point(1, 1)])) == 2
+
+    def test_square_with_interior(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2), Point(1, 1)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert Point(1, 1) not in hull
+
+    def test_collinear_input(self):
+        pts = [Point(float(i), float(i)) for i in range(5)]
+        assert convex_hull(pts) == [Point(0, 0), Point(4, 4)]
+
+    def test_collinear_boundary_points_dropped(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        hull = convex_hull(pts)
+        assert Point(1, 0) not in hull
+
+    def test_hull_is_ccw(self):
+        random.seed(7)
+        pts = [Point(random.random(), random.random()) for _ in range(200)]
+        hull = convex_hull(pts)
+        assert Polygon(hull).is_ccw
+
+    @given(point_lists)
+    @settings(max_examples=60)
+    def test_hull_contains_all_points(self, pts):
+        hull = convex_hull(pts)
+        for p in pts:
+            assert point_in_convex_hull(p, hull)
+
+    @given(grid_lists)
+    @settings(max_examples=60)
+    def test_hull_vertices_are_input_points(self, pts):
+        hull = convex_hull(pts)
+        assert set(hull) <= set(pts)
+
+    @given(grid_lists)
+    @settings(max_examples=60)
+    def test_hull_idempotent(self, pts):
+        hull = convex_hull(pts)
+        assert convex_hull(hull) == hull
+
+
+class TestClosestPair:
+    def test_too_few(self):
+        assert closest_pair([]) is None
+        assert closest_pair([Point(1, 1)]) is None
+
+    def test_simple(self):
+        pts = [Point(0, 0), Point(10, 10), Point(0.5, 0), Point(5, 5)]
+        pair = closest_pair(pts)
+        assert {pair[0], pair[1]} == {Point(0, 0), Point(0.5, 0)}
+
+    def test_duplicates_give_zero(self):
+        pts = [Point(0, 0), Point(5, 5), Point(5, 5)]
+        pair = closest_pair(pts)
+        assert _pair_dist(pair) == 0
+
+    def test_matches_bruteforce_random(self):
+        random.seed(42)
+        pts = [Point(random.uniform(0, 100), random.uniform(0, 100)) for _ in range(300)]
+        assert math.isclose(
+            _pair_dist(closest_pair(pts)), _pair_dist(closest_pair_bruteforce(pts))
+        )
+
+    @given(st.lists(points, min_size=2, max_size=50))
+    @settings(max_examples=60)
+    def test_matches_bruteforce(self, pts):
+        fast = _pair_dist(closest_pair(pts))
+        slow = _pair_dist(closest_pair_bruteforce(pts))
+        assert math.isclose(fast, slow, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(st.lists(grid_points, min_size=2, max_size=40))
+    @settings(max_examples=60)
+    def test_matches_bruteforce_degenerate(self, pts):
+        fast = _pair_dist(closest_pair(pts))
+        slow = _pair_dist(closest_pair_bruteforce(pts))
+        assert math.isclose(fast, slow, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestFarthestPair:
+    def test_too_few(self):
+        assert farthest_pair([]) is None
+        assert farthest_pair([Point(1, 1), Point(1, 1)]) is None
+
+    def test_simple(self):
+        pts = [Point(0, 0), Point(1, 1), Point(10, 0)]
+        assert _pair_dist(farthest_pair(pts)) == 10
+
+    @given(st.lists(points, min_size=2, max_size=50))
+    @settings(max_examples=60)
+    def test_matches_bruteforce(self, pts):
+        fast = farthest_pair(pts)
+        slow = farthest_pair_bruteforce(pts)
+        if slow is None:
+            assert fast is None
+        else:
+            assert math.isclose(
+                _pair_dist(fast), _pair_dist(slow), rel_tol=1e-9, abs_tol=1e-9
+            )
+
+    @given(st.lists(grid_points, min_size=2, max_size=40))
+    @settings(max_examples=60)
+    def test_matches_bruteforce_degenerate(self, pts):
+        fast = farthest_pair(pts)
+        slow = farthest_pair_bruteforce(pts)
+        if slow is None:
+            assert fast is None
+        else:
+            assert math.isclose(
+                _pair_dist(fast), _pair_dist(slow), rel_tol=1e-9, abs_tol=1e-9
+            )
+
+
+class TestSkyline:
+    def test_dominates(self):
+        assert dominates(Point(2, 2), Point(1, 1))
+        assert dominates(Point(2, 1), Point(1, 1))
+        assert not dominates(Point(1, 1), Point(1, 1))
+        assert not dominates(Point(2, 0), Point(1, 1))
+
+    def test_simple(self):
+        pts = [Point(1, 3), Point(2, 2), Point(3, 1), Point(1, 1)]
+        assert skyline(pts) == [Point(1, 3), Point(2, 2), Point(3, 1)]
+
+    def test_single_dominator(self):
+        pts = [Point(5, 5), Point(1, 1), Point(2, 3)]
+        assert skyline(pts) == [Point(5, 5)]
+
+    @given(point_lists)
+    @settings(max_examples=60)
+    def test_matches_bruteforce(self, pts):
+        assert sorted(skyline(pts)) == skyline_bruteforce(pts)
+
+    @given(st.lists(grid_points, max_size=40))
+    @settings(max_examples=60)
+    def test_no_skyline_point_dominated(self, pts):
+        sky = skyline(pts)
+        for p in sky:
+            assert not any(dominates(q, p) for q in pts)
+
+    @given(st.lists(grid_points, max_size=40))
+    @settings(max_examples=60)
+    def test_every_point_dominated_or_on_skyline(self, pts):
+        sky = set(skyline(pts))
+        for p in pts:
+            if p not in sky:
+                assert any(dominates(q, p) for q in sky)
+
+
+class TestClipping:
+    def test_clip_polygon_fully_inside(self):
+        tri = Polygon([Point(1, 1), Point(2, 1), Point(1.5, 2)])
+        clipped = clip_polygon(tri, Rectangle(0, 0, 10, 10))
+        assert clipped is not None
+        assert math.isclose(clipped.area, tri.area)
+
+    def test_clip_polygon_fully_outside(self):
+        tri = Polygon([Point(1, 1), Point(2, 1), Point(1.5, 2)])
+        assert clip_polygon(tri, Rectangle(5, 5, 6, 6)) is None
+
+    def test_clip_polygon_half(self):
+        sq = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        clipped = clip_polygon(sq, Rectangle(1, 0, 5, 5))
+        assert clipped is not None
+        assert math.isclose(clipped.area, 2.0)
+
+    def test_clip_rect_window_corner(self):
+        tri = Polygon([Point(0, 0), Point(4, 0), Point(0, 4)])
+        clipped = clip_polygon(tri, Rectangle(-1, -1, 1, 1))
+        assert clipped is not None
+        assert math.isclose(clipped.area, 1.0)
+
+    def test_clip_segment_inside(self):
+        r = Rectangle(0, 0, 10, 10)
+        assert clip_segment(Point(1, 1), Point(2, 2), r) == (Point(1, 1), Point(2, 2))
+
+    def test_clip_segment_crossing(self):
+        r = Rectangle(0, 0, 1, 1)
+        a, b = clip_segment(Point(-1, 0.5), Point(2, 0.5), r)
+        assert a.almost_equals(Point(0, 0.5))
+        assert b.almost_equals(Point(1, 0.5))
+
+    def test_clip_segment_outside(self):
+        r = Rectangle(0, 0, 1, 1)
+        assert clip_segment(Point(2, 2), Point(3, 3), r) is None
+
+    def test_clip_segment_corner_graze_degenerates(self):
+        # The segment touches the window only at the corner point (0, 1):
+        # a zero-length clip result is reported as None.
+        r = Rectangle(0, 0, 1, 1)
+        assert clip_segment(Point(-1, 0), Point(1, 2), r) is None
+
+    def test_clip_segment_diagonal_through_corner_region(self):
+        r = Rectangle(0, 0, 1, 1)
+        res = clip_segment(Point(-1, -0.5), Point(2, 1.0), r)
+        assert res is not None
+        a, b = res
+        assert r.contains_point(a) and r.contains_point(b)
+
+    @given(
+        st.lists(points, min_size=3, max_size=8),
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+        st.floats(1, 200),
+        st.floats(1, 200),
+    )
+    @settings(max_examples=40)
+    def test_clip_area_never_exceeds_inputs(self, pts, x, y, w, h):
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        poly = Polygon(hull)
+        rect = Rectangle(x, y, x + w, y + h)
+        clipped = clip_polygon(poly, rect)
+        if clipped is not None:
+            assert clipped.area <= poly.area + 1e-6
+            assert clipped.area <= rect.area + 1e-6

@@ -1,0 +1,194 @@
+"""Tests for Delaunay triangulation and the Voronoi dual.
+
+scipy.spatial.Delaunay is used as an oracle where available — the library
+itself never imports scipy.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.spatial import Delaunay as ScipyDelaunay
+
+from repro.geometry import Point, Rectangle
+from repro.geometry.algorithms.delaunay import Triangle, circumcenter, delaunay
+from repro.geometry.algorithms.voronoi import voronoi
+
+coords = st.floats(0, 1000, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+def random_points(n, seed):
+    rng = random.Random(seed)
+    return sorted({Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(n)})
+
+
+class TestCircumcenter:
+    def test_right_triangle(self):
+        c = circumcenter(Point(0, 0), Point(2, 0), Point(0, 2))
+        assert c.almost_equals(Point(1, 1))
+
+    def test_equidistant(self):
+        pts = [Point(1, 7), Point(4, 2), Point(9, 5)]
+        c = circumcenter(*pts)
+        d = [c.distance(p) for p in pts]
+        assert math.isclose(d[0], d[1]) and math.isclose(d[1], d[2])
+
+    def test_collinear_returns_none(self):
+        assert circumcenter(Point(0, 0), Point(1, 1), Point(2, 2)) is None
+
+
+class TestDelaunay:
+    def test_degenerate_inputs(self):
+        assert delaunay([]).triangles == []
+        assert delaunay([Point(0, 0)]).triangles == []
+        assert delaunay([Point(0, 0), Point(1, 1)]).triangles == []
+
+    def test_collinear_no_triangles(self):
+        pts = [Point(float(i), float(i)) for i in range(5)]
+        assert delaunay(pts).triangles == []
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            delaunay([Point(0, 0), Point(0, 0), Point(1, 1)])
+
+    def test_single_triangle(self):
+        tri = delaunay([Point(0, 0), Point(4, 0), Point(0, 4)])
+        assert len(tri.triangles) == 1
+        assert set(tri.triangles[0].vertices) == {0, 1, 2}
+
+    def test_square_two_triangles(self):
+        tri = delaunay([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        assert len(tri.triangles) == 2
+
+    @pytest.mark.parametrize("n,seed", [(50, 1), (150, 2), (400, 3)])
+    def test_matches_scipy(self, n, seed):
+        pts = random_points(n, seed)
+        ours = {frozenset(t.vertices) for t in delaunay(pts).triangles}
+        sci = ScipyDelaunay(np.array([(p.x, p.y) for p in pts]))
+        theirs = {frozenset(map(int, s)) for s in sci.simplices}
+        assert ours == theirs
+
+    def test_empty_circumcircle_property(self):
+        pts = random_points(120, 4)
+        tri = delaunay(pts)
+        from repro.geometry.algorithms.delaunay import _in_circumcircle
+
+        for t in tri.triangles[:40]:
+            a, b, c = pts[t.a], pts[t.b], pts[t.c]
+            # Ensure CCW for the incircle test.
+            if (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x) < 0:
+                b, c = c, b
+            for p in pts:
+                if p not in (a, b, c):
+                    assert not _in_circumcircle(p, a, b, c)
+
+    def test_neighbors_symmetric(self):
+        pts = random_points(80, 5)
+        nbrs = delaunay(pts).neighbors_of()
+        for u, vs in nbrs.items():
+            for v in vs:
+                assert u in nbrs[v]
+
+    # Grid-valued coordinates keep hypothesis away from sub-epsilon sliver
+    # triangles where the test's tolerance-based hull oracle and the exact
+    # Delaunay predicates legitimately disagree.
+    grid_points = st.builds(
+        Point,
+        st.integers(0, 500).map(lambda v: v / 2.0),
+        st.integers(0, 500).map(lambda v: v / 2.0),
+    )
+
+    @given(st.lists(grid_points, min_size=3, max_size=30, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_count_euler(self, pts):
+        # For n non-collinear points with h hull points:
+        # triangles = 2n - h - 2 (Euler's formula).
+        tri = delaunay(pts)
+        from repro.geometry.algorithms.convex_hull import convex_hull
+
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            assert tri.triangles == []
+        else:
+            # Collinear points on the hull boundary are dropped from our
+            # hull; count them back as boundary vertices.
+            boundary = _boundary_count(pts, hull)
+            assert len(tri.triangles) == 2 * len(pts) - boundary - 2
+
+
+def _boundary_count(pts, hull):
+    from repro.geometry.segment import point_on_segment
+
+    count = 0
+    n = len(hull)
+    for p in pts:
+        for i in range(n):
+            if point_on_segment(p, hull[i], hull[(i + 1) % n]):
+                count += 1
+                break
+    return count
+
+
+class TestVoronoi:
+    def test_interior_sites_closed(self):
+        # 3x3 grid: the middle site is interior with a closed square region.
+        pts = [Point(float(x), float(y)) for x in (0, 1, 2) for y in (0, 1, 2)]
+        vd = voronoi(pts)
+        centre = pts.index(Point(1, 1))
+        region = vd.regions[centre]
+        assert region.closed
+        poly = region.polygon()
+        assert math.isclose(poly.area, 1.0)  # the unit square around (1,1)
+
+    def test_boundary_sites_open(self):
+        pts = [Point(float(x), float(y)) for x in (0, 1, 2) for y in (0, 1, 2)]
+        vd = voronoi(pts)
+        open_count = sum(1 for r in vd.regions if not r.closed)
+        assert open_count == 8  # everything except the centre
+
+    def test_degenerate_all_open(self):
+        vd = voronoi([Point(0, 0), Point(5, 5)])
+        assert all(not r.closed for r in vd.regions)
+
+    def test_region_nearest_site_property(self):
+        pts = random_points(200, 6)
+        vd = voronoi(pts)
+        rng = random.Random(7)
+        closed = [r for r in vd.regions if r.closed]
+        for region in rng.sample(closed, min(30, len(closed))):
+            poly = region.polygon()
+            probe = poly.mbr.center
+            if poly.strictly_contains_point(probe):
+                nearest = min(pts, key=lambda s: s.distance(probe))
+                assert math.isclose(
+                    nearest.distance(probe), region.site.distance(probe), rel_tol=1e-9
+                )
+
+    def test_region_vertices_equidistant_to_site(self):
+        pts = random_points(100, 8)
+        vd = voronoi(pts)
+        for region in vd.regions:
+            if region.closed:
+                for v, r in zip(region.vertices, region.radii):
+                    assert math.isclose(v.distance(region.site), r, rel_tol=1e-9)
+
+    def test_dangerous_zone_test(self):
+        pts = [Point(float(x), float(y)) for x in (0, 1, 2) for y in (0, 1, 2)]
+        vd = voronoi(pts)
+        centre = vd.regions[pts.index(Point(1, 1))]
+        # The centre's dangerous zone is the circle of radius sqrt(2)/2 * 2
+        # around its 4 square corners: contained in a big box, not a tight one.
+        assert centre.dangerous_zone_inside(Rectangle(-2, -2, 4, 4))
+        assert not centre.dangerous_zone_inside(Rectangle(0.9, 0.9, 1.1, 1.1))
+
+    def test_open_region_never_safe(self):
+        pts = random_points(50, 9)
+        vd = voronoi(pts)
+        huge = Rectangle(-1e9, -1e9, 1e9, 1e9)
+        for region in vd.regions:
+            if not region.closed:
+                assert not region.dangerous_zone_inside(huge)

@@ -1,0 +1,92 @@
+"""Coverage for small helpers: common utils, distance bounds, WKT errors."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Polygon, Rectangle, parse_wkt
+from repro.geometry.common import almost_equal, almost_zero
+
+
+class TestCommon:
+    def test_almost_equal(self):
+        assert almost_equal(1.0, 1.0 + 1e-12)
+        assert not almost_equal(1.0, 1.0001)
+        assert almost_equal(5, 6, eps=2)
+
+    def test_almost_zero(self):
+        assert almost_zero(1e-12)
+        assert not almost_zero(0.001)
+        assert almost_zero(0.5, eps=1)
+
+
+class TestDistanceBounds:
+    def test_max_distance_rect_disjoint(self):
+        a = Rectangle(0, 0, 1, 1)
+        b = Rectangle(4, 3, 5, 4)
+        # Farthest corners: (0,0) and (5,4).
+        assert a.max_distance_rect(b) == pytest.approx(math.hypot(5, 4))
+
+    def test_max_distance_rect_symmetric(self):
+        a = Rectangle(0, 0, 2, 3)
+        b = Rectangle(-4, 1, -1, 8)
+        assert a.max_distance_rect(b) == pytest.approx(b.max_distance_rect(a))
+
+    def test_max_distance_rect_nested(self):
+        outer = Rectangle(0, 0, 10, 10)
+        inner = Rectangle(4, 4, 5, 5)
+        # Max distance realised between opposite far corners.
+        assert outer.max_distance_rect(inner) == pytest.approx(
+            math.hypot(10 - 4, 10 - 4)
+        )
+
+    def test_farthest_pair_lower_bound(self):
+        a = Rectangle(0, 0, 1, 1)
+        b = Rectangle(9, 0, 10, 1)
+        # Points on a's left edge and b's right edge are >= 10 apart in x.
+        assert a.farthest_pair_lower_bound(b) == pytest.approx(10)
+
+    def test_lower_bound_below_upper_bound(self):
+        a = Rectangle(0, 0, 3, 2)
+        b = Rectangle(1, 5, 7, 9)
+        assert a.farthest_pair_lower_bound(b) <= a.max_distance_rect(b)
+
+
+class TestWktErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "LINESTRING (1 1)",      # one point
+            "POLYGON ((0 0, 1 1))",  # two vertices
+            "POINT (1, 2)",          # comma inside point
+            "RECT (0 0)",            # half a rect
+        ],
+    )
+    def test_malformed_shapes(self, text):
+        with pytest.raises(ValueError):
+            parse_wkt(text)
+
+    def test_polygon_wkt_closing_vertex_tolerated(self):
+        p = parse_wkt("POLYGON ((0 0, 2 0, 1 2, 0 0))")
+        assert isinstance(p, Polygon)
+        assert len(p) == 3
+
+
+class TestPolygonExtras:
+    def test_from_rectangle_roundtrip(self):
+        rect = Rectangle(1, 2, 5, 7)
+        poly = Polygon.from_rectangle(rect)
+        assert poly.mbr == rect
+        assert poly.area == rect.area
+
+    def test_normalized_is_idempotent(self):
+        p = Polygon([Point(0, 0), Point(0, 2), Point(2, 2), Point(2, 0)])  # CW
+        n1 = p.normalized()
+        assert n1.is_ccw
+        assert n1.normalized() == n1
+
+    def test_str_repeats_first_vertex(self):
+        p = Polygon([Point(0, 0), Point(1, 0), Point(0, 1)])
+        text = str(p)
+        assert text.startswith("POLYGON ((")
+        assert text.count("0 0") == 2  # open + close

@@ -1,0 +1,167 @@
+"""Unit tests for Point and Rectangle primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rectangle
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rectangles(draw):
+    x1 = draw(coords)
+    y1 = draw(coords)
+    w = draw(st.floats(0, 1e5))
+    h = draw(st.floats(0, 1e5))
+    return Rectangle(x1, y1, x1 + w, y1 + h)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance(Point(3, 4)) == 5.0
+
+    def test_distance_sq(self):
+        assert Point(1, 1).distance_sq(Point(4, 5)) == 25.0
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 1) < Point(1, 2)
+
+    def test_translate(self):
+        assert Point(1, 2).translate(3, -1) == Point(4, 1)
+
+    def test_mbr_is_degenerate(self):
+        mbr = Point(2, 3).mbr
+        assert mbr == Rectangle(2, 3, 2, 3)
+        assert mbr.area == 0
+
+    def test_iter_and_tuple(self):
+        assert tuple(Point(1, 2)) == (1, 2)
+        assert Point(1, 2).as_tuple() == (1, 2)
+
+    def test_str_is_wkt(self):
+        assert str(Point(1.5, -2)) == "POINT (1.5 -2)"
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance(b) == b.distance(a)
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance(c) <= a.distance(b) + b.distance(c) + 1e-6
+
+
+class TestRectangle:
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            Rectangle(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rectangle(0, 1, 1, 0)
+
+    def test_measures(self):
+        r = Rectangle(0, 0, 4, 3)
+        assert r.width == 4
+        assert r.height == 3
+        assert r.area == 12
+        assert r.margin == 7
+        assert r.center == Point(2, 1.5)
+
+    def test_contains_point_closed(self):
+        r = Rectangle(0, 0, 1, 1)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(1, 1))
+        assert r.contains_point(Point(0.5, 0.5))
+        assert not r.contains_point(Point(1.0001, 0.5))
+
+    def test_contains_point_left_inclusive(self):
+        r = Rectangle(0, 0, 1, 1)
+        assert r.contains_point_left_inclusive(Point(0, 0))
+        assert not r.contains_point_left_inclusive(Point(1, 0.5))
+        assert not r.contains_point_left_inclusive(Point(0.5, 1))
+
+    def test_intersects_touching(self):
+        a = Rectangle(0, 0, 1, 1)
+        b = Rectangle(1, 0, 2, 1)
+        assert a.intersects(b)
+        assert not a.intersects_open(b)
+
+    def test_intersection(self):
+        a = Rectangle(0, 0, 2, 2)
+        b = Rectangle(1, 1, 3, 3)
+        assert a.intersection(b) == Rectangle(1, 1, 2, 2)
+        assert a.intersection(Rectangle(5, 5, 6, 6)) is None
+
+    def test_union(self):
+        a = Rectangle(0, 0, 1, 1)
+        b = Rectangle(2, 2, 3, 3)
+        assert a.union(b) == Rectangle(0, 0, 3, 3)
+
+    def test_contains_rect(self):
+        outer = Rectangle(0, 0, 10, 10)
+        assert outer.contains_rect(Rectangle(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rectangle(5, 5, 11, 6))
+
+    def test_expand(self):
+        assert Rectangle(0, 0, 1, 1).expand(1) == Rectangle(-1, -1, 2, 2)
+
+    def test_min_distance_point(self):
+        r = Rectangle(0, 0, 1, 1)
+        assert r.min_distance_point(Point(0.5, 0.5)) == 0
+        assert r.min_distance_point(Point(2, 0.5)) == 1
+        assert r.min_distance_point(Point(4, 5)) == 5  # 3-4-5 from corner
+
+    def test_max_distance_point(self):
+        r = Rectangle(0, 0, 1, 1)
+        assert r.max_distance_point(Point(0, 0)) == math.sqrt(2)
+
+    def test_min_distance_rect(self):
+        a = Rectangle(0, 0, 1, 1)
+        assert a.min_distance_rect(Rectangle(4, 5, 6, 7)) == 5.0
+        assert a.min_distance_rect(Rectangle(0.5, 0.5, 2, 2)) == 0.0
+
+    def test_from_points(self):
+        mbr = Rectangle.from_points([Point(1, 5), Point(-2, 3), Point(0, 8)])
+        assert mbr == Rectangle(-2, 3, 1, 8)
+        with pytest.raises(ValueError):
+            Rectangle.from_points([])
+
+    def test_reference_point_disjoint_ownership(self):
+        left = Rectangle(0, 0, 1, 2)
+        right = Rectangle(1, 0, 2, 2)
+        record = Rectangle(0.8, 0.5, 1.2, 0.7)  # spans both partitions
+        owners = [r for r in (left, right) if r.reference_point(record)]
+        assert owners == [left]
+
+    def test_buffer_interior(self):
+        r = Rectangle(0, 0, 10, 10)
+        assert r.buffer_interior(2) == Rectangle(2, 2, 8, 8)
+        # Over-shrinking collapses without inverting.
+        small = r.buffer_interior(100)
+        assert small.area == 0
+
+    @given(rectangles(), rectangles())
+    def test_intersection_commutes(self, a, b):
+        ab = a.intersection(b)
+        ba = b.intersection(a)
+        assert ab == ba
+
+    @given(rectangles(), rectangles())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rectangles(), st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+    def test_min_le_max_distance(self, r, x, y):
+        p = Point(x, y)
+        assert r.min_distance_point(p) <= r.max_distance_point(p) + 1e-9

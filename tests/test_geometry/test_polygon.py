@@ -1,0 +1,146 @@
+"""Unit tests for Polygon and LineString."""
+
+import math
+
+import pytest
+
+from repro.geometry import LineString, Point, Polygon, Rectangle
+
+
+def square(x=0.0, y=0.0, side=1.0):
+    return Polygon(
+        [Point(x, y), Point(x + side, y), Point(x + side, y + side), Point(x, y + side)]
+    )
+
+
+class TestPolygonBasics:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_tolerates_closed_input(self):
+        p = Polygon([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 0)])
+        assert len(p) == 3
+
+    def test_area_square(self):
+        assert square(side=2).area == 4
+
+    def test_signed_area_ccw_positive(self):
+        assert square().signed_area > 0
+        cw = Polygon([Point(0, 0), Point(0, 1), Point(1, 1), Point(1, 0)])
+        assert cw.signed_area < 0
+        assert not cw.is_ccw
+
+    def test_perimeter(self):
+        assert square(side=3).perimeter == 12
+
+    def test_mbr(self):
+        tri = Polygon([Point(0, 0), Point(4, 0), Point(2, 3)])
+        assert tri.mbr == Rectangle(0, 0, 4, 3)
+
+    def test_normalized_equality(self):
+        a = Polygon([Point(0, 0), Point(1, 0), Point(1, 1)])
+        b = Polygon([Point(1, 1), Point(0, 0), Point(1, 0)])  # rotated
+        c = Polygon([Point(1, 0), Point(0, 0), Point(1, 1)])  # reversed
+        assert a.normalized() == b.normalized() == c.normalized()
+
+
+class TestContainment:
+    def test_interior_point(self):
+        assert square(side=2).contains_point(Point(1, 1))
+
+    def test_boundary_point_closed(self):
+        assert square().contains_point(Point(0.5, 0))
+        assert square().contains_point(Point(0, 0))
+
+    def test_boundary_point_open(self):
+        assert not square().strictly_contains_point(Point(0.5, 0))
+        assert square().strictly_contains_point(Point(0.5, 0.5))
+
+    def test_outside(self):
+        assert not square().contains_point(Point(2, 2))
+
+    def test_concave_polygon(self):
+        # A "C" shape: the notch is outside.
+        c_shape = Polygon(
+            [
+                Point(0, 0),
+                Point(3, 0),
+                Point(3, 1),
+                Point(1, 1),
+                Point(1, 2),
+                Point(3, 2),
+                Point(3, 3),
+                Point(0, 3),
+            ]
+        )
+        assert c_shape.contains_point(Point(0.5, 1.5))
+        assert not c_shape.contains_point(Point(2, 1.5))  # inside the notch
+
+    def test_ray_through_vertex(self):
+        diamond = Polygon([Point(0, -1), Point(1, 0), Point(0, 1), Point(-1, 0)])
+        assert diamond.contains_point(Point(0, 0))
+        assert not diamond.contains_point(Point(2, 0))
+
+
+class TestIntersections:
+    def test_intersects_rect_overlap(self):
+        assert square(side=2).intersects_rect(Rectangle(1, 1, 3, 3))
+
+    def test_intersects_rect_contained(self):
+        assert square(side=4).intersects_rect(Rectangle(1, 1, 2, 2))
+        assert square().intersects_rect(Rectangle(-1, -1, 2, 2))
+
+    def test_intersects_rect_disjoint(self):
+        assert not square().intersects_rect(Rectangle(5, 5, 6, 6))
+
+    def test_intersects_rect_edge_crossing_no_vertex_inside(self):
+        # Thin rectangle crossing the middle of a big polygon.
+        assert square(side=10).intersects_rect(Rectangle(-1, 4, 11, 5))
+
+    def test_intersects_polygon(self):
+        assert square(side=2).intersects_polygon(square(1, 1, 2))
+        assert not square().intersects_polygon(square(5, 5))
+
+    def test_intersects_polygon_containment(self):
+        assert square(side=10).intersects_polygon(square(4, 4, 1))
+
+    def test_is_convex(self):
+        assert square().is_convex()
+        concave = Polygon(
+            [Point(0, 0), Point(4, 0), Point(4, 4), Point(2, 1), Point(0, 4)]
+        )
+        assert not concave.is_convex()
+
+    def test_from_rectangle(self):
+        p = Polygon.from_rectangle(Rectangle(0, 0, 2, 1))
+        assert p.area == 2
+        assert p.is_ccw
+
+
+class TestLineString:
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            LineString([Point(0, 0)])
+
+    def test_length(self):
+        ls = LineString([Point(0, 0), Point(3, 4), Point(3, 8)])
+        assert ls.length == 9
+
+    def test_mbr(self):
+        ls = LineString([Point(0, 5), Point(2, 1)])
+        assert ls.mbr == Rectangle(0, 1, 2, 5)
+
+    def test_intersects_rect(self):
+        ls = LineString([Point(-1, 0.5), Point(2, 0.5)])
+        assert ls.intersects_rect(Rectangle(0, 0, 1, 1))
+        assert not ls.intersects_rect(Rectangle(0, 2, 1, 3))
+
+    def test_intersects_rect_crossing_only(self):
+        # Neither endpoint inside, but the segment crosses the rectangle.
+        ls = LineString([Point(-1, -1), Point(2, 2)])
+        assert ls.intersects_rect(Rectangle(0, 0, 1, 1))
+
+    def test_diagonal_length(self):
+        ls = LineString([Point(0, 0), Point(1, 1)])
+        assert math.isclose(ls.length, math.sqrt(2))

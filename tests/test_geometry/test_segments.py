@@ -1,0 +1,128 @@
+"""Unit and property tests for segment predicates."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Segment,
+    orientation,
+    point_on_segment,
+    segment_intersection,
+    segments_intersect,
+)
+
+coords = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) == 1
+
+    def test_cw(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, -1)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    @given(points, points, points)
+    def test_antisymmetry(self, a, b, c):
+        assert orientation(a, b, c) == -orientation(a, c, b)
+
+
+class TestPointOnSegment:
+    def test_midpoint(self):
+        assert point_on_segment(Point(1, 1), Point(0, 0), Point(2, 2))
+
+    def test_endpoint(self):
+        assert point_on_segment(Point(0, 0), Point(0, 0), Point(2, 2))
+
+    def test_off_line(self):
+        assert not point_on_segment(Point(1, 2), Point(0, 0), Point(2, 2))
+
+    def test_on_line_beyond_segment(self):
+        assert not point_on_segment(Point(3, 3), Point(0, 0), Point(2, 2))
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)
+        )
+
+    def test_disjoint(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+        )
+
+    def test_touching_at_endpoint(self):
+        assert segments_intersect(
+            Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0)
+        )
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0)
+        )
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)
+        )
+
+    def test_t_junction(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 0), Point(1, -1), Point(1, 0)
+        )
+
+    @given(points, points, points, points)
+    def test_symmetry(self, a, b, c, d):
+        assert segments_intersect(a, b, c, d) == segments_intersect(c, d, a, b)
+
+
+class TestSegmentIntersection:
+    def test_crossing_point(self):
+        x = segment_intersection(Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0))
+        assert x is not None
+        assert x.almost_equals(Point(1, 1))
+
+    def test_parallel_returns_none(self):
+        assert (
+            segment_intersection(Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1))
+            is None
+        )
+
+    def test_non_intersecting_lines_cross_outside(self):
+        assert (
+            segment_intersection(Point(0, 0), Point(1, 1), Point(3, 0), Point(4, 1))
+            is None
+        )
+
+    @given(points, points, points, points)
+    def test_intersection_point_lies_on_both(self, a, b, c, d):
+        x = segment_intersection(a, b, c, d)
+        if x is not None:
+            # Tolerances scale with coordinate magnitudes near-parallel cases.
+            assert Segment(a, b).distance_point(x) < 1e-3
+            assert Segment(c, d).distance_point(x) < 1e-3
+
+
+class TestSegment:
+    def test_length_and_midpoint(self):
+        s = Segment(Point(0, 0), Point(3, 4))
+        assert s.length == 5
+        assert s.midpoint == Point(1.5, 2)
+
+    def test_mbr(self):
+        s = Segment(Point(3, 1), Point(0, 4))
+        assert s.mbr.as_tuple() == (0, 1, 3, 4)
+
+    def test_distance_point(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_point(Point(5, 3)) == 3
+        assert s.distance_point(Point(-3, 4)) == 5  # clamps to endpoint
+
+    def test_degenerate_segment(self):
+        s = Segment(Point(1, 1), Point(1, 1))
+        assert s.distance_point(Point(4, 5)) == 5

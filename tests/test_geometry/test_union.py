@@ -1,0 +1,147 @@
+"""Tests for polygon grouping and union."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Point, Polygon, group_overlapping, polygon_union
+from repro.geometry.algorithms.union import (
+    DisjointSet,
+    point_covered,
+    point_in_rings,
+)
+
+
+def square(x=0.0, y=0.0, side=1.0):
+    return Polygon(
+        [Point(x, y), Point(x + side, y), Point(x + side, y + side), Point(x, y + side)]
+    )
+
+
+class TestDisjointSet:
+    def test_initial_singletons(self):
+        ds = DisjointSet(3)
+        assert len(ds.groups()) == 3
+
+    def test_union_merges(self):
+        ds = DisjointSet(4)
+        ds.union(0, 1)
+        ds.union(2, 3)
+        assert len(ds.groups()) == 2
+        ds.union(1, 2)
+        assert len(ds.groups()) == 1
+
+    def test_union_idempotent(self):
+        ds = DisjointSet(2)
+        ds.union(0, 1)
+        ds.union(0, 1)
+        assert ds.find(0) == ds.find(1)
+
+
+class TestGrouping:
+    def test_disjoint_polygons_stay_apart(self):
+        groups = group_overlapping([square(0, 0), square(5, 5), square(10, 10)])
+        assert len(groups) == 3
+
+    def test_overlapping_chain_merges(self):
+        # a overlaps b, b overlaps c, a and c are disjoint -> one group.
+        a, b, c = square(0, 0, 2), square(1.5, 0, 2), square(3, 0, 2)
+        groups = group_overlapping([a, c, b])
+        assert len(groups) == 1
+
+    def test_mixed(self):
+        groups = group_overlapping(
+            [square(0, 0, 2), square(1, 1, 2), square(10, 10, 2)]
+        )
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 2]
+
+
+class TestUnion:
+    def test_empty(self):
+        assert polygon_union([]) == []
+
+    def test_single(self):
+        result = polygon_union([square()])
+        assert len(result) == 1
+        assert math.isclose(result[0].area, 1.0)
+
+    def test_disjoint_pass_through(self):
+        result = polygon_union([square(0, 0), square(5, 5)])
+        assert len(result) == 2
+        assert math.isclose(sum(p.area for p in result), 2.0)
+
+    def test_two_overlapping_squares_area(self):
+        # Two unit squares overlapping in a 0.5 x 1 band: union area = 1.5.
+        result = polygon_union([square(0, 0), square(0.5, 0)])
+        assert len(result) == 1
+        assert math.isclose(result[0].area, 1.5, rel_tol=1e-9)
+
+    def test_contained_polygon_absorbed(self):
+        result = polygon_union([square(0, 0, 4), square(1, 1, 1)])
+        assert len(result) == 1
+        assert math.isclose(result[0].area, 16.0)
+
+    def test_cross_shape(self):
+        horizontal = Polygon(
+            [Point(0, 1), Point(3, 1), Point(3, 2), Point(0, 2)]
+        )
+        vertical = Polygon([Point(1, 0), Point(2, 0), Point(2, 3), Point(1, 3)])
+        result = polygon_union([horizontal, vertical])
+        assert len(result) == 1
+        assert math.isclose(result[0].area, 3 + 3 - 1)
+
+    def test_ring_of_squares_creates_hole(self):
+        # Four overlapping rectangles forming a ring around (2,2)..(3,3).
+        bottom = Polygon([Point(0, 0), Point(5, 0), Point(5, 1.5), Point(0, 1.5)])
+        top = Polygon([Point(0, 3.5), Point(5, 3.5), Point(5, 5), Point(0, 5)])
+        left = Polygon([Point(0, 0), Point(1.5, 0), Point(1.5, 5), Point(0, 5)])
+        right = Polygon([Point(3.5, 0), Point(5, 0), Point(5, 5), Point(3.5, 5)])
+        rings = polygon_union([bottom, top, left, right])
+        assert len(rings) == 2  # outer boundary + hole
+        # The hole ring comes out clockwise, the outer ring counter-clockwise.
+        orientations = sorted(r.is_ccw for r in rings)
+        assert orientations == [False, True]
+        assert not point_in_rings(Point(2.5, 2.5), rings)
+        assert point_in_rings(Point(0.5, 0.5), rings)
+
+    def test_union_matches_point_sampling_oracle(self):
+        random.seed(3)
+        polys = []
+        for _ in range(12):
+            x, y = random.uniform(0, 10), random.uniform(0, 10)
+            side = random.uniform(0.5, 3)
+            polys.append(square(x, y, side))
+        rings = polygon_union(polys)
+        for _ in range(400):
+            p = Point(random.uniform(-1, 14), random.uniform(-1, 14))
+            assert point_in_rings(p, rings) == point_covered(p, polys)
+
+    def test_union_of_random_triangles_oracle(self):
+        random.seed(11)
+        polys = []
+        for _ in range(10):
+            cx, cy = random.uniform(0, 8), random.uniform(0, 8)
+            pts = [
+                Point(cx + random.uniform(-2, 2), cy + random.uniform(-2, 2))
+                for _ in range(3)
+            ]
+            try:
+                poly = Polygon(pts)
+            except ValueError:
+                continue
+            if poly.area > 0.1:
+                polys.append(poly)
+        rings = polygon_union(polys)
+        for _ in range(300):
+            p = Point(random.uniform(-1, 11), random.uniform(-1, 11))
+            assert point_in_rings(p, rings) == point_covered(p, polys)
+
+    @pytest.mark.parametrize("n", [2, 5, 9])
+    def test_chain_union_single_ring(self, n):
+        polys = [square(i * 0.7, 0.0, 1.0) for i in range(n)]
+        rings = polygon_union(polys)
+        assert len(rings) == 1
+        expected = 0.7 * (n - 1) + 1.0  # total width of the fused strip
+        assert math.isclose(rings[0].area, expected * 1.0, rel_tol=1e-9)

@@ -1,0 +1,91 @@
+"""Property tests for the union algorithm's merge algebra.
+
+The MapReduce merge step relies on ``rings_union`` being re-entrant: the
+union of partial unions must cover exactly what the one-shot union covers,
+regardless of how the input is split into partial groups. These tests
+drive that invariant with randomised axis-aligned boxes (as polygons),
+checked against a point-sampling oracle.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon
+from repro.geometry.algorithms.union import (
+    point_covered,
+    point_in_rings,
+    polygon_union,
+    rings_union,
+)
+
+
+@st.composite
+def box_polygons(draw):
+    x = draw(st.integers(0, 40))
+    y = draw(st.integers(0, 40))
+    w = draw(st.integers(1, 15))
+    h = draw(st.integers(1, 15))
+    # Offset by fractional jitter to avoid exact shared edges (general
+    # position, which the algorithm documents as its operating regime).
+    jx = draw(st.integers(1, 9)) / 10.0
+    jy = draw(st.integers(1, 9)) / 10.0
+    x1, y1 = x + jx, y + jy
+    return Polygon(
+        [
+            Point(x1, y1),
+            Point(x1 + w, y1),
+            Point(x1 + w, y1 + h),
+            Point(x1, y1 + h),
+        ]
+    )
+
+
+def coverage_agrees(rings, polys, seed, samples=120):
+    rng = random.Random(seed)
+    for _ in range(samples):
+        p = Point(rng.uniform(-2, 60), rng.uniform(-2, 60))
+        if point_in_rings(p, rings) != point_covered(p, polys):
+            return False
+    return True
+
+
+class TestUnionProperties:
+    @given(st.lists(box_polygons(), min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_one_shot_union_matches_oracle(self, polys):
+        rings = polygon_union(polys)
+        assert coverage_agrees(rings, polys, seed=1)
+
+    @given(
+        st.lists(box_polygons(), min_size=2, max_size=12),
+        st.integers(1, 11),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_of_partials_matches_oracle(self, polys, cut):
+        cut = min(cut, len(polys) - 1)
+        left = polygon_union(polys[:cut])
+        right = polygon_union(polys[cut:])
+        merged = rings_union([left, right])
+        assert coverage_agrees(merged, polys, seed=2)
+
+    @given(st.lists(box_polygons(), min_size=3, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_three_way_split_matches_two_way(self, polys):
+        third = max(1, len(polys) // 3)
+        three_way = rings_union(
+            [
+                polygon_union(polys[:third]),
+                polygon_union(polys[third : 2 * third]),
+                polygon_union(polys[2 * third :]),
+            ]
+        )
+        assert coverage_agrees(three_way, polys, seed=3)
+
+    @given(st.lists(box_polygons(), min_size=1, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_union_idempotent(self, polys):
+        once = polygon_union(polys)
+        twice = rings_union([once])
+        assert coverage_agrees(twice, polys, seed=4)

@@ -1,0 +1,70 @@
+"""Tests for the WKT reader/writer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    LineString,
+    Point,
+    Polygon,
+    Rectangle,
+    parse_wkt,
+    to_wkt,
+)
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False).map(
+    lambda v: float(f"{v:g}")  # restrict to %g-representable values
+)
+
+
+class TestParse:
+    def test_point(self):
+        assert parse_wkt("POINT (1.5 -2)") == Point(1.5, -2)
+
+    def test_point_case_insensitive(self):
+        assert parse_wkt("point(3 4)") == Point(3, 4)
+
+    def test_point_scientific_notation(self):
+        assert parse_wkt("POINT (1e3 -2.5E-2)") == Point(1000.0, -0.025)
+
+    def test_rect(self):
+        assert parse_wkt("RECT (0 0, 2 3)") == Rectangle(0, 0, 2, 3)
+
+    def test_linestring(self):
+        ls = parse_wkt("LINESTRING (0 0, 1 1, 2 0)")
+        assert isinstance(ls, LineString)
+        assert len(ls) == 3
+
+    def test_polygon(self):
+        p = parse_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+        assert isinstance(p, Polygon)
+        assert p.area == 16
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            parse_wkt("POINT (1)")
+        with pytest.raises(ValueError):
+            parse_wkt("CIRCLE (0 0, 5)")
+        with pytest.raises(ValueError):
+            parse_wkt("")
+
+
+class TestRoundTrip:
+    @given(coords, coords)
+    def test_point_round_trip(self, x, y):
+        p = Point(x, y)
+        assert parse_wkt(to_wkt(p)) == p
+
+    def test_rect_round_trip(self):
+        r = Rectangle(-1.5, 0, 2.25, 3)
+        assert parse_wkt(to_wkt(r)) == r
+
+    def test_polygon_round_trip(self):
+        p = Polygon([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert parse_wkt(to_wkt(p)).normalized() == p.normalized()
+
+    def test_linestring_round_trip(self):
+        ls = LineString([Point(0, 0), Point(1.5, 2), Point(-3, 4)])
+        parsed = parse_wkt(to_wkt(ls))
+        assert parsed.points == ls.points

@@ -1,0 +1,130 @@
+"""Tests for the in-memory STR R-tree (the local index)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rectangle
+from repro.index import RTree, RTreeEntry
+
+coords = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+def tree_of(pts, capacity=8):
+    return RTree.from_shapes(pts, node_capacity=capacity)
+
+
+class TestConstruction:
+    def test_empty(self):
+        t = RTree([])
+        assert len(t) == 0
+        assert t.mbr is None
+        assert t.search(Rectangle(0, 0, 1, 1)) == []
+        assert t.knn(Point(0, 0), 3) == []
+        assert t.depth() == 0
+
+    def test_single(self):
+        t = tree_of([Point(1, 2)])
+        assert len(t) == 1
+        assert t.mbr == Rectangle(1, 2, 1, 2)
+        assert t.depth() == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RTree([], node_capacity=1)
+
+    def test_depth_grows_logarithmically(self):
+        random.seed(0)
+        pts = [Point(random.random(), random.random()) for _ in range(1000)]
+        t = tree_of(pts, capacity=10)
+        assert 2 <= t.depth() <= 4  # ~log_10(1000) + packing slack
+
+    def test_all_entries_complete(self):
+        pts = [Point(float(i), float(i % 7)) for i in range(100)]
+        t = tree_of(pts)
+        assert sorted(e.record for e in t.all_entries()) == sorted(pts)
+
+
+class TestSearch:
+    def test_range_search_matches_bruteforce(self):
+        random.seed(1)
+        pts = [Point(random.uniform(0, 100), random.uniform(0, 100)) for _ in range(500)]
+        t = tree_of(pts)
+        query = Rectangle(20, 30, 60, 70)
+        expected = sorted(p for p in pts if query.contains_point(p))
+        got = sorted(e.record for e in t.search(query))
+        assert got == expected
+
+    def test_search_everything(self):
+        pts = [Point(float(i), 0.0) for i in range(50)]
+        t = tree_of(pts)
+        assert len(t.search(Rectangle(-1, -1, 51, 1))) == 50
+
+    def test_search_nothing(self):
+        pts = [Point(float(i), 0.0) for i in range(50)]
+        t = tree_of(pts)
+        assert t.search(Rectangle(100, 100, 200, 200)) == []
+
+    def test_search_rect_records(self):
+        rects = [Rectangle(i, i, i + 2.0, i + 2.0) for i in range(10)]
+        t = RTree.from_shapes(rects)
+        hits = {e.record for e in t.search(Rectangle(3.5, 3.5, 4.5, 4.5))}
+        assert hits == {rects[2], rects[3], rects[4]}
+
+    @given(st.lists(points, max_size=120), st.tuples(coords, coords, coords, coords))
+    @settings(max_examples=50)
+    def test_search_equals_bruteforce(self, pts, box):
+        x1, y1, dx, dy = box
+        query = Rectangle(x1, y1, x1 + abs(dx), y1 + abs(dy))
+        t = tree_of(pts)
+        expected = sorted(p for p in pts if query.contains_point(p))
+        assert sorted(e.record for e in t.search(query)) == expected
+
+
+class TestKnn:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            tree_of([Point(0, 0)]).knn(Point(0, 0), 0)
+
+    def test_simple(self):
+        pts = [Point(0, 0), Point(5, 0), Point(1, 1), Point(10, 10)]
+        result = tree_of(pts).knn(Point(0.4, 0.4), 2)
+        assert [e.record for _, e in result] == [Point(0, 0), Point(1, 1)]
+
+    def test_k_larger_than_tree(self):
+        pts = [Point(0, 0), Point(1, 1)]
+        assert len(tree_of(pts).knn(Point(0, 0), 10)) == 2
+
+    def test_distances_are_sorted(self):
+        random.seed(2)
+        pts = [Point(random.uniform(0, 10), random.uniform(0, 10)) for _ in range(200)]
+        result = tree_of(pts).knn(Point(5, 5), 20)
+        dists = [d for d, _ in result]
+        assert dists == sorted(dists)
+
+    @given(st.lists(points, min_size=1, max_size=100), points, st.integers(1, 10))
+    @settings(max_examples=50)
+    def test_knn_matches_bruteforce_distances(self, pts, q, k):
+        result = tree_of(pts).knn(q, k)
+        got = [d for d, _ in result]
+        expected = sorted(q.distance(p) for p in pts)[: len(result)]
+        assert len(result) == min(k, len(pts))
+        for a, b in zip(got, expected):
+            assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_knn_entries_are_real_records(self):
+        pts = [Point(float(i), float(-i)) for i in range(30)]
+        result = tree_of(pts).knn(Point(3, -3), 5)
+        for _, e in result:
+            assert e.record in pts
+
+
+class TestEntryApi:
+    def test_entry_holds_payload(self):
+        entry = RTreeEntry(mbr=Rectangle(0, 0, 1, 1), record={"id": 7})
+        t = RTree([entry])
+        assert t.search(Rectangle(0, 0, 2, 2))[0].record == {"id": 7}

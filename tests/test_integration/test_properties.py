@@ -1,0 +1,189 @@
+"""Cross-layer property tests: random workloads against brute force.
+
+These tests drive whole pipelines (load -> index -> operate) with
+hypothesis-generated data and verify system-level invariants that unit
+tests cannot see: exactly-once reporting under replication, equivalence of
+all index techniques, engine determinism.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rectangle
+from repro.index import PARTITIONERS, build_index
+from repro.mapreduce import ClusterModel, FileSystem, Job, JobRunner
+from repro.operations import knn_spatial, range_query_spatial
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+
+# Coordinates on a half-unit grid: plenty of duplicates-on-boundary action
+# without float-noise flakiness.
+grid_coord = st.integers(0, 2000).map(lambda v: v / 2.0)
+grid_point = st.builds(Point, grid_coord, grid_coord)
+
+
+def make_runner():
+    fs = FileSystem(default_block_capacity=40)
+    return JobRunner(fs, ClusterModel(num_nodes=4, job_overhead_s=0.0))
+
+
+@st.composite
+def windows(draw):
+    x1 = draw(grid_coord)
+    y1 = draw(grid_coord)
+    w = draw(st.floats(0, 500))
+    h = draw(st.floats(0, 500))
+    return Rectangle(x1, y1, x1 + w, y1 + h)
+
+
+@st.composite
+def small_rects(draw):
+    x1 = draw(grid_coord)
+    y1 = draw(grid_coord)
+    w = draw(st.integers(0, 300).map(float))
+    h = draw(st.integers(0, 300).map(float))
+    return Rectangle(
+        x1, y1, min(x1 + w, 1000.0), min(y1 + h, 1000.0)
+    )
+
+
+class TestRangeQueryProperty:
+    @given(
+        pts=st.lists(grid_point, min_size=1, max_size=150),
+        window=windows(),
+        technique=st.sampled_from(sorted(PARTITIONERS)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_points_equal_bruteforce(self, pts, window, technique):
+        runner = make_runner()
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        result = range_query_spatial(runner, "idx", window)
+        expected = sorted(p for p in pts if window.contains_point(p))
+        assert sorted(result.answer) == expected
+
+    @given(
+        rects=st.lists(small_rects(), min_size=1, max_size=60),
+        window=windows(),
+        technique=st.sampled_from(["grid", "str+", "quadtree", "kdtree"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_replicated_rects_reported_exactly_once(
+        self, rects, window, technique
+    ):
+        runner = make_runner()
+        runner.fs.create_file("rects", rects)
+        build_index(runner, "rects", "idx", technique)
+        result = range_query_spatial(runner, "idx", window)
+        expected = [r for r in rects if window.intersects(r)]
+        # Multiset equality: duplicates in the input stay duplicates, and
+        # replication never double-reports.
+        assert sorted(result.answer) == sorted(expected)
+
+
+class TestKnnProperty:
+    @given(
+        pts=st.lists(grid_point, min_size=1, max_size=120, unique=True),
+        query=grid_point,
+        k=st.integers(1, 8),
+        technique=st.sampled_from(sorted(PARTITIONERS)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distances_equal_bruteforce(self, pts, query, k, technique):
+        runner = make_runner()
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        result = knn_spatial(runner, "idx", query, k)
+        got = [d for d, _ in result.answer]
+        expected = sorted(query.distance(p) for p in pts)[: len(got)]
+        assert len(got) == min(k, len(pts))
+        for a, b in zip(got, expected):
+            assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestPartitionerOwnershipProperty:
+    @given(
+        sample=st.lists(grid_point, min_size=5, max_size=200),
+        probe=grid_point,
+        technique=st.sampled_from(["grid", "str+", "quadtree", "kdtree"]),
+        num_cells=st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_point_owned_by_exactly_one_cell(
+        self, sample, probe, technique, num_cells
+    ):
+        partitioner = PARTITIONERS[technique].create(sample, num_cells, SPACE)
+        owners = [
+            cid
+            for cid in range(partitioner.num_cells())
+            if partitioner.cell_rect(cid).contains_point_left_inclusive(probe)
+        ]
+        assert len(owners) == 1
+        assert owners[0] == partitioner.assign_point(probe)
+
+
+class TestEngineProperties:
+    @given(
+        values=st.lists(st.integers(-1000, 1000), max_size=200),
+        capacity=st.integers(1, 50),
+        reducers=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sum_with_combiner_invariant(self, values, capacity, reducers):
+        # Sum is associative/commutative: any block layout, any reducer
+        # count, with or without the combiner, must give the same answer.
+        def map_fn(_k, records, ctx):
+            for v in records:
+                ctx.emit(v % 3, v)
+
+        def reduce_fn(k, vs, ctx):
+            ctx.emit(k, (k, sum(vs)))
+
+        expected = {}
+        for v in values:
+            expected[v % 3] = expected.get(v % 3, 0) + v
+
+        for use_combiner in (False, True):
+            fs = FileSystem()
+            fs.create_file("in", values, block_capacity=capacity)
+            runner = JobRunner(fs, ClusterModel(num_nodes=2, job_overhead_s=0))
+            job = Job(
+                input_file="in",
+                map_fn=map_fn,
+                combine_fn=reduce_fn if use_combiner else None,
+                reduce_fn=(
+                    (lambda k, vs, ctx: ctx.emit(k, (k, sum(c for _, c in vs))))
+                    if use_combiner
+                    else reduce_fn
+                ),
+                num_reducers=reducers,
+            )
+            result = runner.run(job)
+            assert dict(result.output) == expected
+
+    @given(
+        pts=st.lists(grid_point, min_size=1, max_size=100),
+        technique=st.sampled_from(sorted(PARTITIONERS)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_index_preserves_point_multiset(self, pts, technique):
+        runner = make_runner()
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        assert sorted(runner.fs.read_records("idx")) == sorted(pts)
+
+    @given(st.lists(grid_point, min_size=1, max_size=80))
+    @settings(max_examples=20, deadline=None)
+    def test_rebuild_is_deterministic(self, pts):
+        results = []
+        for _ in range(2):
+            runner = make_runner()
+            runner.fs.create_file("pts", pts)
+            build = build_index(runner, "pts", "idx", "kdtree", seed=5)
+            results.append(
+                [(c.cell_id, c.mbr, c.num_records) for c in build.global_index]
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,207 @@
+"""End-to-end scenario tests: multi-operation workflows on the facade."""
+
+import math
+
+import pytest
+
+from repro import Feature, SpatialHadoop
+from repro.datagen import generate_points, generate_polygons, generate_rectangles
+from repro.geometry import Point, Rectangle
+from repro.pigeon import run_script
+
+
+@pytest.fixture
+def sh():
+    return SpatialHadoop(num_nodes=4, block_capacity=300, job_overhead_s=0.01)
+
+
+class TestHadoopSpatialConsistency:
+    """Every operation's two variants agree on the same data."""
+
+    def test_full_pipeline_points(self, sh):
+        pts = generate_points(2500, "gaussian", seed=1)
+        sh.load("pts", pts)
+        sh.index("pts", "overlap_idx", technique="str")
+        sh.index("pts", "disjoint_idx", technique="quadtree")
+
+        window = Rectangle(3e5, 3e5, 7e5, 7e5)
+        assert sorted(sh.range_query("pts", window).answer) == sorted(
+            sh.range_query("overlap_idx", window).answer
+        ) == sorted(sh.range_query("disjoint_idx", window).answer)
+
+        q = Point(444444, 555555)
+        d_hadoop = [round(d, 9) for d, _ in sh.knn("pts", q, 7).answer]
+        d_str = [round(d, 9) for d, _ in sh.knn("overlap_idx", q, 7).answer]
+        d_quad = [round(d, 9) for d, _ in sh.knn("disjoint_idx", q, 7).answer]
+        assert d_hadoop == d_str == d_quad
+
+        assert (
+            sh.skyline("pts").answer
+            == sh.skyline("overlap_idx").answer
+            == sh.skyline("disjoint_idx").answer
+        )
+        assert (
+            sh.convex_hull("pts").answer
+            == sh.convex_hull("overlap_idx").answer
+        )
+
+    def test_join_variants_agree(self, sh):
+        left = generate_rectangles(600, "uniform", seed=2, avg_side_fraction=0.02)
+        right = generate_rectangles(600, "uniform", seed=3, avg_side_fraction=0.02)
+        sh.load("L", left)
+        sh.load("R", right)
+        sh.index("L", "Li", technique="str+")
+        sh.index("R", "Ri", technique="grid")
+        sjmr = sh.spatial_join("L", "R")
+        dj = sh.spatial_join("Li", "Ri")
+        assert len(sjmr.answer) == len(dj.answer)
+        as_set = lambda ans: {  # noqa: E731
+            (l.as_tuple(), r.as_tuple()) for l, r in ans
+        }
+        assert as_set(sjmr.answer) == as_set(dj.answer)
+
+
+class TestFeatureWorkflow:
+    def test_attributes_survive_indexing_and_queries(self, sh):
+        feats = [
+            Feature(p, {"id": i, "kind": "poi"})
+            for i, p in enumerate(generate_points(1000, "uniform", seed=4))
+        ]
+        sh.load("f", feats)
+        sh.index("f", "fi", technique="str")
+        window = Rectangle(0, 0, 5e5, 5e5)
+        result = sh.range_query("fi", window)
+        assert all(isinstance(f, Feature) for f in result.answer)
+        ids = {f["id"] for f in result.answer}
+        expected = {f["id"] for f in feats if window.contains_point(f.shape)}
+        assert ids == expected
+
+    def test_knn_returns_features(self, sh):
+        feats = [
+            Feature(p, {"id": i})
+            for i, p in enumerate(generate_points(500, "uniform", seed=5))
+        ]
+        sh.load("f", feats)
+        sh.index("f", "fi", technique="grid")
+        result = sh.knn("fi", Point(5e5, 5e5), 3)
+        assert len(result.answer) == 3
+        for _d, f in result.answer:
+            assert isinstance(f, Feature)
+
+
+class TestPigeonApiParity:
+    """A Pigeon script and the direct API produce identical answers."""
+
+    def test_range_parity(self, sh):
+        pts = generate_points(1500, "uniform", seed=6)
+        sh.load("pts", pts)
+        script = run_script(
+            sh,
+            """
+            p = LOAD 'pts';
+            i = INDEX p USING str;
+            w = RANGE i RECTANGLE(100000, 100000, 400000, 400000);
+            DUMP w;
+            """,
+        )
+        sh.index("pts", "direct_idx", technique="str")
+        direct = sh.range_query(
+            "direct_idx", Rectangle(1e5, 1e5, 4e5, 4e5)
+        )
+        assert sorted(script.dumped["w"]) == sorted(direct.answer)
+
+    def test_skyline_parity(self, sh):
+        pts = generate_points(800, "anti_correlated", seed=7)
+        sh.load("pts", pts)
+        script = run_script(sh, "p = LOAD 'pts'; s = SKYLINE p; DUMP s;")
+        assert sorted(script.dumped["s"]) == sh.skyline("pts").answer
+
+
+class TestCostAccounting:
+    def test_makespans_accumulate(self, sh):
+        pts = generate_points(2000, "uniform", seed=8)
+        sh.load("pts", pts)
+        build = sh.index("pts", "idx", technique="grid")
+        op = sh.range_query("idx", Rectangle(0, 0, 1e5, 1e5))
+        assert build.makespan > 0
+        assert op.makespan > 0
+        assert op.rounds == 1
+        assert build.jobs[0].makespan + build.jobs[1].makespan == pytest.approx(
+            build.makespan
+        )
+
+    def test_pruning_reduces_makespan_with_many_blocks(self, sh):
+        # With far more blocks than nodes, reading fewer blocks must cost
+        # measurably less simulated time.
+        pts = generate_points(20_000, "uniform", seed=9)
+        sh.load("pts", pts, block_capacity=200)
+        sh.index("pts", "idx", technique="grid", block_capacity=200)
+        tiny = Rectangle(0, 0, 5e4, 5e4)
+        pruned = sh.range_query("idx", tiny, prune=True)
+        full = sh.range_query("idx", tiny, prune=False)
+        assert pruned.blocks_read < full.blocks_read / 4
+        assert pruned.makespan < full.makespan
+
+    def test_counters_are_complete(self, sh):
+        pts = generate_points(1000, "uniform", seed=10)
+        sh.load("pts", pts)
+        op = sh.skyline("pts")
+        counters = op.counters
+        assert counters["MAP_INPUT_RECORDS"] == 1000
+        assert counters["MAP_TASKS"] == sh.fs.num_blocks("pts")
+        assert counters["REDUCE_TASKS"] == 1
+        assert counters["OUTPUT_RECORDS"] == len(op.answer)
+
+
+class TestUnionVoronoiScenario:
+    def test_union_then_stats(self, sh):
+        polys = generate_polygons(120, "uniform", seed=11, avg_radius_fraction=0.04)
+        sh.load("polys", polys)
+        sh.index("polys", "pidx", technique="str+", block_capacity=40)
+        merged = sh.union("pidx")
+        # Union output area is at most the sum and at least the max part.
+        total_in = sum(p.area for p in polys)
+        outer_area = sum(r.area for r in merged.answer if r.is_ccw)
+        hole_area = sum(r.area for r in merged.answer if not r.is_ccw)
+        union_area = outer_area - hole_area
+        assert union_area <= total_in + 1e-6
+        assert union_area >= max(p.area for p in polys) - 1e-6
+
+    def test_voronoi_regions_partition_area(self, sh):
+        pts = sorted(set(generate_points(1200, "uniform", seed=12)))
+        sh.load("pts", pts)
+        sh.index("pts", "idx", technique="kdtree")
+        result = sh.voronoi("idx")
+        regions = result.answer.regions
+        assert len(regions) == len(pts)
+        # Voronoi regions are mutually disjoint: any probe point lies
+        # strictly inside at most one closed region — and when it does,
+        # that region's site is the probe's nearest site.
+        import random
+
+        rng = random.Random(0)
+        polygons = [(r, r.polygon()) for r in regions if r.closed]
+        for _ in range(40):
+            probe = Point(rng.uniform(0, 1e6), rng.uniform(0, 1e6))
+            containing = [
+                r for r, poly in polygons if poly.strictly_contains_point(probe)
+            ]
+            assert len(containing) <= 1
+            if containing:
+                nearest = min(pts, key=lambda s: s.distance(probe))
+                assert math.isclose(
+                    nearest.distance(probe),
+                    containing[0].site.distance(probe),
+                    rel_tol=1e-9,
+                )
+
+    def test_closest_pair_matches_after_dense_cluster(self, sh):
+        pts = generate_points(900, "uniform", seed=13)
+        # Inject a tight cluster crossing a likely partition boundary.
+        pts += [Point(499999.9, 250000.0), Point(500000.1, 250000.0)]
+        sh.load("pts", pts)
+        sh.index("pts", "idx", technique="grid")
+        pair = sh.closest_pair("idx").answer
+        assert math.isclose(
+            pair[0].distance(pair[1]), 0.2, rel_tol=1e-6
+        )

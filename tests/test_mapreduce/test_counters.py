@@ -1,0 +1,67 @@
+"""Tests for the Counters facility."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce import Counters
+
+
+class TestCounters:
+    def test_default_zero(self):
+        c = Counters()
+        assert c.get("ANYTHING") == 0
+        assert c["ANYTHING"] == 0
+        assert "ANYTHING" not in c
+
+    def test_increment(self):
+        c = Counters()
+        c.increment("X")
+        c.increment("X", 4)
+        assert c["X"] == 5
+        assert "X" in c
+
+    def test_negative_rejected(self):
+        c = Counters()
+        with pytest.raises(ValueError):
+            c.increment("X", -1)
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("X", 2)
+        b.increment("X", 3)
+        b.increment("Y", 1)
+        a.merge(b)
+        assert a["X"] == 5
+        assert a["Y"] == 1
+        assert b["X"] == 3  # merge does not mutate the source
+
+    def test_items_sorted(self):
+        c = Counters()
+        for name in ("Z", "A", "M"):
+            c.increment(name)
+        assert [k for k, _ in c.items()] == ["A", "M", "Z"]
+
+    def test_as_dict_copy(self):
+        c = Counters()
+        c.increment("X")
+        d = c.as_dict()
+        d["X"] = 100
+        assert c["X"] == 1
+
+    def test_repr(self):
+        c = Counters()
+        c.increment("A", 2)
+        assert "A=2" in repr(c)
+
+    @given(st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 10))))
+    def test_merge_equals_sum(self, increments):
+        merged = Counters()
+        total = Counters()
+        half_a, half_b = Counters(), Counters()
+        for i, (name, amount) in enumerate(increments):
+            total.increment(name, amount)
+            (half_a if i % 2 == 0 else half_b).increment(name, amount)
+        merged.merge(half_a)
+        merged.merge(half_b)
+        assert merged.as_dict() == total.as_dict()

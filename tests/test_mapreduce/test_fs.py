@@ -1,0 +1,85 @@
+"""Tests for the block-structured file system."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce import Block, FileSystem
+
+
+class TestCreateFile:
+    def test_blocks_bounded_by_capacity(self):
+        fs = FileSystem()
+        entry = fs.create_file("f", range(25), block_capacity=10)
+        assert entry.num_blocks == 3
+        assert [len(b) for b in entry.blocks] == [10, 10, 5]
+
+    def test_exact_multiple(self):
+        fs = FileSystem()
+        entry = fs.create_file("f", range(20), block_capacity=10)
+        assert [len(b) for b in entry.blocks] == [10, 10]
+
+    def test_empty_file(self):
+        fs = FileSystem()
+        entry = fs.create_file("f", [])
+        assert entry.num_blocks == 0
+        assert entry.num_records == 0
+
+    def test_duplicate_name_rejected(self):
+        fs = FileSystem()
+        fs.create_file("f", [1])
+        with pytest.raises(FileExistsError):
+            fs.create_file("f", [2])
+
+    def test_default_capacity_used(self):
+        fs = FileSystem(default_block_capacity=5)
+        entry = fs.create_file("f", range(12))
+        assert entry.num_blocks == 3
+
+    def test_invalid_capacity(self):
+        fs = FileSystem()
+        with pytest.raises(ValueError):
+            fs.create_file("f", [1], block_capacity=0)
+        with pytest.raises(ValueError):
+            FileSystem(default_block_capacity=-1)
+
+    @given(st.integers(0, 500), st.integers(1, 50))
+    def test_record_order_preserved(self, n, capacity):
+        fs = FileSystem()
+        fs.create_file("f", range(n), block_capacity=capacity)
+        assert fs.read_records("f") == list(range(n))
+
+
+class TestNamespace:
+    def test_exists_and_delete(self):
+        fs = FileSystem()
+        fs.create_file("a", [1])
+        assert fs.exists("a")
+        assert fs.delete("a")
+        assert not fs.exists("a")
+        assert not fs.delete("a")
+
+    def test_list_files_sorted(self):
+        fs = FileSystem()
+        for name in ("zed", "alpha", "mid"):
+            fs.create_file(name, [])
+        assert fs.list_files() == ["alpha", "mid", "zed"]
+
+    def test_missing_file_raises(self):
+        fs = FileSystem()
+        with pytest.raises(FileNotFoundError):
+            fs.get("nope")
+
+    def test_create_from_blocks(self):
+        fs = FileSystem()
+        blocks = [Block([1, 2], {"cell": "A"}), Block([3], {"cell": "B"})]
+        entry = fs.create_file_from_blocks("f", blocks, metadata={"indexed": True})
+        assert entry.num_records == 3
+        assert entry.metadata["indexed"]
+        assert entry.blocks[0].metadata["cell"] == "A"
+
+    def test_create_from_blocks_duplicate_rejected(self):
+        fs = FileSystem()
+        fs.create_file_from_blocks("f", [])
+        with pytest.raises(FileExistsError):
+            fs.create_file_from_blocks("f", [])

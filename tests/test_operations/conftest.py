@@ -1,0 +1,11 @@
+"""Shared fixtures for operations tests."""
+
+import pytest
+
+from repro.mapreduce import ClusterModel, FileSystem, JobRunner
+
+
+@pytest.fixture
+def runner():
+    fs = FileSystem(default_block_capacity=150)
+    return JobRunner(fs, ClusterModel(num_nodes=4, job_overhead_s=0.01))

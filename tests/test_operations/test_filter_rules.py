@@ -1,0 +1,117 @@
+"""Direct unit tests for the operations' global-index filter rules."""
+
+import pytest
+
+from repro.geometry import Rectangle
+from repro.index import Cell, GlobalIndex
+from repro.operations.convex_hull import convex_hull_filter
+from repro.operations.farthest_pair import select_cell_pairs
+from repro.operations.skyline import skyline_filter
+
+
+def cell(cid, x1, y1, x2, y2, n=10):
+    mbr = Rectangle(x1, y1, x2, y2)
+    return Cell(cell_id=cid, mbr=mbr, num_records=n, content_mbr=mbr)
+
+
+class TestSkylineFilter:
+    def test_dominated_cell_pruned(self):
+        # Cell 1's bottom-left (10,10) dominates cell 0's top-right (5,5).
+        gi = GlobalIndex(cells=[cell(0, 0, 0, 5, 5), cell(1, 10, 10, 20, 20)])
+        kept = {c.cell_id for c in skyline_filter(gi)}
+        assert kept == {1}
+
+    def test_partial_overlap_in_one_axis_kept(self):
+        # Cell 0 reaches higher in y: its top region may survive.
+        gi = GlobalIndex(cells=[cell(0, 0, 0, 5, 30), cell(1, 10, 10, 20, 20)])
+        kept = {c.cell_id for c in skyline_filter(gi)}
+        assert kept == {0, 1}
+
+    def test_corner_rules_use_minimality(self):
+        # Cell 1's bottom-right corner (20, 0) dominates cell 0's top-right
+        # (5, 0) in x with equal y -> pruned thanks to edge minimality.
+        gi = GlobalIndex(
+            cells=[cell(0, 0, -5, 5, 0), cell(1, 10, 0, 20, 20)]
+        )
+        kept = {c.cell_id for c in skyline_filter(gi)}
+        assert 0 not in kept
+
+    def test_diagonal_chain_keeps_all(self):
+        # Anti-correlated staircase: nothing dominates anything.
+        gi = GlobalIndex(
+            cells=[
+                cell(0, 0, 20, 5, 25),
+                cell(1, 10, 10, 15, 15),
+                cell(2, 20, 0, 25, 5),
+            ]
+        )
+        assert len(skyline_filter(gi)) == 3
+
+
+class TestConvexHullFilter:
+    def test_interior_and_edge_cells_pruned(self):
+        # A symmetric 3x3 grid of cells: each directional skyline keeps
+        # exactly the corresponding corner cell, so only the four corners
+        # survive — edge and centre cells can contribute at most collinear
+        # boundary points, never hull vertices.
+        cells = []
+        cid = 0
+        for gx in range(3):
+            for gy in range(3):
+                cells.append(cell(cid, gx * 10, gy * 10, gx * 10 + 8, gy * 10 + 8))
+                cid += 1
+        gi = GlobalIndex(cells=cells)
+        kept = {c.cell_id for c in convex_hull_filter(gi)}
+        assert kept == {0, 2, 6, 8}  # the four corner cells
+
+    def test_all_corner_cells_kept(self):
+        cells = [
+            cell(0, 0, 0, 5, 5),
+            cell(1, 20, 0, 25, 5),
+            cell(2, 0, 20, 5, 25),
+            cell(3, 20, 20, 25, 25),
+        ]
+        gi = GlobalIndex(cells=cells)
+        assert len(convex_hull_filter(gi)) == 4
+
+
+class TestFarthestPairFilter:
+    def test_close_pairs_pruned(self):
+        # Two far clusters plus a middle cell: the middle-middle pair can
+        # never beat the outer pair and must be pruned.
+        gi = GlobalIndex(
+            cells=[
+                cell(0, 0, 0, 5, 5),
+                cell(1, 47, 0, 53, 5),
+                cell(2, 95, 0, 100, 5),
+            ]
+        )
+        pairs = set(select_cell_pairs(gi))
+        assert (0, 2) in pairs
+        assert (1, 1) not in pairs  # the middle cell alone is hopeless
+
+    def test_single_cell_file(self):
+        gi = GlobalIndex(cells=[cell(0, 0, 0, 10, 10)])
+        assert select_cell_pairs(gi) == [(0, 0)]
+
+    def test_empty_cells_ignored(self):
+        gi = GlobalIndex(
+            cells=[
+                cell(0, 0, 0, 5, 5),
+                Cell(cell_id=1, mbr=Rectangle(50, 0, 55, 5), num_records=0),
+                cell(2, 95, 0, 100, 5),
+            ]
+        )
+        pairs = select_cell_pairs(gi)
+        assert all(1 not in pair for pair in pairs)
+
+    def test_upper_bound_respects_glb(self):
+        gi = GlobalIndex(
+            cells=[cell(0, 0, 0, 5, 5), cell(1, 95, 95, 100, 100)]
+        )
+        pairs = set(select_cell_pairs(gi))
+        # The far diagonal pair survives; the near self-pairs cannot reach
+        # the diagonal's lower bound and are pruned.
+        assert (0, 1) in pairs
+        assert (0, 0) not in pairs
+        assert (1, 1) not in pairs

@@ -1,0 +1,111 @@
+"""kNN correctness and the correctness-check round protocol."""
+
+import math
+
+import pytest
+
+from repro.datagen import generate_points
+from repro.geometry import Point, Rectangle
+from repro.index import PARTITIONERS, build_index
+from repro.operations import knn_hadoop, knn_spatial
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+
+
+def brute_distances(pts, q, k):
+    return sorted(q.distance(p) for p in pts)[:k]
+
+
+def check(result, pts, q, k):
+    got = [d for d, _ in result.answer]
+    expected = brute_distances(pts, q, k)
+    assert len(got) == len(expected)
+    for a, b in zip(got, expected):
+        assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestHadoopKnn:
+    @pytest.mark.parametrize("k", [1, 5, 50])
+    def test_matches_bruteforce(self, runner, k):
+        pts = generate_points(700, "uniform", seed=1, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        check(knn_hadoop(runner, "pts", Point(500, 500), k), pts, Point(500, 500), k)
+
+    def test_k_larger_than_dataset(self, runner):
+        pts = generate_points(20, "uniform", seed=2, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        result = knn_hadoop(runner, "pts", Point(0, 0), 100)
+        assert len(result.answer) == 20
+
+    def test_invalid_k(self, runner):
+        runner.fs.create_file("pts", generate_points(10, seed=0))
+        with pytest.raises(ValueError):
+            knn_hadoop(runner, "pts", Point(0, 0), 0)
+
+
+@pytest.mark.parametrize("technique", sorted(PARTITIONERS))
+class TestSpatialKnn:
+    @pytest.mark.parametrize("k", [1, 10])
+    def test_matches_bruteforce(self, runner, technique, k):
+        pts = generate_points(900, "uniform", seed=3, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        q = Point(321, 654)
+        check(knn_spatial(runner, "idx", q, k), pts, q, k)
+
+    def test_query_outside_space(self, runner, technique):
+        pts = generate_points(500, "uniform", seed=4, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        q = Point(5000, 5000)  # far outside every partition
+        check(knn_spatial(runner, "idx", q, 5), pts, q, 5)
+
+    def test_query_on_partition_corner(self, runner, technique):
+        pts = generate_points(600, "uniform", seed=5, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        q = Point(500, 500)
+        check(knn_spatial(runner, "idx", q, 8), pts, q, 8)
+
+    def test_gaussian_skew(self, runner, technique):
+        pts = generate_points(800, "gaussian", seed=6, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        q = Point(100, 900)  # sparse corner: forces correctness rounds
+        check(knn_spatial(runner, "idx", q, 10), pts, q, 10)
+
+
+class TestRoundProtocol:
+    def test_interior_query_single_round(self, runner):
+        pts = generate_points(2000, "uniform", seed=7, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "grid")
+        # A query deep inside a dense partition finds k=3 well within it.
+        result = knn_spatial(runner, "idx", Point(500.1, 500.1), 3)
+        assert result.rounds <= 2
+        check(result, pts, Point(500.1, 500.1), 3)
+
+    def test_reads_few_blocks(self, runner):
+        pts = generate_points(3000, "uniform", seed=8, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "str")
+        result = knn_spatial(runner, "idx", Point(777, 222), 5)
+        assert result.blocks_read < runner.fs.num_blocks("idx")
+
+    def test_huge_k_still_correct(self, runner):
+        pts = generate_points(400, "uniform", seed=9, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "kdtree")
+        q = Point(500, 500)
+        check(knn_spatial(runner, "idx", q, 400), pts, q, 400)
+
+    def test_local_index_ablation(self, runner):
+        pts = generate_points(800, "uniform", seed=10, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "quadtree")
+        q = Point(250, 750)
+        with_li = knn_spatial(runner, "idx", q, 7, use_local_index=True)
+        without_li = knn_spatial(runner, "idx", q, 7, use_local_index=False)
+        assert [round(d, 9) for d, _ in with_li.answer] == [
+            round(d, 9) for d, _ in without_li.answer
+        ]

@@ -1,0 +1,73 @@
+"""Aggregate range count correctness and the covered-partition fast path."""
+
+import pytest
+
+from repro.datagen import generate_points, generate_rectangles
+from repro.geometry import Rectangle
+from repro.index import PARTITIONERS, build_index
+from repro.operations import range_count_hadoop, range_count_spatial
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+QUERIES = [
+    Rectangle(100, 100, 300, 300),
+    Rectangle(0, 0, 1000, 1000),
+    Rectangle(2000, 2000, 3000, 3000),
+]
+
+
+def brute(records, query):
+    return sum(1 for r in records if query.intersects(r.mbr))
+
+
+class TestHadoopRangeCount:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_matches_bruteforce(self, runner, query):
+        pts = generate_points(700, "uniform", seed=1, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        assert range_count_hadoop(runner, "pts", query).answer == brute(pts, query)
+
+    def test_shuffle_is_one_per_block(self, runner):
+        pts = generate_points(700, "uniform", seed=2, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        result = range_count_hadoop(runner, "pts", QUERIES[0])
+        assert result.counters["SHUFFLE_RECORDS"] == runner.fs.num_blocks("pts")
+
+
+@pytest.mark.parametrize("technique", sorted(PARTITIONERS))
+class TestSpatialRangeCount:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_points_match(self, runner, technique, query):
+        pts = generate_points(800, "uniform", seed=3, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        assert range_count_spatial(runner, "idx", query).answer == brute(pts, query)
+
+    def test_replicated_rects_counted_once(self, runner, technique):
+        rects = generate_rectangles(
+            400, "uniform", seed=4, space=SPACE, avg_side_fraction=0.08
+        )
+        runner.fs.create_file("rects", rects)
+        build_index(runner, "rects", "idx", technique)
+        q = Rectangle(200, 200, 700, 700)
+        assert range_count_spatial(runner, "idx", q).answer == brute(rects, q)
+
+
+class TestFastPath:
+    def test_covered_partitions_not_read(self, runner):
+        pts = generate_points(1500, "uniform", seed=5, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "str")  # overlapping: fast path on
+        whole = Rectangle(-10, -10, 1010, 1010)
+        result = range_count_spatial(runner, "idx", whole)
+        assert result.answer == 1500
+        # Every partition is fully covered: nothing was read at all.
+        assert result.blocks_read == 0
+
+    def test_partial_coverage_reads_boundary_only(self, runner):
+        pts = generate_points(2000, "uniform", seed=6, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "str")
+        q = Rectangle(0, 0, 600, 600)
+        result = range_count_spatial(runner, "idx", q)
+        assert result.answer == brute(pts, q)
+        assert result.blocks_read < runner.fs.num_blocks("idx")

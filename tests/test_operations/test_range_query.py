@@ -1,0 +1,101 @@
+"""Range query correctness across every index technique."""
+
+import pytest
+
+from repro.datagen import generate_points, generate_rectangles
+from repro.geometry import Rectangle
+from repro.index import PARTITIONERS, build_index
+from repro.operations import range_query_hadoop, range_query_spatial
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+QUERIES = [
+    Rectangle(100, 100, 300, 300),
+    Rectangle(0, 0, 1000, 1000),     # everything
+    Rectangle(2000, 2000, 3000, 3000),  # nothing
+    Rectangle(499, 499, 501, 501),   # tiny central window
+]
+
+
+def brute(records, query):
+    return sorted(r for r in records if query.intersects(r.mbr))
+
+
+class TestHadoopRangeQuery:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_matches_bruteforce(self, runner, query):
+        pts = generate_points(800, "uniform", seed=1, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        result = range_query_hadoop(runner, "pts", query)
+        assert sorted(result.answer) == brute(pts, query)
+
+    def test_reads_every_block(self, runner):
+        pts = generate_points(800, "uniform", seed=1, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        result = range_query_hadoop(runner, "pts", QUERIES[0])
+        assert result.blocks_read == runner.fs.num_blocks("pts")
+        assert result.system == "hadoop"
+
+
+@pytest.mark.parametrize("technique", sorted(PARTITIONERS))
+class TestSpatialRangeQuery:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_points_match_bruteforce(self, runner, technique, query):
+        pts = generate_points(800, "uniform", seed=2, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        result = range_query_spatial(runner, "idx", query)
+        assert sorted(result.answer) == brute(pts, query)
+
+    def test_rectangles_deduplicated(self, runner, technique, query=None):
+        rects = generate_rectangles(
+            500, "uniform", seed=3, space=SPACE, avg_side_fraction=0.05
+        )
+        runner.fs.create_file("rects", rects)
+        build_index(runner, "rects", "idx", technique)
+        q = Rectangle(200, 200, 600, 600)
+        result = range_query_spatial(runner, "idx", q)
+        expected = [r for r in rects if q.intersects(r)]
+        assert len(result.answer) == len(expected)
+        assert sorted(result.answer) == sorted(expected)
+
+    def test_prunes_blocks(self, runner, technique):
+        pts = generate_points(1500, "uniform", seed=4, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        small = Rectangle(10, 10, 60, 60)
+        result = range_query_spatial(runner, "idx", small)
+        assert result.blocks_read < runner.fs.num_blocks("idx")
+
+    def test_skewed_data(self, runner, technique):
+        pts = generate_points(900, "gaussian", seed=5, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        q = Rectangle(400, 400, 600, 600)
+        result = range_query_spatial(runner, "idx", q)
+        assert sorted(result.answer) == brute(pts, q)
+
+
+class TestAblations:
+    def test_no_local_index_same_answer(self, runner):
+        pts = generate_points(600, "uniform", seed=6, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "str")
+        q = Rectangle(100, 100, 500, 500)
+        with_li = range_query_spatial(runner, "idx", q, use_local_index=True)
+        without_li = range_query_spatial(runner, "idx", q, use_local_index=False)
+        assert sorted(with_li.answer) == sorted(without_li.answer)
+
+    def test_no_prune_same_answer_more_blocks(self, runner):
+        pts = generate_points(600, "uniform", seed=7, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "grid")
+        q = Rectangle(0, 0, 120, 120)
+        pruned = range_query_spatial(runner, "idx", q, prune=True)
+        full = range_query_spatial(runner, "idx", q, prune=False)
+        assert sorted(pruned.answer) == sorted(full.answer)
+        assert pruned.blocks_read < full.blocks_read
+
+    def test_unindexed_file_rejected(self, runner):
+        runner.fs.create_file("pts", generate_points(10, seed=0))
+        with pytest.raises(ValueError):
+            range_query_spatial(runner, "pts", QUERIES[0])

@@ -1,0 +1,133 @@
+"""Spatial join correctness: SJMR and the distributed join."""
+
+import pytest
+
+from repro.datagen import generate_points, generate_rectangles
+from repro.geometry import Rectangle
+from repro.index import build_index
+from repro.operations import spatial_join_distributed, spatial_join_sjmr
+from repro.operations.spatial_join import plane_sweep_join
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+
+
+def brute_count(left, right):
+    return sum(1 for l in left for r in right if l.mbr.intersects(r.mbr))
+
+
+def make_inputs(runner, n=400, side=0.03, seeds=(1, 2)):
+    left = generate_rectangles(
+        n, "uniform", seed=seeds[0], space=SPACE, avg_side_fraction=side
+    )
+    right = generate_rectangles(
+        n, "uniform", seed=seeds[1], space=SPACE, avg_side_fraction=side
+    )
+    runner.fs.create_file("L", left)
+    runner.fs.create_file("R", right)
+    return left, right
+
+
+class TestPlaneSweep:
+    def test_matches_bruteforce(self):
+        left = generate_rectangles(120, "uniform", seed=5, space=SPACE, avg_side_fraction=0.05)
+        right = generate_rectangles(120, "uniform", seed=6, space=SPACE, avg_side_fraction=0.05)
+        pairs = plane_sweep_join(left, right)
+        assert len(pairs) == brute_count(left, right)
+        for l, r in pairs:
+            assert l.intersects(r)
+
+    def test_empty_sides(self):
+        assert plane_sweep_join([], [Rectangle(0, 0, 1, 1)]) == []
+        assert plane_sweep_join([Rectangle(0, 0, 1, 1)], []) == []
+
+    def test_points_vs_rects(self):
+        pts = generate_points(100, "uniform", seed=7, space=SPACE)
+        rects = generate_rectangles(50, "uniform", seed=8, space=SPACE, avg_side_fraction=0.1)
+        pairs = plane_sweep_join(pts, rects)
+        assert len(pairs) == brute_count(pts, rects)
+
+
+class TestSJMR:
+    def test_matches_bruteforce(self, runner):
+        left, right = make_inputs(runner)
+        result = spatial_join_sjmr(runner, "L", "R")
+        assert len(result.answer) == brute_count(left, right)
+        assert result.system == "hadoop"
+
+    def test_exactly_once_despite_grid_replication(self, runner):
+        # Large rectangles span many SJMR grid cells; the reference point
+        # must keep each pair unique.
+        left, right = make_inputs(runner, n=150, side=0.2)
+        result = spatial_join_sjmr(runner, "L", "R")
+        assert len(result.answer) == brute_count(left, right)
+        assert len({(id(l), id(r)) for l, r in result.answer}) == len(result.answer)
+
+    def test_empty_input(self, runner):
+        runner.fs.create_file("L", [])
+        runner.fs.create_file("R", [])
+        assert spatial_join_sjmr(runner, "L", "R").answer == []
+
+    def test_custom_grid_size(self, runner):
+        left, right = make_inputs(runner, n=200)
+        result = spatial_join_sjmr(runner, "L", "R", grid_size=7)
+        assert len(result.answer) == brute_count(left, right)
+
+
+@pytest.mark.parametrize(
+    "left_tech,right_tech",
+    [
+        ("grid", "grid"),
+        ("str+", "str+"),
+        ("quadtree", "kdtree"),
+        ("str", "str"),
+        ("hilbert", "zcurve"),
+        ("str+", "str"),  # mixed disjoint/overlapping
+        ("str", "grid"),
+    ],
+)
+class TestDistributedJoin:
+    def test_matches_bruteforce(self, runner, left_tech, right_tech):
+        left, right = make_inputs(runner)
+        build_index(runner, "L", "Li", left_tech)
+        build_index(runner, "R", "Ri", right_tech)
+        result = spatial_join_distributed(runner, "Li", "Ri")
+        assert len(result.answer) == brute_count(left, right)
+
+    def test_large_shapes_exactly_once(self, runner, left_tech, right_tech):
+        left, right = make_inputs(runner, n=120, side=0.15)
+        build_index(runner, "L", "Li", left_tech)
+        build_index(runner, "R", "Ri", right_tech)
+        result = spatial_join_distributed(runner, "Li", "Ri")
+        assert len(result.answer) == brute_count(left, right)
+
+
+class TestDistributedJoinDetails:
+    def test_requires_indexes(self, runner):
+        make_inputs(runner, n=50)
+        with pytest.raises(ValueError):
+            spatial_join_distributed(runner, "L", "R")
+
+    def test_temp_pairs_file_cleaned_up(self, runner):
+        make_inputs(runner, n=100)
+        build_index(runner, "L", "Li", "grid")
+        build_index(runner, "R", "Ri", "grid")
+        spatial_join_distributed(runner, "Li", "Ri")
+        assert not any("__dj_pairs__" in f for f in runner.fs.list_files())
+
+    def test_disjoint_sides_join_empty(self, runner):
+        left = generate_rectangles(
+            100, "uniform", seed=1, space=Rectangle(0, 0, 400, 400),
+            avg_side_fraction=0.02,
+        )
+        right = generate_rectangles(
+            100, "uniform", seed=2, space=Rectangle(600, 600, 1000, 1000),
+            avg_side_fraction=0.02,
+        )
+        runner.fs.create_file("L", left)
+        runner.fs.create_file("R", right)
+        build_index(runner, "L", "Li", "str")
+        build_index(runner, "R", "Ri", "str")
+        result = spatial_join_distributed(runner, "Li", "Ri")
+        assert result.answer == []
+        # The global-index join found no overlapping partition pairs at all.
+        assert result.blocks_read == 0

@@ -1,0 +1,62 @@
+"""Tests for the file-statistics operation."""
+
+import pytest
+
+from repro.datagen import generate_points, generate_rectangles
+from repro.geometry import Rectangle
+from repro.index import build_index
+from repro.operations import file_stats
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+
+
+class TestHeapFileStats:
+    def test_counts_and_mbr(self, runner):
+        pts = generate_points(500, "uniform", seed=1, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        op = file_stats(runner, "pts")
+        stats = op.answer
+        assert stats.num_records == 500
+        assert stats.num_blocks == runner.fs.num_blocks("pts")
+        assert not stats.indexed
+        assert stats.mbr == Rectangle.from_points(pts)
+        assert op.rounds == 1  # one map-only statistics job
+
+    def test_empty_file(self, runner):
+        runner.fs.create_file("empty", [])
+        stats = file_stats(runner, "empty").answer
+        assert stats.num_records == 0
+        assert stats.mbr is None
+        assert stats.density == 0.0
+
+    def test_rectangles_mbr_covers_shapes(self, runner):
+        rects = generate_rectangles(200, "uniform", seed=2, space=SPACE)
+        runner.fs.create_file("rects", rects)
+        stats = file_stats(runner, "rects").answer
+        for r in rects:
+            assert stats.mbr.contains_rect(r)
+
+    def test_density(self, runner):
+        runner.fs.create_file(
+            "grid4",
+            [p for p in generate_points(400, "uniform", seed=3, space=SPACE)],
+        )
+        stats = file_stats(runner, "grid4").answer
+        assert stats.density == pytest.approx(
+            400 / stats.mbr.area
+        )
+
+
+class TestIndexedFileStats:
+    def test_free_from_global_index(self, runner):
+        pts = generate_points(800, "uniform", seed=4, space=SPACE)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "str")
+        op = file_stats(runner, "idx")
+        stats = op.answer
+        assert op.rounds == 0  # answered from metadata, no job
+        assert stats.indexed
+        assert stats.technique == "str"
+        assert stats.num_records == 800
+        for p in pts:
+            assert stats.mbr.contains_point(p)

@@ -1,0 +1,105 @@
+"""Polygon union in MapReduce: Hadoop, SpatialHadoop, and enhanced."""
+
+import random
+
+import pytest
+
+from repro.datagen import generate_polygons
+from repro.geometry import Point, Rectangle
+from repro.geometry.algorithms.union import (
+    point_covered,
+    point_in_rings,
+    polygon_union,
+)
+from repro.index import build_index
+from repro.operations import union_enhanced, union_hadoop, union_spatial
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+
+
+def coverage_oracle(rings, polys, samples=300, seed=0):
+    rng = random.Random(seed)
+    for _ in range(samples):
+        p = Point(rng.uniform(-50, 1050), rng.uniform(-50, 1050))
+        if point_in_rings(p, rings) != point_covered(p, polys):
+            return False
+    return True
+
+
+def load_polys(runner, n=120, seed=1, radius=0.05):
+    polys = generate_polygons(
+        n, "uniform", seed=seed, space=SPACE, avg_radius_fraction=radius
+    )
+    runner.fs.create_file("polys", polys)
+    return polys
+
+
+class TestHadoopUnion:
+    def test_coverage_matches(self, runner):
+        polys = load_polys(runner)
+        result = union_hadoop(runner, "polys")
+        assert coverage_oracle(result.answer, polys)
+
+    def test_fewer_rings_than_inputs(self, runner):
+        polys = load_polys(runner, n=150, radius=0.08)  # heavy overlap
+        result = union_hadoop(runner, "polys")
+        assert 0 < len(result.answer) < len(polys)
+
+
+class TestSpatialUnion:
+    @pytest.mark.parametrize("technique", ["str", "str+", "grid"])
+    def test_coverage_matches(self, runner, technique):
+        polys = load_polys(runner, seed=2)
+        build_index(runner, "polys", "idx", technique, block_capacity=40)
+        result = union_spatial(runner, "idx")
+        assert coverage_oracle(result.answer, polys)
+
+    def test_local_unions_shrink_shuffle(self, runner):
+        polys = load_polys(runner, n=200, seed=3, radius=0.08)
+        build_index(runner, "polys", "idx", "str", block_capacity=40)
+        spatial = union_spatial(runner, "idx")
+        hadoop = union_hadoop(runner, "polys")
+        # Spatial partitioning dissolves more interior edges locally, so the
+        # reducer sees fewer rings than with random placement.
+        assert (
+            spatial.counters["SHUFFLE_RECORDS"]
+            <= hadoop.counters["SHUFFLE_RECORDS"]
+        )
+        assert coverage_oracle(spatial.answer, polys, seed=5)
+
+
+class TestEnhancedUnion:
+    @pytest.mark.parametrize("technique", ["grid", "str+", "quadtree", "kdtree"])
+    def test_segments_match_reference_perimeter(self, runner, technique):
+        polys = load_polys(runner, seed=4)
+        build_index(runner, "polys", "idx", technique, block_capacity=40)
+        result = union_enhanced(runner, "idx")
+        got = sum(a.distance(b) for a, b in result.answer)
+        expected = sum(r.perimeter for r in polygon_union(polys))
+        assert got == pytest.approx(expected, rel=1e-6)
+
+    def test_map_only(self, runner):
+        load_polys(runner, seed=5)
+        build_index(runner, "polys", "idx", "grid", block_capacity=40)
+        result = union_enhanced(runner, "idx")
+        assert result.counters["REDUCE_TASKS"] == 0
+        assert result.counters["SHUFFLE_RECORDS"] == 0
+
+    def test_needs_disjoint_index(self, runner):
+        load_polys(runner, seed=6)
+        build_index(runner, "polys", "idx", "str", block_capacity=40)
+        with pytest.raises(ValueError, match="disjoint"):
+            union_enhanced(runner, "idx")
+
+    def test_segments_lie_on_union_boundary(self, runner):
+        polys = load_polys(runner, n=60, seed=7)
+        build_index(runner, "polys", "idx", "grid", block_capacity=30)
+        result = union_enhanced(runner, "idx")
+        rings = polygon_union(polys)
+        # Every emitted segment midpoint lies on some reference ring edge.
+        from repro.geometry.segment import Segment
+
+        ref_edges = [Segment(a, b) for ring in rings for a, b in ring.edges()]
+        for a, b in result.answer:
+            mid = Point((a.x + b.x) / 2, (a.y + b.y) / 2)
+            assert min(e.distance_point(mid) for e in ref_edges) < 1e-6

@@ -1,0 +1,126 @@
+"""Tests for the distributed Voronoi-diagram operation."""
+
+import math
+
+import pytest
+
+from repro.datagen import generate_points
+from repro.geometry import Rectangle
+from repro.geometry.algorithms.voronoi import voronoi
+from repro.index import PARTITIONERS, build_index
+from repro.operations import voronoi_spatial
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+DISJOINT = sorted(n for n, c in PARTITIONERS.items() if c.disjoint)
+
+
+def distinct_points(n, distribution="uniform", seed=1):
+    return sorted(set(generate_points(n, distribution, seed=seed, space=SPACE)))
+
+
+def regions_match(a, b, scale=1000.0):
+    """Tolerant region comparison (cocircular ties shift vertices by ulps)."""
+    if a.closed != b.closed:
+        return False
+    if not a.closed:
+        return True
+    tol = 1e-6 * scale
+    if abs(a.polygon().area - b.polygon().area) > tol:
+        return False
+    return all(
+        min(v.distance(w) for w in b.vertices) <= tol for v in a.vertices
+    )
+
+
+def check_against_global(runner_result, pts):
+    res = runner_result.answer
+    ref = {r.site: r for r in voronoi(pts).regions}
+    got = res.by_site()
+    assert set(got) == set(ref)
+    mismatched = [
+        site for site, region in got.items() if not regions_match(region, ref[site])
+    ]
+    assert mismatched == []
+
+
+@pytest.mark.parametrize("technique", DISJOINT)
+class TestVoronoiAllDisjointTechniques:
+    def test_matches_global_diagram(self, runner, technique):
+        pts = distinct_points(800, seed=2)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        check_against_global(voronoi_spatial(runner, "idx"), pts)
+
+    def test_prunes_most_sites(self, runner, technique):
+        pts = distinct_points(1500, seed=3)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", technique)
+        result = voronoi_spatial(runner, "idx")
+        # The majority of regions are finalised before the merge.
+        assert result.answer.pruned_fraction > 0.4
+
+
+class TestVoronoiDetails:
+    def test_gaussian_distribution(self, runner):
+        pts = distinct_points(900, "gaussian", seed=4)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "quadtree")
+        check_against_global(voronoi_spatial(runner, "idx"), pts)
+
+    def test_region_count_equals_sites(self, runner):
+        pts = distinct_points(600, seed=5)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "grid")
+        result = voronoi_spatial(runner, "idx")
+        assert len(result.answer.regions) == len(pts)
+
+    def test_requires_disjoint_index(self, runner):
+        pts = distinct_points(200, seed=6)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "str")
+        with pytest.raises(ValueError, match="disjoint"):
+            voronoi_spatial(runner, "idx")
+
+    def test_requires_index(self, runner):
+        runner.fs.create_file("pts", distinct_points(50, seed=7))
+        with pytest.raises(ValueError, match="not spatially indexed"):
+            voronoi_spatial(runner, "pts")
+
+    def test_tiny_partitions(self, runner):
+        # Partitions with < 3 sites ship everything to the merge step.
+        pts = distinct_points(20, seed=8)
+        runner.fs.create_file("pts", pts, block_capacity=5)
+        build_index(runner, "pts", "idx", "grid", block_capacity=2)
+        check_against_global(voronoi_spatial(runner, "idx"), pts)
+
+    def test_merge_shuffles_fraction_only(self, runner):
+        pts = distinct_points(2000, seed=9)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "grid")
+        result = voronoi_spatial(runner, "idx")
+        shuffled = result.counters["SHUFFLE_RECORDS"]
+        assert shuffled < len(pts)  # non-safe + support < everything
+
+    def test_safe_regions_are_closed(self, runner):
+        pts = distinct_points(700, seed=10)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "kdtree")
+        result = voronoi_spatial(runner, "idx")
+        for region in result.answer.final_regions:
+            assert region.closed
+            assert region.polygon().area > 0
+
+    def test_duplicate_sites_rejected(self, runner):
+        pts = distinct_points(100, seed=11)
+        pts = pts + [pts[0]]
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "grid")
+        with pytest.raises(ValueError, match="distinct"):
+            voronoi_spatial(runner, "idx")
+
+    def test_pruned_fraction_bounds(self, runner):
+        pts = distinct_points(500, seed=12)
+        runner.fs.create_file("pts", pts)
+        build_index(runner, "pts", "idx", "grid")
+        frac = voronoi_spatial(runner, "idx").answer.pruned_fraction
+        assert 0.0 <= frac < 1.0  # boundary cells are never all safe

@@ -1,0 +1,161 @@
+"""Tests for the Pigeon lexer and parser."""
+
+import pytest
+
+from repro.pigeon import PigeonSyntaxError, parse, tokenize
+from repro.pigeon import ast
+from repro.pigeon.lexer import IDENT, NUMBER, OP, STRING
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("a = LOAD 'file';")
+        kinds = [t.kind for t in toks]
+        assert kinds == [IDENT, OP, "LOAD", STRING, OP, "EOF"]
+
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("filter By knn")
+        assert [t.kind for t in toks[:-1]] == ["FILTER", "BY", "KNN"]
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 .75 1e3 2.5E-2")
+        values = [float(t.value) for t in toks[:-1]]
+        assert values == [1, 2.5, 0.75, 1000, 0.025]
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r"'it\'s'")
+        assert toks[0].value == "it's"
+
+    def test_comments_skipped(self):
+        toks = tokenize("a -- a comment\nb")
+        assert [t.value for t in toks[:-1]] == ["a", "b"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+    def test_comparison_operators(self):
+        toks = tokenize("<= >= == != < >")
+        assert [t.value for t in toks[:-1]] == ["<=", ">=", "==", "!=", "<", ">"]
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(PigeonSyntaxError, match="unexpected character"):
+            tokenize("a = @bad;")
+
+
+class TestParserStatements:
+    def test_load(self):
+        (stmt,) = parse("pts = LOAD 'points';").statements
+        assert stmt == ast.Load(target="pts", file_name="points")
+
+    def test_index(self):
+        (stmt,) = parse("idx = INDEX pts USING str;").statements
+        assert stmt == ast.Index(target="idx", source="pts", technique="str")
+
+    def test_index_quoted_technique(self):
+        (stmt,) = parse("idx = INDEX pts USING 'str+';").statements
+        assert stmt.technique == "str+"
+
+    def test_range(self):
+        (stmt,) = parse("w = RANGE idx RECTANGLE(0, 0, 10, 20);").statements
+        assert stmt == ast.RangeQuery("w", "idx", 0, 0, 10, 20)
+
+    def test_range_negative_coords(self):
+        (stmt,) = parse("w = RANGE idx RECTANGLE(-5, -5, 10, 20);").statements
+        assert stmt.x1 == -5 and stmt.y1 == -5
+
+    def test_knn(self):
+        (stmt,) = parse("n = KNN idx POINT(3, 4) K 7;").statements
+        assert stmt == ast.Knn("n", "idx", 3, 4, 7)
+
+    def test_sjoin(self):
+        (stmt,) = parse("j = SJOIN a, b;").statements
+        assert stmt == ast.SpatialJoin(target="j", left="a", right="b")
+
+    @pytest.mark.parametrize(
+        "op", ["SKYLINE", "CONVEXHULL", "UNION", "CLOSESTPAIR", "FARTHESTPAIR"]
+    )
+    def test_unary_operations(self, op):
+        (stmt,) = parse(f"r = {op} idx;").statements
+        assert stmt == ast.UnaryOperation(target="r", source="idx", operation=op)
+
+    def test_store_and_dump(self):
+        script = parse("STORE r INTO 'out'; DUMP r;")
+        assert script.statements == [
+            ast.Store(source="r", file_name="out"),
+            ast.Dump(source="r"),
+        ]
+
+    def test_foreach(self):
+        (stmt,) = parse("p = FOREACH r GENERATE name, Area(geom) AS a;").statements
+        assert stmt.names == (None, "a")
+        assert stmt.expressions[0] == ast.Identifier("name")
+
+    def test_multi_statement_script(self):
+        script = parse(
+            """
+            a = LOAD 'x';
+            b = INDEX a USING grid;
+            DUMP b;
+            """
+        )
+        assert len(script.statements) == 3
+
+    def test_missing_semicolon(self):
+        with pytest.raises(PigeonSyntaxError, match="missing ';'"):
+            parse("a = LOAD 'x'")
+
+    def test_unknown_operation(self):
+        with pytest.raises(PigeonSyntaxError, match="unknown operation"):
+            parse("a = FROBNICATE b;")
+
+    def test_trailing_junk_in_filter(self):
+        with pytest.raises(PigeonSyntaxError, match="trailing"):
+            parse("a = FILTER b BY x == 1 extra;")
+
+
+class TestParserExpressions:
+    def filter_pred(self, text):
+        (stmt,) = parse(f"a = FILTER b BY {text};").statements
+        return stmt.predicate
+
+    def test_comparison(self):
+        pred = self.filter_pred("size > 10")
+        assert pred == ast.BinaryOp(">", ast.Identifier("size"), ast.Literal(10.0))
+
+    def test_precedence_and_or(self):
+        pred = self.filter_pred("a == 1 OR b == 2 AND c == 3")
+        assert isinstance(pred, ast.BinaryOp) and pred.op == "OR"
+        assert pred.right.op == "AND"
+
+    def test_not(self):
+        pred = self.filter_pred("NOT a == 1")
+        assert isinstance(pred, ast.UnaryOp) and pred.op == "NOT"
+
+    def test_arithmetic_precedence(self):
+        pred = self.filter_pred("a + b * 2 == 7")
+        assert pred.left.op == "+"
+        assert pred.left.right.op == "*"
+
+    def test_parentheses(self):
+        pred = self.filter_pred("(a + b) * 2 == 7")
+        assert pred.left.op == "*"
+
+    def test_function_call(self):
+        pred = self.filter_pred("Overlaps(geom, MakeBox(0, 0, 1, 1))")
+        assert isinstance(pred, ast.FunctionCall)
+        assert pred.name == "OVERLAPS"
+        assert pred.args[1].name == "MAKEBOX"
+
+    def test_unary_minus(self):
+        pred = self.filter_pred("x > -5")
+        assert pred.right == ast.UnaryOp("-", ast.Literal(5.0))
+
+    def test_string_literal(self):
+        pred = self.filter_pred("cat == 'cafe'")
+        assert pred.right == ast.Literal("cafe")
+
+    def test_boolean_literals(self):
+        pred = self.filter_pred("flag == TRUE AND other == FALSE")
+        assert pred.left.right == ast.Literal(True)
+        assert pred.right.right == ast.Literal(False)

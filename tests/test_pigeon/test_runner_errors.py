@@ -1,0 +1,119 @@
+"""Error paths and planner details of the Pigeon runner."""
+
+import pytest
+
+from repro import SpatialHadoop
+from repro.datagen import generate_points
+from repro.pigeon import PigeonError, run_script
+from repro.pigeon.runner import ScriptResult
+
+
+@pytest.fixture
+def sh():
+    system = SpatialHadoop(num_nodes=2, block_capacity=100, job_overhead_s=0.0)
+    system.fs.create_file("pts", generate_points(300, "uniform", seed=1))
+    return system
+
+
+class TestErrors:
+    def test_unknown_technique_surfaces(self, sh):
+        with pytest.raises(ValueError, match="unknown technique"):
+            run_script(sh, "p = LOAD 'pts'; i = INDEX p USING btree;")
+
+    def test_store_unknown_relation(self, sh):
+        with pytest.raises(PigeonError, match="unknown relation"):
+            run_script(sh, "STORE ghost INTO 'out';")
+
+    def test_join_unknown_relation(self, sh):
+        with pytest.raises(PigeonError):
+            run_script(sh, "p = LOAD 'pts'; j = SJOIN p, ghost;")
+
+    def test_closestpair_needs_disjoint(self, sh):
+        with pytest.raises(ValueError, match="disjoint"):
+            run_script(
+                sh,
+                "p = LOAD 'pts'; i = INDEX p USING str; c = CLOSESTPAIR i;",
+            )
+
+
+class TestPlanner:
+    def test_filter_without_constant_window_scans(self, sh):
+        # Overlaps against a record-dependent box cannot use the index.
+        result = run_script(
+            sh,
+            """
+            p = LOAD 'pts';
+            i = INDEX p USING grid;
+            w = FILTER i BY Overlaps(geom, MakeBox(X(geom), 0, 1000000, 1000000));
+            DUMP w;
+            """,
+        )
+        assert len(result.dumped["w"]) == 300  # x <= x is always true
+
+    def test_reversed_overlaps_arguments_still_planned(self, sh):
+        a = run_script(
+            sh,
+            "p = LOAD 'pts'; i = INDEX p USING grid;"
+            " w = FILTER i BY Overlaps(MakeBox(0, 0, 500000, 500000), geom); DUMP w;",
+        )
+        b = run_script(
+            sh,
+            "p = LOAD 'pts'; i = INDEX p USING grid;"
+            " w = FILTER i BY Overlaps(geom, MakeBox(0, 0, 500000, 500000)); DUMP w;",
+        )
+        assert sorted(a.dumped["w"]) == sorted(b.dumped["w"])
+
+    def test_relation_rebinding(self, sh):
+        result = run_script(
+            sh,
+            """
+            p = LOAD 'pts';
+            p = FILTER p BY X(geom) < 500000;
+            DUMP p;
+            """,
+        )
+        assert all(pt.x < 500000 for pt in result.dumped["p"])
+
+    def test_store_overwrites(self, sh):
+        run_script(sh, "p = LOAD 'pts'; STORE p INTO 'out';")
+        run_script(
+            sh,
+            "p = LOAD 'pts'; q = FILTER p BY X(geom) < 0; STORE q INTO 'out';",
+        )
+        assert sh.fs.num_records("out") == 0
+
+    def test_script_result_accumulators(self, sh):
+        result = run_script(
+            sh,
+            "p = LOAD 'pts'; i = INDEX p USING grid; s = SKYLINE i; DUMP s;",
+        )
+        assert isinstance(result, ScriptResult)
+        assert result.total_rounds >= 3
+        assert result.total_makespan >= 0
+        assert set(result.relations) == {"p", "i", "s"}
+
+
+class TestVoronoiStatement:
+    def test_voronoi_via_pigeon(self, sh):
+        # Use distinct sites (Voronoi requires them).
+        from repro.datagen import generate_points
+
+        sh.fs.delete("pts")
+        sh.fs.create_file(
+            "pts", sorted(set(generate_points(300, "uniform", seed=2)))
+        )
+        result = run_script(
+            sh,
+            "p = LOAD 'pts'; i = INDEX p USING grid; v = VORONOI i; DUMP v;",
+        )
+        regions = result.dumped["v"]
+        assert len(regions) == sh.fs.num_records("pts")
+
+    def test_voronoi_parses(self):
+        from repro.pigeon import parse
+        from repro.pigeon import ast
+
+        (stmt,) = parse("v = VORONOI i;").statements[-1:]
+        assert stmt == ast.UnaryOperation(
+            target="v", source="i", operation="VORONOI"
+        )

@@ -1,0 +1,195 @@
+"""Tests for the visualization layer (canvas + plot operation)."""
+
+import pytest
+
+from repro.datagen import generate_points, generate_rectangles
+from repro.geometry import LineString, Point, Polygon, Rectangle
+from repro.index import build_index
+from repro.mapreduce import ClusterModel, FileSystem, JobRunner
+from repro.viz import Canvas, plot
+
+WORLD = Rectangle(0, 0, 100, 100)
+
+
+class TestCanvas:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Canvas(0, 10, WORLD)
+        with pytest.raises(ValueError):
+            Canvas(10, 10, Rectangle(0, 0, 0, 100))
+
+    def test_draw_point(self):
+        c = Canvas(10, 10, WORLD)
+        c.draw_point(Point(5, 5))  # bottom-left pixel
+        assert c.counts[0][0] == 1
+        c.draw_point(Point(95, 95))  # top-right pixel
+        assert c.counts[9][9] == 1
+        assert c.total_hits == 2
+
+    def test_point_outside_ignored(self):
+        c = Canvas(10, 10, WORLD)
+        c.draw_point(Point(200, 200))
+        assert c.total_hits == 0
+
+    def test_draw_horizontal_segment(self):
+        c = Canvas(10, 10, WORLD)
+        c.draw_segment(Point(5, 50), Point(95, 50))
+        assert sum(c.counts[5]) == 10  # full row touched once each
+
+    def test_draw_diagonal_segment(self):
+        c = Canvas(10, 10, WORLD)
+        c.draw_segment(Point(0, 0), Point(99.9, 99.9))
+        for i in range(10):
+            assert c.counts[i][i] >= 1
+
+    def test_segment_clipped_to_world(self):
+        c = Canvas(10, 10, WORLD)
+        c.draw_segment(Point(-100, 50), Point(200, 50))
+        assert sum(c.counts[5]) == 10
+        assert c.max_count == 1
+
+    def test_segment_fully_outside(self):
+        c = Canvas(10, 10, WORLD)
+        c.draw_segment(Point(200, 200), Point(300, 300))
+        assert c.total_hits == 0
+
+    def test_draw_rectangle_outline(self):
+        c = Canvas(20, 20, WORLD)
+        c.draw_shape(Rectangle(10, 10, 90, 90))
+        # Outline only: interior pixel untouched.
+        assert c.counts[10][10] == 0
+        assert c.total_hits > 0
+
+    def test_draw_polygon_and_linestring(self):
+        c = Canvas(20, 20, WORLD)
+        c.draw_shape(Polygon([Point(10, 10), Point(90, 10), Point(50, 90)]))
+        c.draw_shape(LineString([Point(0, 0), Point(99, 99)]))
+        assert c.total_hits > 0
+
+    def test_draw_feature_unwraps(self):
+        from repro import Feature
+
+        c = Canvas(10, 10, WORLD)
+        c.draw_shape(Feature(Point(50, 50), {"n": 1}))
+        assert c.total_hits == 1
+
+    def test_draw_unsupported(self):
+        c = Canvas(10, 10, WORLD)
+        with pytest.raises(TypeError):
+            c.draw_shape("not a shape")
+
+    def test_merge(self):
+        a = Canvas(5, 5, WORLD)
+        b = Canvas(5, 5, WORLD)
+        a.draw_point(Point(50, 50))
+        b.draw_point(Point(50, 50))
+        a.merge(b)
+        assert a.counts[2][2] == 2
+
+    def test_merge_mismatched(self):
+        a = Canvas(5, 5, WORLD)
+        with pytest.raises(ValueError):
+            a.merge(Canvas(6, 5, WORLD))
+        with pytest.raises(ValueError):
+            a.merge(Canvas(5, 5, Rectangle(0, 0, 50, 50)))
+
+    def test_to_pgm_format(self):
+        c = Canvas(4, 3, WORLD)
+        c.draw_point(Point(1, 1))
+        pgm = c.to_pgm()
+        lines = pgm.splitlines()
+        assert lines[0] == "P2"
+        assert lines[1] == "4 3"
+        assert lines[2] == "255"
+        assert len(lines) == 3 + 3  # header + one line per row
+        # The hit pixel is dark (inverted), everything else white.
+        assert lines[-1].split()[0] == "0"
+
+    def test_to_ascii(self):
+        c = Canvas(4, 2, WORLD)
+        c.draw_point(Point(1, 1))
+        art = c.to_ascii()
+        rows = art.splitlines()
+        assert len(rows) == 2
+        assert rows[1][0] != " "  # bottom-left is inked
+        assert rows[0] == "    "
+
+
+class TestPlotOperation:
+    def make_runner(self, records, capacity=200):
+        fs = FileSystem(default_block_capacity=capacity)
+        fs.create_file("data", records)
+        return JobRunner(fs, ClusterModel(num_nodes=4, job_overhead_s=0.0))
+
+    def test_plot_heap_file(self):
+        pts = generate_points(1000, "uniform", seed=1, space=WORLD)
+        runner = self.make_runner(pts)
+        result = plot(runner, "data", width=40, height=20)
+        assert result.answer.total_hits == 1000
+
+    def test_plot_matches_single_canvas(self):
+        pts = generate_points(500, "gaussian", seed=2, space=WORLD)
+        runner = self.make_runner(pts)
+        result = plot(runner, "data", width=30, height=30, window=WORLD)
+        reference = Canvas(30, 30, WORLD)
+        for p in pts:
+            reference.draw_shape(p)
+        assert result.answer.counts == reference.counts
+
+    def test_plot_window_prunes_indexed_file(self):
+        pts = generate_points(2000, "uniform", seed=3, space=WORLD)
+        runner = self.make_runner(pts)
+        build_index(runner, "data", "idx", "grid")
+        window = Rectangle(0, 0, 25, 25)
+        result = plot(runner, "idx", width=10, height=10, window=window)
+        assert result.blocks_read < runner.fs.num_blocks("idx")
+        # All drawn points are within the window.
+        expected = sum(1 for p in pts if window.contains_point(p))
+        assert result.answer.total_hits == expected
+
+    def test_plot_rectangles(self):
+        rects = generate_rectangles(
+            100, "uniform", seed=4, space=WORLD, avg_side_fraction=0.1
+        )
+        runner = self.make_runner(rects)
+        result = plot(runner, "data", width=40, height=40)
+        assert result.answer.total_hits > 0
+
+    def test_plot_empty_file_raises(self):
+        runner = self.make_runner([])
+        with pytest.raises(ValueError, match="empty"):
+            plot(runner, "data")
+
+    def test_plot_degenerate_extent(self):
+        # All records at one point: the window is inflated, not zero-area.
+        runner = self.make_runner([Point(5, 5)] * 10)
+        result = plot(runner, "data", width=10, height=10)
+        assert result.answer.total_hits == 10
+
+
+class TestPgmVariants:
+    def test_pgm_not_inverted(self):
+        c = Canvas(2, 1, WORLD)
+        c.draw_point(Point(1, 1))
+        lines = c.to_pgm(invert=False).splitlines()
+        assert lines[3].split()[0] == "255"  # hit pixel bright
+        assert lines[3].split()[1] == "0"
+
+    def test_pgm_scales_to_peak(self):
+        c = Canvas(2, 1, WORLD)
+        for _ in range(4):
+            c.draw_point(Point(1, 1))
+        c.draw_point(Point(99, 1))
+        values = c.to_pgm(invert=False).splitlines()[3].split()
+        assert values[0] == "255"  # peak pixel
+        assert values[1] == "64"   # 1/4 of peak, rounded
+
+    def test_ascii_ramp_levels(self):
+        c = Canvas(3, 1, WORLD)
+        for _ in range(9):
+            c.draw_point(Point(10, 50))
+        c.draw_point(Point(50, 50))
+        art = c.to_ascii(ramp=" .#")
+        assert art[0] == "#"   # peak density
+        assert art[1] == "."   # low density still inked
+        assert art[2] == " "   # empty

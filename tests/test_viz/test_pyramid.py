@@ -1,0 +1,90 @@
+"""Tests for the tile-pyramid plot operation."""
+
+import pytest
+
+from repro.datagen import generate_points
+from repro.geometry import Point, Rectangle
+from repro.index import build_index
+from repro.mapreduce import ClusterModel, FileSystem, JobRunner
+from repro.viz import Canvas, plot_pyramid, tile_rect
+
+WORLD = Rectangle(0, 0, 100, 100)
+
+
+def make_runner(records, capacity=200):
+    fs = FileSystem(default_block_capacity=capacity)
+    fs.create_file("data", records)
+    return JobRunner(fs, ClusterModel(num_nodes=4, job_overhead_s=0.0))
+
+
+class TestTileRect:
+    def test_level_zero_is_world(self):
+        assert tile_rect(WORLD, 0, 0, 0) == WORLD
+
+    def test_level_one_quadrants(self):
+        assert tile_rect(WORLD, 1, 0, 0) == Rectangle(0, 0, 50, 50)
+        assert tile_rect(WORLD, 1, 1, 1) == Rectangle(50, 50, 100, 100)
+
+    def test_tiles_tile_the_world(self):
+        total = sum(
+            tile_rect(WORLD, 2, x, y).area for x in range(4) for y in range(4)
+        )
+        assert total == pytest.approx(WORLD.area)
+
+
+class TestPyramid:
+    def test_level_zero_matches_single_plot(self):
+        pts = generate_points(400, "uniform", seed=1, space=WORLD)
+        runner = make_runner(pts)
+        result = plot_pyramid(runner, "data", levels=1, tile_size=32)
+        pyramid = result.answer
+        assert pyramid.num_tiles == 1
+        base = pyramid.tile(0, 0, 0)
+        reference = Canvas(32, 32, pyramid.world)
+        for p in pts:
+            reference.draw_shape(p)
+        assert base.counts == reference.counts
+
+    def test_every_level_draws_every_point(self):
+        pts = generate_points(500, "gaussian", seed=2, space=WORLD)
+        runner = make_runner(pts)
+        pyramid = plot_pyramid(runner, "data", levels=3, tile_size=16).answer
+        for level in range(3):
+            hits = sum(c.total_hits for c in pyramid.tiles_at(level).values())
+            assert hits == 500
+
+    def test_sparse_tiles_skipped(self):
+        # All points in one corner: deep levels only materialise the
+        # touched tiles.
+        pts = [Point(1.0 + i * 0.01, 1.0 + i * 0.01) for i in range(50)]
+        runner = make_runner(pts)
+        pyramid = plot_pyramid(runner, "data", levels=4, tile_size=8).answer
+        level3 = pyramid.tiles_at(3)
+        assert 1 <= len(level3) < 8 ** 2
+
+    def test_indexed_input(self):
+        pts = generate_points(600, "uniform", seed=3, space=WORLD)
+        runner = make_runner(pts)
+        build_index(runner, "data", "idx", "grid")
+        pyramid = plot_pyramid(runner, "idx", levels=2, tile_size=16).answer
+        hits = sum(c.total_hits for c in pyramid.tiles_at(1).values())
+        assert hits == 600
+
+    def test_invalid_arguments(self):
+        runner = make_runner([Point(0, 0)])
+        with pytest.raises(ValueError):
+            plot_pyramid(runner, "data", levels=0)
+        with pytest.raises(ValueError):
+            plot_pyramid(runner, "data", tile_size=0)
+
+    def test_empty_file(self):
+        runner = make_runner([])
+        with pytest.raises(ValueError, match="empty"):
+            plot_pyramid(runner, "data")
+
+    def test_tile_canvases_have_right_worlds(self):
+        pts = generate_points(200, "uniform", seed=4, space=WORLD)
+        runner = make_runner(pts)
+        pyramid = plot_pyramid(runner, "data", levels=2, tile_size=8).answer
+        for (level, x, y), canvas in pyramid.tiles.items():
+            assert canvas.world == tile_rect(pyramid.world, level, x, y)
