@@ -11,11 +11,13 @@ NUM_NODES = 25
 JOB_OVERHEAD_S = 0.02
 
 
-def make_system(block_capacity: int = 10_000) -> SpatialHadoop:
+def make_system(block_capacity: int = 10_000, workers: int = None) -> SpatialHadoop:
+    """Benchmark cluster; ``workers=None`` defers to ``REPRO_WORKERS``."""
     return SpatialHadoop(
         num_nodes=NUM_NODES,
         block_capacity=block_capacity,
         job_overhead_s=JOB_OVERHEAD_S,
+        workers=workers,
     )
 
 

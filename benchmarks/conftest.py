@@ -41,6 +41,18 @@ def report() -> TableReporter:
     return TableReporter()
 
 
+def pytest_report_header(config):
+    del config
+    from repro.mapreduce.executor import WORKERS_ENV_VAR, resolve_workers
+
+    workers = resolve_workers(None)
+    backend = "serial" if workers <= 1 else f"parallel x{workers}"
+    return (
+        f"repro execution backend: {backend} "
+        f"(set {WORKERS_ENV_VAR}=N for N worker processes)"
+    )
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     del exitstatus, config
     if not _TABLES:

@@ -1,0 +1,93 @@
+"""E11 — execution backends: real wall-clock vs simulated makespan.
+
+The parallel executor changes only how fast the simulation runs on the
+host machine; everything the paper's experiments measure — answers,
+counters, simulated makespan — is backend-invariant (per-task times are
+CPU seconds, so concurrency cannot inflate them). This benchmark runs a
+map-heavy workload once per backend and reports the wall-clock speedup
+next to each backend's simulated makespan.
+"""
+
+import math
+import os
+import time
+
+import pytest
+
+from bench_utils import fmt_s, speedup
+
+from repro.datagen import generate_points
+from repro.geometry import Rectangle
+from repro.mapreduce import ClusterModel, FileSystem, Job, JobRunner
+
+N = 40_000
+SPACE = Rectangle(0, 0, 1000, 1000)
+WORKERS = 4
+
+#: Fixed anchor set the map function measures distances against; enough
+#: arithmetic per record to make the map wave CPU-bound.
+ANCHORS = [((37.0 * i) % 1000.0, (59.0 * i) % 1000.0) for i in range(64)]
+
+
+def _heavy_map(_key, records, ctx):
+    """CPU-bound map task (module-level: picklable)."""
+    total = 0.0
+    for r in records:
+        for ax, ay in ANCHORS:
+            total += math.sqrt((r.x - ax) ** 2 + (r.y - ay) ** 2)
+    ctx.emit(1, total)
+
+
+def _sum_reduce(_key, values, ctx):
+    ctx.emit(1, sum(values))
+
+
+def _run_workload(workers):
+    fs = FileSystem(default_block_capacity=500)
+    runner = JobRunner(
+        fs, ClusterModel(num_nodes=25, job_overhead_s=0.02), workers=workers
+    )
+    fs.create_file("pts", generate_points(N, "uniform", seed=3, space=SPACE))
+    job = Job(
+        input_file="pts",
+        map_fn=_heavy_map,
+        reduce_fn=_sum_reduce,
+        name=f"e11-workload(workers={workers})",
+    )
+    try:
+        start = time.perf_counter()
+        result = runner.run(job)
+        wall = time.perf_counter() - start
+    finally:
+        runner.close()
+    return result, wall
+
+
+def test_e11_backend_speedup(benchmark, report):
+    serial, serial_wall = _run_workload(1)
+    parallel, parallel_wall = _run_workload(WORKERS)
+
+    # Backend equivalence: identical output and counters, bit for bit.
+    assert serial.output == parallel.output
+    assert serial.counters.as_dict() == parallel.counters.as_dict()
+    # Simulated makespan is model overhead + measured per-task *CPU*
+    # seconds: backend-invariant up to timer noise.
+    assert parallel.makespan == pytest.approx(serial.makespan, rel=0.5)
+
+    report.add(
+        f"E11: execution backends, {N:,} points x {len(ANCHORS)} anchors "
+        f"(host: {os.cpu_count()} cores)",
+        ["backend", "wall-clock", "simulated makespan"],
+        [
+            ["serial", fmt_s(serial_wall), fmt_s(serial.makespan)],
+            [f"parallel x{WORKERS}", fmt_s(parallel_wall), fmt_s(parallel.makespan)],
+            ["wall-clock speedup", speedup(serial_wall, parallel_wall), "(unchanged)"],
+        ],
+    )
+
+    # Real speedup needs real cores; the equivalence assertions above are
+    # the portable part of this experiment.
+    if (os.cpu_count() or 1) >= 4:
+        assert serial_wall / parallel_wall >= 2.0
+
+    benchmark.pedantic(lambda: _run_workload(WORKERS), rounds=3, iterations=1)

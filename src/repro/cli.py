@@ -82,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--nodes", type=int, default=25,
         help="cluster size when creating a new workspace",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run map/reduce waves across N worker processes "
+             "(default: $REPRO_WORKERS, else serial); results are "
+             "identical to serial execution",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="generate a synthetic dataset")
@@ -155,7 +161,15 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     path = Path(args.workspace)
-    sh = _load_workspace(path, args.nodes)
+    try:
+        sh = _load_workspace(path, args.nodes)
+    except ValueError as exc:  # e.g. a malformed REPRO_WORKERS value
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.workers is not None:
+        # A per-invocation execution choice, not a workspace property:
+        # workspaces saved under --workers replay fine without it.
+        sh.runner.set_workers(args.workers)
     mutated = False
 
     try:
@@ -163,6 +177,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (FileNotFoundError, FileExistsError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        sh.runner.close()
 
     if mutated:
         _save_workspace(sh, path)

@@ -34,12 +34,18 @@ class SpatialHadoop:
         num_nodes: int = 25,
         block_capacity: int = 10_000,
         job_overhead_s: float = 0.5,
+        workers: Optional[int] = None,
     ):
+        """``workers`` picks the execution backend: 1 (default) runs tasks
+        serially in-process; >1 runs each map/reduce wave across that many
+        worker processes. ``None`` defers to the ``REPRO_WORKERS``
+        environment variable. Backends are output-equivalent; only real
+        wall-clock changes, never results or simulated makespans."""
         self.fs = FileSystem(default_block_capacity=block_capacity)
         self.cluster = ClusterModel(
             num_nodes=num_nodes, job_overhead_s=job_overhead_s
         )
-        self.runner = JobRunner(self.fs, self.cluster)
+        self.runner = JobRunner(self.fs, self.cluster, workers=workers)
 
     # ------------------------------------------------------------------
     # Storage layer

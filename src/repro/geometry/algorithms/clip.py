@@ -38,11 +38,18 @@ def clip_polygon(polygon: Polygon, rect: Rectangle) -> Optional[Polygon]:
         return out
 
     def x_cross(a: Point, b: Point, x: float) -> Point:
+        # The caller only asks for a crossing when a and b straddle the
+        # plane, so t lies in [0, 1] mathematically — but with degenerate
+        # (near-parallel or tiny) edges, floating-point rounding can push
+        # it outside, yielding a "crossing" beyond the segment and a
+        # clipped polygon larger than its inputs. Clamp to the segment.
         t = (x - a.x) / (b.x - a.x)
+        t = 0.0 if t < 0.0 else (1.0 if t > 1.0 else t)
         return Point(x, a.y + t * (b.y - a.y))
 
     def y_cross(a: Point, b: Point, y: float) -> Point:
         t = (y - a.y) / (b.y - a.y)
+        t = 0.0 if t < 0.0 else (1.0 if t > 1.0 else t)
         return Point(a.x + t * (b.x - a.x), y)
 
     planes = [

@@ -37,7 +37,18 @@ def convex_hull(points: Iterable[Point]) -> List[Point]:
     hull = lower[:-1] + upper[:-1]
     if len(hull) < 2:  # all points collinear -> keep the two extremes
         return [pts[0], pts[-1]]
-    return hull
+
+    # Exact duplicates were removed up front, but points closer than EPS
+    # survive the sort and can land next to each other on the hull (cyclic
+    # neighbours included). Such a sliver of vertices is not representable
+    # as a valid Polygon, so collapse near-duplicates here.
+    cleaned: List[Point] = []
+    for p in hull:
+        if not cleaned or not cleaned[-1].almost_equals(p):
+            cleaned.append(p)
+    while len(cleaned) >= 2 and cleaned[0].almost_equals(cleaned[-1]):
+        cleaned.pop()
+    return cleaned
 
 
 def point_in_convex_hull(p: Point, hull: Sequence[Point]) -> bool:

@@ -47,6 +47,43 @@ PARTITIONERS: Dict[str, Type[Partitioner]] = {
 DEFAULT_SAMPLE_SIZE = 2_000
 
 
+def _sample_map(_key, records, ctx):
+    """Per-block MBR + reservoir sample (module-level: picklable)."""
+    if not records:
+        return
+    mbr = shape_mbr(records[0])
+    for r in records[1:]:
+        mbr = mbr.union(shape_mbr(r))
+    per_block = max(
+        8, ctx.config["sample_size"] // max(1, ctx.config["num_blocks"])
+    )
+    picked = reservoir_sample(records, per_block, seed=ctx.split.block_index)
+    ctx.write_output((mbr, [shape_mbr(r).center for r in picked]))
+
+
+def _partition_map(_key, records, ctx):
+    """Route records to their cell(s) (module-level: picklable).
+
+    Records cross the shuffle as ``(block_index, offset)`` references, not
+    as the records themselves. The commit phase resolves references back to
+    the *original* record objects, so a record replicated into several
+    cells is stored as the same object in every block — identity sharing
+    that downstream consumers (the distributed join's duplicate handling)
+    rely on, and that shipping pickled record copies from worker processes
+    would silently break. It also keeps the shuffle payload tiny.
+    """
+    assign = ctx.config["partitioner"].assign
+    block_index = ctx.split.block_index
+    for offset, record in enumerate(records):
+        for cell_id in assign(shape_mbr(record)):
+            ctx.emit(cell_id, (block_index, offset))
+
+
+def _partition_reduce(cell_id, refs, ctx):
+    """Pack one cell's record references (module-level: picklable)."""
+    ctx.emit(cell_id, (cell_id, refs))
+
+
 @dataclass
 class IndexBuildResult:
     """Outcome of one index build."""
@@ -95,21 +132,11 @@ def build_index(
     # Phase 1: sampling job (map-only). Each map task ships its block MBR
     # and a small per-block sample to the driver.
     # ------------------------------------------------------------------
-    def sample_map(_key, records, ctx):
-        if not records:
-            return
-        mbr = shape_mbr(records[0])
-        for r in records[1:]:
-            mbr = mbr.union(shape_mbr(r))
-        per_block = max(8, sample_size // max(1, ctx.config["num_blocks"]))
-        picked = reservoir_sample(records, per_block, seed=ctx.split.block_index)
-        ctx.write_output((mbr, [shape_mbr(r).center for r in picked]))
-
     num_blocks = fs.num_blocks(input_file)
     sample_job = Job(
         input_file=input_file,
-        map_fn=sample_map,
-        config={"num_blocks": num_blocks},
+        map_fn=_sample_map,
+        config={"num_blocks": num_blocks, "sample_size": sample_size},
         name=f"sample({input_file})",
     )
     sample_result = runner.run(sample_job)
@@ -131,19 +158,10 @@ def build_index(
     # Phase 2: partitioning job. Map routes records to cells (replicating
     # for disjoint techniques); each reduce task packs one cell.
     # ------------------------------------------------------------------
-    def partition_map(_key, records, ctx):
-        assign = ctx.config["partitioner"].assign
-        for record in records:
-            for cell_id in assign(shape_mbr(record)):
-                ctx.emit(cell_id, record)
-
-    def partition_reduce(cell_id, records, ctx):
-        ctx.emit(cell_id, (cell_id, records))
-
     partition_job = Job(
         input_file=input_file,
-        map_fn=partition_map,
-        reduce_fn=partition_reduce,
+        map_fn=_partition_map,
+        reduce_fn=_partition_reduce,
         num_reducers=partitioner.num_cells(),
         config={"partitioner": partitioner},
         name=f"partition({input_file}, {technique})",
@@ -153,9 +171,14 @@ def build_index(
     # ------------------------------------------------------------------
     # Phase 3 (commit, on the master): assemble blocks + the global index.
     # ------------------------------------------------------------------
+    source_blocks = fs.get(input_file).blocks
     blocks: List[Block] = []
     cells: List[Cell] = []
-    for cell_id, records in sorted(partition_result.output, key=lambda kv: kv[0]):
+    for cell_id, refs in sorted(partition_result.output, key=lambda kv: kv[0]):
+        records = [
+            source_blocks[block_index].records[offset]
+            for block_index, offset in refs
+        ]
         if not records:
             continue
         content_mbr = shape_mbr(records[0])

@@ -28,6 +28,13 @@ from repro.mapreduce.counters import Counter, Counters
 from repro.mapreduce.fs import Block, FileEntry, FileSystem
 from repro.mapreduce.types import InputSplit
 from repro.mapreduce.cluster import ClusterModel, TaskStats
+from repro.mapreduce.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_workers,
+)
 from repro.mapreduce.job import Job, MapContext, ReduceContext
 from repro.mapreduce.runtime import JobResult, JobRunner
 
@@ -36,6 +43,7 @@ __all__ = [
     "ClusterModel",
     "Counter",
     "Counters",
+    "Executor",
     "FileEntry",
     "FileSystem",
     "InputSplit",
@@ -43,6 +51,10 @@ __all__ = [
     "JobResult",
     "JobRunner",
     "MapContext",
+    "ParallelExecutor",
     "ReduceContext",
+    "SerialExecutor",
     "TaskStats",
+    "make_executor",
+    "resolve_workers",
 ]

@@ -1,14 +1,18 @@
 """Cluster cost model: turns per-task work into a simulated makespan.
 
-The simulator executes every task serially in one process, measuring each
-task's actual CPU work. The :class:`ClusterModel` then *schedules* those
-task durations onto ``num_nodes`` identical nodes (greedy longest-processing
--time list scheduling, the same approximation Hadoop's scheduler achieves in
-practice) and charges the fixed per-job overhead the papers emphasise when
-counting MapReduce rounds. The result is a deterministic, hardware
--independent estimate of cluster wall-clock that preserves the evaluation's
-comparisons: fewer blocks read -> fewer map tasks -> smaller makespan;
-single-reducer merges serialise; extra rounds pay extra overhead.
+The simulator measures each task's actual CPU work (``time.process_time``
+inside the task, so the measurement is identical whether the executor runs
+tasks serially or across a real worker-process pool). The
+:class:`ClusterModel` then *schedules* those task durations onto
+``num_nodes`` identical nodes (greedy longest-processing-time list
+scheduling, the same approximation Hadoop's scheduler achieves in practice)
+and charges the fixed per-job overhead the papers emphasise when counting
+MapReduce rounds. The result is a deterministic, hardware-independent
+estimate of cluster wall-clock that preserves the evaluation's comparisons:
+fewer blocks read -> fewer map tasks -> smaller makespan; single-reducer
+merges serialise; extra rounds pay extra overhead. Real parallelism
+(``JobRunner(workers=N)``) changes how fast the simulator itself finishes,
+never the simulated makespan it reports.
 """
 
 from __future__ import annotations

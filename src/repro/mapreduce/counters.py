@@ -45,6 +45,17 @@ class Counters:
         for name, value in other.items():
             self._values[name] += value
 
+    def merge_dict(self, values: Dict[str, int]) -> None:
+        """Accumulate a plain ``{name: value}`` mapping.
+
+        Task results cross process boundaries as plain dicts (cheaper to
+        pickle than a :class:`Counters`); the driver folds them back in
+        with this method. Addition commutes, so the merged totals are
+        identical no matter which backend ran the tasks.
+        """
+        for name, value in values.items():
+            self._values[name] += value
+
     def items(self) -> Iterator[Tuple[str, int]]:
         return iter(sorted(self._values.items()))
 

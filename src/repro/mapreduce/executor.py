@@ -1,0 +1,174 @@
+"""Pluggable task executors: how a wave of tasks is physically run.
+
+The :class:`JobRunner` executes a job as two *waves* — all map tasks, then
+all reduce tasks. An :class:`Executor` decides how the tasks of one wave
+are dispatched:
+
+* :class:`SerialExecutor` runs every task in the driver process, one after
+  another. It is the default because it is perfectly reproducible, imposes
+  zero dispatch overhead, and supports map/reduce functions that close over
+  driver-side state (several operations and many tests rely on that).
+* :class:`ParallelExecutor` fans the wave out over a pool of worker
+  *processes* (``concurrent.futures.ProcessPoolExecutor``), the real-world
+  counterpart of the cluster the :class:`~repro.mapreduce.cluster.
+  ClusterModel` simulates. Tasks are shipped in chunks so the job object is
+  pickled once per chunk rather than once per task, and results come back
+  in submission order so job output and counters are identical to a serial
+  run.
+
+Jobs whose functions cannot be pickled (closures over local state, lambdas)
+transparently fall back to in-process execution; the ``fallbacks`` counter
+on the executor records how often that happened.
+
+The worker count is resolved from, in decreasing priority: an explicit
+``Job.config["workers"]`` entry, the ``JobRunner(workers=...)`` argument,
+the ``REPRO_WORKERS`` environment variable, and finally 1 (serial).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, List, Optional, Sequence
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Target number of chunks per worker: more chunks -> better load balance,
+#: fewer chunks -> less pickling. 4 is the conventional compromise.
+CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(explicit: Optional[int] = None) -> int:
+    """Resolve a worker count from ``explicit`` or ``$REPRO_WORKERS``.
+
+    Returns at least 1; 1 means serial execution.
+    """
+    if explicit is not None:
+        return max(1, int(explicit))
+    env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+    return 1
+
+
+def make_executor(workers: Optional[int] = None) -> "Executor":
+    """An executor for ``workers`` (resolved via :func:`resolve_workers`)."""
+    count = resolve_workers(workers)
+    if count <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(count)
+
+
+class Executor:
+    """Interface: run one wave of task chunks, preserving order."""
+
+    #: Human-readable backend name (shows up in benchmark tables).
+    name = "abstract"
+    #: Worker processes this executor uses (1 for serial).
+    workers = 1
+
+    def map_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> List[Any]:
+        """Apply ``fn`` to every chunk and return results in chunk order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources. Idempotent."""
+
+
+class SerialExecutor(Executor):
+    """Run every chunk in the driver process (the reproducible default)."""
+
+    name = "serial"
+
+    def map_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> List[Any]:
+        return [fn(chunk) for chunk in chunks]
+
+
+class ParallelExecutor(Executor):
+    """Run chunks concurrently on a process pool.
+
+    The pool is created lazily on first use and reused across jobs so its
+    startup cost is paid once per runner, not once per wave. The executor
+    pickles cleanly (the pool is dropped and re-created on demand), which
+    keeps CLI workspaces — which pickle the whole :class:`SpatialHadoop`
+    facade — working.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = max(2, resolve_workers(workers))
+        #: Number of waves that could not be parallelised (unpicklable
+        #: job functions) and ran in-process instead.
+        self.fallbacks = 0
+        self._pool = None
+
+    # -- pickling support -------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+    # -- pool management --------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution --------------------------------------------------------
+    def map_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> List[Any]:
+        if len(chunks) <= 1:
+            # Nothing to overlap; skip the dispatch cost entirely.
+            return [fn(chunk) for chunk in chunks]
+        if not self._can_ship(chunks[0]):
+            self.fallbacks += 1
+            return [fn(chunk) for chunk in chunks]
+        pool = self._ensure_pool()
+        try:
+            return list(pool.map(fn, chunks))
+        except (pickle.PicklingError, AttributeError, TypeError):
+            # A later chunk (or a task's return value) failed to pickle.
+            # The pool survives submission-side pickling errors; rerun the
+            # whole wave in-process so results stay complete and ordered.
+            self.fallbacks += 1
+            return [fn(chunk) for chunk in chunks]
+
+    @staticmethod
+    def _can_ship(chunk: Any) -> bool:
+        """Cheap pre-flight: can this wave's payload cross a process?
+
+        All chunks of a wave share the same job object and function
+        references, so probing the first chunk catches the common failure
+        (closures/lambdas as map/reduce functions) before any worker is
+        involved.
+        """
+        try:
+            pickle.dumps(chunk)
+            return True
+        except Exception:
+            return False

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -34,9 +35,41 @@ PartitionerFn = Callable[[Any, int], int]
 CommitFn = Callable[["CommitContext"], None]
 
 
+def _stable_key_bytes(key: Any) -> bytes:
+    """A canonical byte encoding of a shuffle key.
+
+    Python's builtin ``hash`` is salted per interpreter run for strings
+    (PYTHONHASHSEED), so using it to pick a reducer makes task placement —
+    and therefore per-reducer stats and output order — nondeterministic
+    across runs. This encoding is stable across runs and processes. A type
+    tag keeps distinct types from colliding (``1`` vs ``"1"``).
+    """
+    if key is None:
+        return b"n:"
+    if isinstance(key, bytes):
+        return b"b:" + key
+    if isinstance(key, str):
+        return b"s:" + key.encode("utf-8", "surrogatepass")
+    if isinstance(key, int):
+        # bool is an int subclass and True == 1: they must share a bucket,
+        # because reducers group keys by equality.
+        return b"i:%d" % key
+    if isinstance(key, float):
+        if key.is_integer():  # 1.0 == 1: same bucket as the int
+            return b"i:%d" % int(key)
+        return b"f:" + repr(key).encode("ascii")
+    if isinstance(key, (tuple, frozenset)):
+        parts = key if isinstance(key, tuple) else sorted(key, key=repr)
+        return b"t:" + b"|".join(_stable_key_bytes(part) for part in parts)
+    # Fall back to repr; fine for dataclasses and value types, which is
+    # what spatial jobs key by. (Objects with identity-based reprs should
+    # supply their own partitioner.)
+    return b"o:" + repr(key).encode("utf-8", "surrogatepass")
+
+
 def default_partitioner(key: Any, num_reducers: int) -> int:
-    """Hadoop's hash partitioner."""
-    return hash(key) % num_reducers
+    """Hadoop's hash partitioner, on a run-stable hash (CRC-32)."""
+    return zlib.crc32(_stable_key_bytes(key)) % num_reducers
 
 
 @dataclass

@@ -1,22 +1,48 @@
-"""The MapReduce execution engine."""
+"""The MapReduce execution engine.
+
+Jobs run as two waves — map, then reduce — and each wave is dispatched
+through a pluggable :class:`~repro.mapreduce.executor.Executor`: serially
+in-process (the default) or across a pool of worker processes. To keep the
+two backends bit-identical, tasks are pure functions: each task builds its
+own :class:`Counters`, and the driver recombines task results **in split /
+bucket order**, so output lists and counter values never depend on which
+backend (or how many workers) ran the wave.
+
+Task durations are measured with ``time.process_time`` — per-task CPU
+seconds, not wall-clock — so the simulated makespan produced by the
+:class:`ClusterModel` is unaffected by real parallelism (worker processes
+time their own CPU, oversubscription and scheduling noise excluded).
+"""
 
 from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.mapreduce.cluster import ClusterModel, TaskStats
 from repro.mapreduce.counters import Counter, Counters
+from repro.mapreduce.executor import (
+    CHUNKS_PER_WORKER,
+    Executor,
+    make_executor,
+    resolve_workers,
+)
 from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import (
     CommitContext,
     Job,
     MapContext,
     ReduceContext,
+    default_partitioner,
 )
 from repro.mapreduce.types import InputSplit
+
+#: Per-task clock: CPU seconds of the calling process. Worker processes
+#: time their own CPU, so real parallelism cannot corrupt the simulated
+#: makespan (wall-clock in an oversubscribed pool would).
+_task_clock = time.process_time
 
 
 def _record_size(record: Any) -> int:
@@ -26,6 +52,37 @@ def _record_size(record: Any) -> int:
     return max(sys.getsizeof(record), 16)
 
 
+class _RecordSizer:
+    """Memoised :func:`_record_size`: one ``sys.getsizeof`` per shape.
+
+    Shuffled records are overwhelmingly instances of a handful of types
+    (tuples of a few fixed layouts, geometry shapes), so sizing one sample
+    per (type, length) bucket replaces a per-record ``sys.getsizeof`` call
+    with a dict lookup. Strings and bytes keep their exact length.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        self._cache: Dict[Any, int] = {}
+
+    def size(self, record: Any) -> int:
+        if isinstance(record, (str, bytes)):
+            return len(record)
+        if isinstance(record, (tuple, list)):
+            key: Any = (type(record), len(record))
+        else:
+            key = type(record)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._cache[key] = max(sys.getsizeof(record), 16)
+        return cached
+
+    def total(self, pairs: Sequence[Tuple[Any, Any]]) -> int:
+        size = self.size
+        return sum(size(v) for _, v in pairs)
+
+
 def default_splitter(fs: FileSystem, job: Job) -> List[InputSplit]:
     """One split per block, key = block index (plain Hadoop behaviour).
 
@@ -33,8 +90,11 @@ def default_splitter(fs: FileSystem, job: Job) -> List[InputSplit]:
     map functions see the originating file as ``ctx.split.file``.
     """
     splits: List[InputSplit] = []
+    entries: Dict[str, Any] = {}  # one namenode lookup per distinct file
     for file_name in job.input_files:
-        entry = fs.get(file_name)
+        entry = entries.get(file_name)
+        if entry is None:
+            entry = entries[file_name] = fs.get(file_name)
         splits.extend(
             InputSplit(file=file_name, block_index=i, block=block, key=i)
             for i, block in enumerate(entry.blocks)
@@ -66,21 +126,193 @@ class JobResult:
         return self.counters.get(Counter.SHUFFLE_RECORDS)
 
 
+# ----------------------------------------------------------------------
+# Task bodies. These are module-level pure functions so the parallel
+# executor can ship them to worker processes; the serial executor calls
+# the very same code, which is what guarantees backend equivalence.
+# ----------------------------------------------------------------------
+def _noop_map(_key: Any, _records: Any, _ctx: Any) -> None:  # pragma: no cover
+    """Placeholder map function for reduce-wave job shipping."""
+
+
+def _shipped_job(job: Job, wave: str) -> Job:
+    """A copy of ``job`` stripped to what one wave's tasks actually need.
+
+    Driver-only hooks (splitter, reader, commit, partitioner) never run
+    inside a task, so dropping them keeps per-chunk pickling small and —
+    more importantly — lets a job with an unpicklable driver hook still
+    run its waves in parallel.
+    """
+    return replace(
+        job,
+        splitter=None,
+        reader=None,
+        commit_fn=None,
+        partitioner=default_partitioner,
+        map_fn=job.map_fn if wave == "map" else _noop_map,
+        combine_fn=job.combine_fn if wave == "map" else None,
+        reduce_fn=job.reduce_fn if wave == "reduce" else None,
+    )
+
+
+def _combine(
+    job: Job,
+    counters: Counters,
+    emitted: List[Tuple[Any, Any]],
+) -> List[Tuple[Any, Any]]:
+    """Run the combiner over one map task's output (grouped by key)."""
+    groups: Dict[Any, List[Any]] = {}
+    for k, v in emitted:
+        groups.setdefault(k, []).append(v)
+    ctx = ReduceContext(job, counters, task_index=-1)
+    for k, values in groups.items():
+        job.combine_fn(k, values, ctx)  # type: ignore[misc]
+    counters.increment(Counter.COMBINE_INPUT_RECORDS, len(emitted))
+    counters.increment(Counter.COMBINE_OUTPUT_RECORDS, len(ctx._emitted))
+    # Combiner may also early-flush via write_output; preserve that.
+    if ctx._output:
+        raise RuntimeError(
+            "combiners must not write final output; emit instead"
+        )
+    return ctx._emitted
+
+
+def _run_map_chunk(payload):
+    """Execute one chunk of map tasks; returns one result tuple per task.
+
+    Each result is ``(task_id, records_in, counters_dict, emitted,
+    output, seconds)``. Counters are per-task and merged by the driver in
+    split order, so totals cannot depend on task interleaving.
+    """
+    job, reader, splits = payload
+    results = []
+    for split in splits:
+        counters = Counters()
+        ctx = MapContext(job, counters, split)
+        started = _task_clock()
+        key, records = reader(split)
+        job.map_fn(key, records, ctx)
+        emitted = ctx._emitted
+        raw_emitted = len(emitted)
+        if job.combine_fn is not None and emitted:
+            emitted = _combine(job, counters, emitted)
+        elapsed = _task_clock() - started
+        counters.increment(Counter.MAP_INPUT_RECORDS, len(records))
+        counters.increment(Counter.MAP_OUTPUT_RECORDS, raw_emitted)
+        results.append(
+            (
+                f"map-{split.block_index}",
+                len(records),
+                counters.as_dict(),
+                emitted,
+                ctx._output,
+                elapsed,
+            )
+        )
+    return results
+
+
+def _run_reduce_chunk(payload):
+    """Execute one chunk of reduce tasks; returns one tuple per task.
+
+    Each result is ``(task_index, records_in, counters_dict, emitted,
+    output, seconds)``.
+    """
+    job, tasks = payload
+    results = []
+    for task_index, items in tasks:
+        counters = Counters()
+        ctx = ReduceContext(job, counters, task_index)
+        started = _task_clock()
+        # Hadoop sorts by key before reducing; keep that contract for
+        # reducers that rely on key order.
+        for k, values in _sorted_items(items):
+            job.reduce_fn(k, values, ctx)  # type: ignore[misc]
+        elapsed = _task_clock() - started
+        records_in = sum(len(values) for _, values in items)
+        counters.increment(Counter.REDUCE_INPUT_RECORDS, records_in)
+        counters.increment(
+            Counter.REDUCE_OUTPUT_RECORDS, len(ctx._emitted) + len(ctx._output)
+        )
+        results.append(
+            (
+                task_index,
+                records_in,
+                counters.as_dict(),
+                ctx._emitted,
+                ctx._output,
+                elapsed,
+            )
+        )
+    return results
+
+
+def _chunked(items: Sequence[Any], num_chunks: int) -> List[Sequence[Any]]:
+    """Split ``items`` into at most ``num_chunks`` contiguous runs."""
+    if not items:
+        return []
+    if num_chunks <= 1 or len(items) <= num_chunks:
+        size = 1 if num_chunks > 1 else len(items)
+    else:
+        size = -(-len(items) // num_chunks)  # ceil division
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
 class JobRunner:
     """Executes :class:`Job` instances against a :class:`FileSystem`.
 
     One runner holds one :class:`ClusterModel`; drivers that issue several
     jobs for one logical operation should sum the per-job makespans (plus
     any driver-side work) to report the operation's simulated time.
+
+    ``workers`` selects the execution backend: 1 (the default) runs tasks
+    serially in-process, >1 fans each wave out over that many worker
+    processes. When ``workers`` is omitted, the ``REPRO_WORKERS``
+    environment variable is consulted. Individual jobs may override the
+    backend with ``Job.config["workers"]``.
     """
 
     def __init__(
         self,
         fs: FileSystem,
         cluster: Optional[ClusterModel] = None,
+        workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
     ):
         self.fs = fs
         self.cluster = cluster or ClusterModel()
+        self.executor = executor if executor is not None else make_executor(workers)
+        self._job_executors: Dict[int, Executor] = {}
+
+    @property
+    def workers(self) -> int:
+        """Worker processes of the default backend (1 = serial)."""
+        return self.executor.workers
+
+    def set_workers(self, workers: Optional[int]) -> None:
+        """Swap the default backend for one with ``workers`` processes."""
+        self.close()
+        self.executor = make_executor(workers)
+
+    def close(self) -> None:
+        """Shut down any worker pools this runner created."""
+        self.executor.close()
+        for executor in self._job_executors.values():
+            executor.close()
+        self._job_executors.clear()
+
+    def _executor_for(self, job: Job) -> Executor:
+        """The backend for ``job``: its config override, or the default."""
+        override = job.config.get("workers")
+        if override is None:
+            return self.executor
+        count = resolve_workers(override)
+        if count == self.executor.workers:
+            return self.executor
+        cached = self._job_executors.get(count)
+        if cached is None:
+            cached = self._job_executors[count] = make_executor(count)
+        return cached
 
     # ------------------------------------------------------------------
     def run(self, job: Job) -> JobResult:
@@ -88,11 +320,14 @@ class JobRunner:
         counters = Counters()
         splitter = job.splitter or default_splitter
         reader = job.reader or default_reader
+        executor = self._executor_for(job)
 
+        entries: Dict[str, Any] = {}
         for file_name in job.input_files:
-            counters.increment(
-                Counter.BLOCKS_TOTAL, self.fs.get(file_name).num_blocks
-            )
+            entry = entries.get(file_name)
+            if entry is None:
+                entry = entries[file_name] = self.fs.get(file_name)
+            counters.increment(Counter.BLOCKS_TOTAL, entry.num_blocks)
 
         splits = splitter(self.fs, job)
         counters.increment(Counter.BLOCKS_READ, len(splits))
@@ -102,7 +337,7 @@ class JobRunner:
 
         output: List[Any] = []
         map_stats, intermediate = self._run_map_wave(
-            job, splits, reader, counters, output
+            job, splits, reader, counters, output, executor
         )
 
         reduce_stats: List[TaskStats] = []
@@ -111,11 +346,10 @@ class JobRunner:
             shuffle_records = len(intermediate)
             counters.increment(Counter.SHUFFLE_RECORDS, shuffle_records)
             counters.increment(
-                Counter.SHUFFLE_BYTES,
-                sum(_record_size(v) for _, v in intermediate),
+                Counter.SHUFFLE_BYTES, _RecordSizer().total(intermediate)
             )
             reduce_stats = self._run_reduce_wave(
-                job, intermediate, counters, output
+                job, intermediate, counters, output, executor
             )
         else:
             # Map-only job: emitted pairs join the direct output.
@@ -145,54 +379,35 @@ class JobRunner:
         reader,
         counters: Counters,
         output: List[Any],
+        executor: Executor,
     ) -> Tuple[List[TaskStats], List[Tuple[Any, Any]]]:
         intermediate: List[Tuple[Any, Any]] = []
         stats: List[TaskStats] = []
         counters.increment(Counter.MAP_TASKS, len(splits))
-        for split in splits:
-            ctx = MapContext(job, counters, split)
-            started = time.perf_counter()
-            key, records = reader(split)
-            job.map_fn(key, records, ctx)
-            emitted = ctx._emitted
-            if job.combine_fn is not None and emitted:
-                emitted = self._combine(job, counters, emitted)
-            elapsed = time.perf_counter() - started
-            counters.increment(Counter.MAP_INPUT_RECORDS, len(records))
-            counters.increment(Counter.MAP_OUTPUT_RECORDS, len(ctx._emitted))
-            stats.append(
-                TaskStats(
-                    task_id=f"map-{split.block_index}",
-                    records_in=len(records),
-                    records_out=len(emitted) + len(ctx._output),
-                    seconds=elapsed,
-                )
-            )
-            intermediate.extend(emitted)
-            output.extend(ctx._output)
-        return stats, intermediate
+        if not splits:
+            return stats, intermediate
 
-    def _combine(
-        self,
-        job: Job,
-        counters: Counters,
-        emitted: List[Tuple[Any, Any]],
-    ) -> List[Tuple[Any, Any]]:
-        """Run the combiner over one map task's output (grouped by key)."""
-        groups: Dict[Any, List[Any]] = {}
-        for k, v in emitted:
-            groups.setdefault(k, []).append(v)
-        ctx = ReduceContext(job, counters, task_index=-1)
-        for k, values in groups.items():
-            job.combine_fn(k, values, ctx)  # type: ignore[misc]
-        counters.increment(Counter.COMBINE_INPUT_RECORDS, len(emitted))
-        counters.increment(Counter.COMBINE_OUTPUT_RECORDS, len(ctx._emitted))
-        # Combiner may also early-flush via write_output; preserve that.
-        if ctx._output:
-            raise RuntimeError(
-                "combiners must not write final output; emit instead"
-            )
-        return ctx._emitted
+        shipped = _shipped_job(job, wave="map")
+        num_chunks = (
+            executor.workers * CHUNKS_PER_WORKER if executor.workers > 1 else 1
+        )
+        payloads = [
+            (shipped, reader, chunk) for chunk in _chunked(splits, num_chunks)
+        ]
+        for chunk_result in executor.map_chunks(_run_map_chunk, payloads):
+            for task_id, records_in, cdict, emitted, out, secs in chunk_result:
+                counters.merge_dict(cdict)
+                stats.append(
+                    TaskStats(
+                        task_id=task_id,
+                        records_in=records_in,
+                        records_out=len(emitted) + len(out),
+                        seconds=secs,
+                    )
+                )
+                intermediate.extend(emitted)
+                output.extend(out)
+        return stats, intermediate
 
     def _run_reduce_wave(
         self,
@@ -200,6 +415,7 @@ class JobRunner:
         intermediate: List[Tuple[Any, Any]],
         counters: Counters,
         output: List[Any],
+        executor: Executor,
     ) -> List[TaskStats]:
         num_reducers = max(1, job.num_reducers)
         buckets: List[Dict[Any, List[Any]]] = [{} for _ in range(num_reducers)]
@@ -207,36 +423,56 @@ class JobRunner:
             index = job.partitioner(k, num_reducers) if num_reducers > 1 else 0
             buckets[index].setdefault(k, []).append(v)
 
+        tasks = [
+            (task_index, list(bucket.items()))
+            for task_index, bucket in enumerate(buckets)
+            if bucket
+        ]
+        counters.increment(Counter.REDUCE_TASKS, len(tasks))
         stats: List[TaskStats] = []
-        active = [b for b in buckets if b]
-        counters.increment(Counter.REDUCE_TASKS, len(active))
-        for task_index, bucket in enumerate(buckets):
-            if not bucket:
-                continue
-            ctx = ReduceContext(job, counters, task_index)
-            started = time.perf_counter()
-            # Hadoop sorts by key before reducing; keep that contract for
-            # reducers that rely on key order.
-            for k in _sorted_keys(bucket):
-                job.reduce_fn(k, bucket[k], ctx)  # type: ignore[misc]
-            elapsed = time.perf_counter() - started
-            records_in = sum(len(vs) for vs in bucket.values())
-            counters.increment(Counter.REDUCE_INPUT_RECORDS, records_in)
-            counters.increment(
-                Counter.REDUCE_OUTPUT_RECORDS, len(ctx._emitted) + len(ctx._output)
-            )
-            stats.append(
-                TaskStats(
-                    task_id=f"reduce-{task_index}",
-                    records_in=records_in,
-                    records_out=len(ctx._emitted) + len(ctx._output),
-                    seconds=elapsed,
+        if not tasks:
+            return stats
+
+        shipped = _shipped_job(job, wave="reduce")
+        num_chunks = (
+            executor.workers * CHUNKS_PER_WORKER if executor.workers > 1 else 1
+        )
+        payloads = [
+            (shipped, chunk) for chunk in _chunked(tasks, num_chunks)
+        ]
+        for chunk_result in executor.map_chunks(_run_reduce_chunk, payloads):
+            for task_index, records_in, cdict, emitted, out, secs in chunk_result:
+                counters.merge_dict(cdict)
+                stats.append(
+                    TaskStats(
+                        task_id=f"reduce-{task_index}",
+                        records_in=records_in,
+                        records_out=len(emitted) + len(out),
+                        seconds=secs,
+                    )
                 )
-            )
-            # Reduce emit() goes to the job output (there is no later stage).
-            output.extend(v for _, v in ctx._emitted)
-            output.extend(ctx._output)
+                # Reduce emit() goes to the job output (no later stage).
+                output.extend(v for _, v in emitted)
+                output.extend(out)
         return stats
+
+
+def _sorted_items(
+    items: List[Tuple[Any, List[Any]]]
+) -> List[Tuple[Any, List[Any]]]:
+    """Key-grouped items in key order when comparable, as given otherwise.
+
+    Combiner and map output groups usually arrive already key-sorted (or
+    nearly so); the linear pre-scan skips the re-sort — and its copy — in
+    that common case.
+    """
+    try:
+        for i in range(len(items) - 1):
+            if items[i + 1][0] < items[i][0]:
+                return sorted(items, key=lambda kv: kv[0])
+        return items
+    except TypeError:
+        return items
 
 
 def _sorted_keys(bucket: Dict[Any, List[Any]]) -> List[Any]:

@@ -49,6 +49,33 @@ def _merge_topk(partials: List[Neighbors], k: int) -> Neighbors:
     return merged[:k]
 
 
+def _knn_scan_map(_key, records, ctx):
+    """Per-block local top-k (module-level: picklable)."""
+    top = _local_topk(records, ctx.config["query"], ctx.config["k"])
+    for pair in top:
+        ctx.emit(1, pair)
+
+
+def _knn_merge_reduce(_key, pairs, ctx):
+    """Merge the local top-k lists (module-level: picklable)."""
+    for pair in _merge_topk([pairs], ctx.config["k"]):
+        ctx.emit(1, pair)
+
+
+def _knn_indexed_map(_cell, records, ctx):
+    """Per-partition top-k via the local index (module-level: picklable)."""
+    local = local_index_of(ctx) if ctx.config["use_local_index"] else None
+    if local is not None:
+        top = [
+            (d, e.record)
+            for d, e in local.knn(ctx.config["query"], ctx.config["k"])
+        ]
+    else:
+        top = _local_topk(records, ctx.config["query"], ctx.config["k"])
+    for pair in top:
+        ctx.write_output(pair)
+
+
 def knn_hadoop(
     runner: JobRunner, file_name: str, query: Point, k: int
 ) -> OperationResult:
@@ -56,19 +83,10 @@ def knn_hadoop(
     if k <= 0:
         raise ValueError("k must be positive")
 
-    def map_fn(_key, records, ctx):
-        top = _local_topk(records, ctx.config["query"], ctx.config["k"])
-        for pair in top:
-            ctx.emit(1, pair)
-
-    def reduce_fn(_key, pairs, ctx):
-        for pair in _merge_topk([pairs], ctx.config["k"]):
-            ctx.emit(1, pair)
-
     job = Job(
         input_file=file_name,
-        map_fn=map_fn,
-        reduce_fn=reduce_fn,
+        map_fn=_knn_scan_map,
+        reduce_fn=_knn_merge_reduce,
         config={"query": query, "k": k},
         name=f"knn-hadoop({file_name})",
     )
@@ -90,22 +108,10 @@ def knn_spatial(
     if gindex is None:
         raise ValueError(f"{file_name!r} is not spatially indexed")
 
-    def map_fn(_cell, records, ctx):
-        local = local_index_of(ctx) if ctx.config["use_local_index"] else None
-        if local is not None:
-            top = [
-                (d, e.record)
-                for d, e in local.knn(ctx.config["query"], ctx.config["k"])
-            ]
-        else:
-            top = _local_topk(records, ctx.config["query"], ctx.config["k"])
-        for pair in top:
-            ctx.write_output(pair)
-
     def run_round(cell_ids) -> "JobResult":  # noqa: F821
         job = Job(
             input_file=file_name,
-            map_fn=map_fn,
+            map_fn=_knn_indexed_map,
             splitter=spatial_splitter(
                 lambda gi: [c for c in gi if c.cell_id in cell_ids]
             ),

@@ -18,22 +18,45 @@ from repro.mapreduce import Job, JobRunner
 from repro.operations.range_query import _matches, _owned_by_cell
 
 
+def _count_scan_map(_key, records, ctx):
+    """Per-block matching-record count (module-level: picklable)."""
+    q = ctx.config["query"]
+    ctx.emit(1, sum(1 for r in records if _matches(r, q)))
+
+
+def _count_reduce(_key, partials, ctx):
+    """Sum the per-task partial counts (module-level: picklable)."""
+    ctx.emit(1, sum(partials))
+
+
+def _count_indexed_map(cell, records, ctx):
+    """Per-partition count with dedup ownership (module-level: picklable)."""
+    q = ctx.config["query"]
+    local = local_index_of(ctx)
+    if local is not None:
+        candidates = [e.record for e in local.search(q)]
+    else:
+        candidates = [r for r in records if _matches(r, q)]
+    count = 0
+    for record in candidates:
+        if not _matches(record, q):
+            continue
+        if ctx.config["dedup"] and not _owned_by_cell(
+            shape_mbr(record), cell, q
+        ):
+            continue
+        count += 1
+    ctx.emit(1, count)
+
+
 def range_count_hadoop(
     runner: JobRunner, file_name: str, query: Rectangle
 ) -> OperationResult:
     """Full-scan COUNT with a combiner-style single partial per block."""
-
-    def map_fn(_key, records, ctx):
-        q = ctx.config["query"]
-        ctx.emit(1, sum(1 for r in records if _matches(r, q)))
-
-    def reduce_fn(_key, partials, ctx):
-        ctx.emit(1, sum(partials))
-
     job = Job(
         input_file=file_name,
-        map_fn=map_fn,
-        reduce_fn=reduce_fn,
+        map_fn=_count_scan_map,
+        reduce_fn=_count_reduce,
         config={"query": query},
         name=f"range-count-hadoop({file_name})",
     )
@@ -66,31 +89,10 @@ def range_count_spatial(
         else:
             boundary_cells.add(cell.cell_id)
 
-    def map_fn(cell, records, ctx):
-        q = ctx.config["query"]
-        local = local_index_of(ctx)
-        if local is not None:
-            candidates = [e.record for e in local.search(q)]
-        else:
-            candidates = [r for r in records if _matches(r, q)]
-        count = 0
-        for record in candidates:
-            if not _matches(record, q):
-                continue
-            if ctx.config["dedup"] and not _owned_by_cell(
-                shape_mbr(record), cell, q
-            ):
-                continue
-            count += 1
-        ctx.emit(1, count)
-
-    def reduce_fn(_key, partials, ctx):
-        ctx.emit(1, sum(partials))
-
     job = Job(
         input_file=file_name,
-        map_fn=map_fn,
-        reduce_fn=reduce_fn,
+        map_fn=_count_indexed_map,
+        reduce_fn=_count_reduce,
         splitter=spatial_splitter(
             lambda gi: [c for c in gi if c.cell_id in boundary_cells]
         ),

@@ -41,20 +41,39 @@ def _owned_by_cell(record_mbr: Rectangle, cell: Rectangle, query: Rectangle) -> 
     return cell.contains_point_left_inclusive(ref)
 
 
+def _scan_map(_key, records, ctx):
+    """Map task of the full-scan range query (module-level: picklable)."""
+    q = ctx.config["query"]
+    for record in records:
+        if _matches(record, q):
+            ctx.write_output(record)
+
+
+def _indexed_map(cell, records, ctx):
+    """Map task of the indexed range query (module-level: picklable)."""
+    q = ctx.config["query"]
+    local = local_index_of(ctx) if ctx.config["use_local_index"] else None
+    if local is not None:
+        candidates = [e.record for e in local.search(q)]
+    else:
+        candidates = [r for r in records if _matches(r, q)]
+    for record in candidates:
+        if not _matches(record, q):
+            continue
+        if ctx.config["dedup"] and not _owned_by_cell(
+            shape_mbr(record), cell, q
+        ):
+            continue
+        ctx.write_output(record)
+
+
 def range_query_hadoop(
     runner: JobRunner, file_name: str, query: Rectangle
 ) -> OperationResult:
     """Full-scan range query on a heap (or indexed) file."""
-
-    def map_fn(_key, records, ctx):
-        q = ctx.config["query"]
-        for record in records:
-            if _matches(record, q):
-                ctx.write_output(record)
-
     job = Job(
         input_file=file_name,
-        map_fn=map_fn,
+        map_fn=_scan_map,
         config={"query": query},
         name=f"range-hadoop({file_name})",
     )
@@ -80,25 +99,9 @@ def range_query_spatial(
         raise ValueError(f"{file_name!r} is not spatially indexed")
     dedup = gindex.disjoint
 
-    def map_fn(cell, records, ctx):
-        q = ctx.config["query"]
-        local = local_index_of(ctx) if ctx.config["use_local_index"] else None
-        if local is not None:
-            candidates = [e.record for e in local.search(q)]
-        else:
-            candidates = [r for r in records if _matches(r, q)]
-        for record in candidates:
-            if not _matches(record, q):
-                continue
-            if ctx.config["dedup"] and not _owned_by_cell(
-                shape_mbr(record), cell, q
-            ):
-                continue
-            ctx.write_output(record)
-
     job = Job(
         input_file=file_name,
-        map_fn=map_fn,
+        map_fn=_indexed_map,
         splitter=spatial_splitter(overlapping_filter(query) if prune else None),
         reader=spatial_reader,
         config={"query": query, "use_local_index": use_local_index, "dedup": dedup},

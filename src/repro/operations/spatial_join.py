@@ -82,6 +82,34 @@ def _pair_owned_by(cell: Rectangle, a: Rectangle, b: Rectangle) -> bool:
 # ----------------------------------------------------------------------
 # SJMR: the Hadoop baseline
 # ----------------------------------------------------------------------
+def _sjmr_map(_key, records, ctx):
+    """SJMR repartition map (module-level: picklable).
+
+    A self-join (both sides the same file) tags every record for both
+    sides; otherwise the originating file decides the side.
+    """
+    if ctx.config["self_join"]:
+        tags = (0, 1)
+    else:
+        tags = (0,) if ctx.split.file == ctx.config["left"] else (1,)
+    g: GridPartitioner = ctx.config["grid"]
+    for record in records:
+        for cell_id in g.overlapping_cells(shape_mbr(record)):
+            for tag in tags:
+                ctx.emit(cell_id, (tag, record))
+
+
+def _sjmr_reduce(cell_id, tagged, ctx):
+    """SJMR per-cell plane-sweep join (module-level: picklable)."""
+    g: GridPartitioner = ctx.config["grid"]
+    cell = g.cell_rect(cell_id)
+    left = [r for t, r in tagged if t == 0]
+    right = [r for t, r in tagged if t == 1]
+    for l, r in plane_sweep_join(left, right):
+        if _pair_owned_by(cell, shape_mbr(l), shape_mbr(r)):
+            ctx.emit(cell_id, (l, r))
+
+
 def spatial_join_sjmr(
     runner: JobRunner,
     left_file: str,
@@ -112,35 +140,13 @@ def spatial_join_sjmr(
     size = grid_size or max(1, math.ceil(math.sqrt(total / fs.default_block_capacity)))
     grid = GridPartitioner(mbr, grid_size=size)
 
-    def map_fn(_key, records, ctx):
-        # A self-join (both sides the same file) tags every record for both
-        # sides; otherwise the originating file decides the side.
-        if ctx.config["self_join"]:
-            tags = (0, 1)
-        else:
-            tags = (0,) if ctx.split.file == ctx.config["left"] else (1,)
-        g: GridPartitioner = ctx.config["grid"]
-        for record in records:
-            for cell_id in g.overlapping_cells(shape_mbr(record)):
-                for tag in tags:
-                    ctx.emit(cell_id, (tag, record))
-
-    def reduce_fn(cell_id, tagged, ctx):
-        g: GridPartitioner = ctx.config["grid"]
-        cell = g.cell_rect(cell_id)
-        left = [r for t, r in tagged if t == 0]
-        right = [r for t, r in tagged if t == 1]
-        for l, r in plane_sweep_join(left, right):
-            if _pair_owned_by(cell, shape_mbr(l), shape_mbr(r)):
-                ctx.emit(cell_id, (l, r))
-
     input_files = (
         [left_file] if left_file == right_file else [left_file, right_file]
     )
     job = Job(
         input_file=input_files,
-        map_fn=map_fn,
-        reduce_fn=reduce_fn,
+        map_fn=_sjmr_map,
+        reduce_fn=_sjmr_reduce,
         num_reducers=grid.num_cells(),
         config={
             "grid": grid,
@@ -158,6 +164,32 @@ def spatial_join_sjmr(
 # ----------------------------------------------------------------------
 # Distributed join: the SpatialHadoop algorithm
 # ----------------------------------------------------------------------
+def _pair_splitter(fs_, job_):
+    """One split per overlapping-partition-pair block."""
+    entry = fs_.get(job_.input_file)
+    return [
+        InputSplit(
+            file=job_.input_file,
+            block_index=i,
+            block=block,
+            key=block.metadata["cell"],
+        )
+        for i, block in enumerate(entry.blocks)
+    ]
+
+
+def _dj_map(cell, tagged, ctx):
+    """Distributed-join per-pair plane sweep (module-level: picklable)."""
+    left = [r for t, r in tagged if t == 0]
+    right = [r for t, r in tagged if t == 1]
+    for l, r in plane_sweep_join(left, right):
+        if ctx.config["ref_dedup"] and not _pair_owned_by(
+            cell, shape_mbr(l), shape_mbr(r)
+        ):
+            continue
+        ctx.write_output((l, r))
+
+
 def spatial_join_distributed(
     runner: JobRunner, left_file: str, right_file: str
 ) -> OperationResult:
@@ -195,18 +227,6 @@ def spatial_join_distributed(
         fs.delete(pairs_file)
     fs.create_file_from_blocks(pairs_file, pair_blocks)
 
-    def pair_splitter(fs_, job_):
-        entry = fs_.get(job_.input_file)
-        return [
-            InputSplit(
-                file=job_.input_file,
-                block_index=i,
-                block=block,
-                key=block.metadata["cell"],
-            )
-            for i, block in enumerate(entry.blocks)
-        ]
-
     # Duplicate avoidance. When *both* indexes are disjoint, the cell-pair
     # intersections refine both tilings, so the reference-point rule reports
     # every pair exactly once with no communication. When at least one index
@@ -215,21 +235,17 @@ def spatial_join_distributed(
     # Hadoop's dedup-by-key round) removes them.
     reference_point_dedup = left_index.disjoint and right_index.disjoint
 
-    def map_fn(cell, tagged, ctx):
-        left = [r for t, r in tagged if t == 0]
-        right = [r for t, r in tagged if t == 1]
-        for l, r in plane_sweep_join(left, right):
-            if ctx.config["ref_dedup"] and not _pair_owned_by(
-                cell, shape_mbr(l), shape_mbr(r)
-            ):
-                continue
-            ctx.write_output((l, r))
-
+    config = {"ref_dedup": reference_point_dedup}
+    if not reference_point_dedup:
+        # The driver-side fallback below dedups by object identity, which
+        # only holds when map tasks run in the driver process: pin this job
+        # to the serial backend so a parallel runner cannot break it.
+        config["workers"] = 1
     job = Job(
         input_file=pairs_file,
-        map_fn=map_fn,
-        splitter=pair_splitter,
-        config={"ref_dedup": reference_point_dedup},
+        map_fn=_dj_map,
+        splitter=_pair_splitter,
+        config=config,
         name=f"dj({left_file},{right_file})",
     )
     try:

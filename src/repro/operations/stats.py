@@ -38,6 +38,25 @@ class FileStats:
         return self.num_records / self.mbr.area
 
 
+def _stats_map(_key, records, ctx):
+    """Per-block record count + MBR (module-level: picklable)."""
+    if not records:
+        return
+    mbr = shape_mbr(records[0])
+    for r in records[1:]:
+        mbr = mbr.union(shape_mbr(r))
+    ctx.emit(1, (len(records), mbr))
+
+
+def _stats_reduce(_key, partials, ctx):
+    """Merge the per-block partial statistics (module-level: picklable)."""
+    total = sum(n for n, _ in partials)
+    mbr = partials[0][1]
+    for _, m in partials[1:]:
+        mbr = mbr.union(m)
+    ctx.emit(1, (total, mbr))
+
+
 def file_stats(runner: JobRunner, file_name: str) -> OperationResult:
     """Compute :class:`FileStats` for ``file_name``.
 
@@ -57,25 +76,10 @@ def file_stats(runner: JobRunner, file_name: str) -> OperationResult:
         )
         return OperationResult(answer=stats, jobs=[])
 
-    def map_fn(_key, records, ctx):
-        if not records:
-            return
-        mbr = shape_mbr(records[0])
-        for r in records[1:]:
-            mbr = mbr.union(shape_mbr(r))
-        ctx.emit(1, (len(records), mbr))
-
-    def reduce_fn(_key, partials, ctx):
-        total = sum(n for n, _ in partials)
-        mbr = partials[0][1]
-        for _, m in partials[1:]:
-            mbr = mbr.union(m)
-        ctx.emit(1, (total, mbr))
-
     job = Job(
         input_file=file_name,
-        map_fn=map_fn,
-        reduce_fn=reduce_fn,
+        map_fn=_stats_map,
+        reduce_fn=_stats_reduce,
         name=f"stats({file_name})",
     )
     result = runner.run(job)
