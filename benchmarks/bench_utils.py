@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+from typing import Optional, Union
+
 from repro import SpatialHadoop
 
 #: Cluster configuration used across experiments: the papers' 25-node
@@ -29,3 +33,23 @@ def speedup(baseline: float, other: float) -> str:
     if other <= 0:
         return "-"
     return f"{baseline / other:.1f}x"
+
+
+def metrics_snapshot(
+    sh: SpatialHadoop,
+    label: str,
+    out: Optional[Union[str, Path]] = None,
+) -> dict:
+    """Capture the system's metrics registry alongside a benchmark run.
+
+    Returns ``{"label": ..., "metrics": <registry snapshot>}`` and, when
+    ``out`` is given, appends it as one JSON line so successive runs of
+    an experiment accumulate comparable distribution data (task-duration
+    and shuffle-bytes histograms, cumulative counters) next to the
+    timing tables the benchmarks print.
+    """
+    record = {"label": label, "metrics": sh.metrics.snapshot()}
+    if out is not None:
+        with Path(out).open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record

@@ -8,7 +8,7 @@ file.
 
 import math
 
-from bench_utils import fmt_s, make_system, speedup
+from bench_utils import fmt_s, make_system, metrics_snapshot, speedup
 
 from repro.datagen import generate_points
 from repro.geometry import Rectangle
@@ -53,6 +53,11 @@ def test_e2_range_query_selectivity(benchmark, report):
         ["selectivity", "hits", "hadoop"] + TECHNIQUES,
         rows,
     )
+
+    # Distribution data to go with the timing table: cumulative counters
+    # plus the task-duration histogram over every query above.
+    snap = metrics_snapshot(sh, "e2-range-query-selectivity")
+    assert snap["metrics"]["histograms"]["task_duration_seconds"]["count"] > 0
 
     window = centred_window(0.001)
     result = benchmark.pedantic(

@@ -11,9 +11,15 @@ HDFS between invocations, so a session looks like::
     python -m repro -w ws.pkl knn pts_idx --point 5e5,5e5 --k 10
     python -m repro -w ws.pkl plot pts_idx --ascii
     python -m repro -w ws.pkl info pts_idx
+    python -m repro -w ws.pkl history
 
 Every query command prints the answer summary plus the cost line the
-benchmarks use (blocks read, records shuffled, simulated makespan).
+benchmarks use (blocks read, records shuffled, simulated makespan);
+``-v`` adds the full sorted counter table. The global ``--trace FILE``
+flag records a structured span trace of the invocation (JSON-lines,
+plus a Chrome ``trace_event`` file for chrome://tracing / Perfetto),
+and the ``history`` subcommand renders the Hadoop-JobHistory-style
+report of the jobs the workspace has run.
 """
 
 from __future__ import annotations
@@ -69,6 +75,23 @@ def _cost_line(op: OperationResult) -> str:
     )
 
 
+def _print_counter_table(counters, indent: str = "  ") -> None:
+    items = list(counters.items())
+    if not items:
+        print(f"{indent}(no counters)")
+        return
+    width = max(len(name) for name, _ in items)
+    for name, value in items:
+        print(f"{indent}{name:<{width}} {value:>12d}")
+
+
+def _print_cost(op: OperationResult, verbose: bool) -> None:
+    print(_cost_line(op))
+    if verbose:
+        print("[counters]")
+        _print_counter_table(op.counters)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -87,6 +110,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run map/reduce waves across N worker processes "
              "(default: $REPRO_WORKERS, else serial); results are "
              "identical to serial execution",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a structured trace of this invocation: JSON-lines "
+             "spans to FILE plus a Chrome trace_event file next to it "
+             "(open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the full sorted counter table after query commands",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -152,6 +185,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("info", help="describe one file")
     p.add_argument("file")
 
+    p = sub.add_parser(
+        "history", help="render the job-history report for this workspace"
+    )
+    p.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the N most recent jobs (default: all retained)",
+    )
+
     p = sub.add_parser("rm", help="delete a file")
     p.add_argument("file")
 
@@ -170,6 +211,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # A per-invocation execution choice, not a workspace property:
         # workspaces saved under --workers replay fine without it.
         sh.runner.set_workers(args.workers)
+    tracer = sh.enable_tracing() if args.trace else None
+    jobs_before = sh.history.total_recorded
     mutated = False
 
     try:
@@ -179,8 +222,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     finally:
         sh.runner.close()
+        if tracer is not None:
+            trace_path = Path(args.trace)
+            tracer.export_jsonl(trace_path)
+            chrome_path = trace_path.with_suffix(".chrome.json")
+            tracer.export_chrome(chrome_path)
+            print(
+                f"[trace] {len(tracer.records())} records -> {trace_path} "
+                f"(Chrome: {chrome_path})",
+                file=sys.stderr,
+            )
+            # Live tracers are per-invocation diagnostics; never pickle
+            # one into the workspace.
+            sh.disable_tracing()
 
-    if mutated:
+    # Query commands don't mutate the file system, but they do append to
+    # the job history — persist that too so `repro history` accumulates.
+    if mutated or sh.history.total_recorded > jobs_before:
         _save_workspace(sh, path)
     return 0
 
@@ -219,20 +277,20 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
     if cmd == "rangequery":
         op = sh.range_query(args.file, _parse_window(args.window))
         print(f"{len(op.answer)} records match")
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "knn":
         op = sh.knn(args.file, _parse_point(args.point), args.k)
         for distance, record in op.answer:
             print(f"{distance:12.3f}  {record}")
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "sjoin":
         op = sh.spatial_join(args.left, args.right)
         print(f"{len(op.answer)} overlapping pairs")
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "knnjoin":
@@ -247,7 +305,7 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
         else:
             op = knn_join_hadoop(sh.runner, args.left, args.right, args.k)
         print(f"{len(op.answer)} rows, k={args.k}")
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "rangecount":
@@ -259,7 +317,7 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
         else:
             op = range_count_hadoop(sh.runner, args.file, window)
         print(f"count: {op.answer}")
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "skyline":
@@ -267,27 +325,27 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
         print(f"skyline has {len(op.answer)} points:")
         for p in op.answer:
             print(f"  {p}")
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "hull":
         op = sh.convex_hull(args.file)
         print(f"convex hull has {len(op.answer)} vertices")
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "closestpair":
         op = sh.closest_pair(args.file)
         a, b = op.answer
         print(f"closest pair: {a} — {b} (distance {a.distance(b):.6f})")
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "farthestpair":
         op = sh.farthest_pair(args.file)
         a, b = op.answer
         print(f"farthest pair: {a} — {b} (distance {a.distance(b):.3f})")
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "voronoi":
@@ -297,7 +355,7 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
             f"voronoi diagram: {len(res.regions)} regions, "
             f"{100 * res.pruned_fraction:.1f}% finalised before the merge"
         )
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "union":
@@ -306,7 +364,7 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
             print(f"union boundary: {len(op.answer)} segments")
         else:
             print(f"union: {len(op.answer)} rings")
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "plot":
@@ -318,7 +376,7 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
             print(f"wrote {args.out}")
         if args.ascii or not args.out:
             print(op.answer.to_ascii())
-        print(_cost_line(op))
+        _print_cost(op, args.verbose)
         return False
 
     if cmd == "pigeon":
@@ -362,6 +420,14 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
             print(f"file MBR  : {gindex.mbr}")
             for cell in gindex:
                 print(f"  {cell}")
+        if args.verbose:
+            snapshot = sh.metrics.snapshot()
+            print("workspace metrics:")
+            _print_counter_table(snapshot["counters"])
+        return False
+
+    if cmd == "history":
+        print(sh.history.report(last=args.last), end="")
         return False
 
     if cmd == "rm":

@@ -24,6 +24,7 @@ from repro.core.result import OperationResult
 from repro.geometry import Point, Rectangle
 from repro.index.build import IndexBuildResult, build_index
 from repro.mapreduce import ClusterModel, FileSystem, JobRunner
+from repro.observe import JobHistory, MetricsRegistry, NullTracer, Tracer
 
 
 class SpatialHadoop:
@@ -45,7 +46,56 @@ class SpatialHadoop:
         self.cluster = ClusterModel(
             num_nodes=num_nodes, job_overhead_s=job_overhead_s
         )
-        self.runner = JobRunner(self.fs, self.cluster, workers=workers)
+        #: The observability layer: every job the runner finishes lands in
+        #: ``history`` and ``metrics``; ``tracer`` is a no-op until
+        #: :meth:`enable_tracing` swaps in a live one.
+        self.tracer = NullTracer()
+        self.metrics = MetricsRegistry()
+        self.history = JobHistory()
+        self.runner = JobRunner(
+            self.fs,
+            self.cluster,
+            workers=workers,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            history=self.history,
+        )
+
+    def __setstate__(self, state):
+        # Workspaces pickled before the observability layer existed must
+        # keep loading: attach default (empty) history/metrics/tracer.
+        self.__dict__.update(state)
+        if "history" not in state:
+            self.history = JobHistory()
+            self.metrics = MetricsRegistry()
+            self.tracer = NullTracer()
+            self.runner.history = self.history
+            self.runner.metrics = self.metrics
+            self.runner.tracer = self.tracer
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def enable_tracing(self) -> Tracer:
+        """Start span tracing and return the live tracer.
+
+        Replaces the no-op default on both the facade and the runner, so
+        every subsequent job, index build, operation and Pigeon statement
+        records spans. Call :meth:`disable_tracing` to go back to the
+        zero-overhead default.
+        """
+        if not self.tracer.enabled:
+            self.tracer = Tracer()
+            self.runner.set_tracer(self.tracer)
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        self.tracer = NullTracer()
+        self.runner.set_tracer(self.tracer)
+
+    def history_report(self, last: Optional[int] = None) -> str:
+        """The Hadoop-JobHistory-style text report of retained jobs."""
+        return self.history.report(last=last)
 
     # ------------------------------------------------------------------
     # Storage layer

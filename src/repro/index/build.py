@@ -127,92 +127,120 @@ def build_index(
         )
     fs = runner.fs
     capacity = block_capacity or fs.default_block_capacity
+    tracer = runner.tracer
 
-    # ------------------------------------------------------------------
-    # Phase 1: sampling job (map-only). Each map task ships its block MBR
-    # and a small per-block sample to the driver.
-    # ------------------------------------------------------------------
-    num_blocks = fs.num_blocks(input_file)
-    sample_job = Job(
-        input_file=input_file,
-        map_fn=_sample_map,
-        config={"num_blocks": num_blocks, "sample_size": sample_size},
-        name=f"sample({input_file})",
-    )
-    sample_result = runner.run(sample_job)
-
-    total_records = fs.num_records(input_file)
-    if not sample_result.output:
-        raise ValueError(f"cannot index empty file: {input_file!r}")
-    space: Rectangle = sample_result.output[0][0]
-    sample_points = []
-    for mbr, pts in sample_result.output:
-        space = space.union(mbr)
-        sample_points.extend(pts)
-    sample_points = reservoir_sample(sample_points, sample_size, seed=seed)
-
-    num_cells = max(1, -(-total_records // capacity))  # ceil division
-    partitioner = PARTITIONERS[technique].create(sample_points, num_cells, space)
-
-    # ------------------------------------------------------------------
-    # Phase 2: partitioning job. Map routes records to cells (replicating
-    # for disjoint techniques); each reduce task packs one cell.
-    # ------------------------------------------------------------------
-    partition_job = Job(
-        input_file=input_file,
-        map_fn=_partition_map,
-        reduce_fn=_partition_reduce,
-        num_reducers=partitioner.num_cells(),
-        config={"partitioner": partitioner},
-        name=f"partition({input_file}, {technique})",
-    )
-    partition_result = runner.run(partition_job)
-
-    # ------------------------------------------------------------------
-    # Phase 3 (commit, on the master): assemble blocks + the global index.
-    # ------------------------------------------------------------------
-    source_blocks = fs.get(input_file).blocks
-    blocks: List[Block] = []
-    cells: List[Cell] = []
-    for cell_id, refs in sorted(partition_result.output, key=lambda kv: kv[0]):
-        records = [
-            source_blocks[block_index].records[offset]
-            for block_index, offset in refs
-        ]
-        if not records:
-            continue
-        content_mbr = shape_mbr(records[0])
-        for r in records[1:]:
-            content_mbr = content_mbr.union(shape_mbr(r))
-        if partitioner.disjoint:
-            cell_mbr = partitioner.cell_rect(cell_id)
-        else:
-            cell_mbr = content_mbr
-        metadata = {"cell": cell_mbr, "cell_id": cell_id}
-        if build_local_indexes:
-            metadata["local_index"] = RTree(
-                [RTreeEntry(mbr=shape_mbr(r), record=r) for r in records]
+    with tracer.span(
+        f"index:{technique}({input_file})",
+        kind="index-build",
+        technique=technique,
+        input=input_file,
+        output=output_file,
+    ) as build_span:
+        # --------------------------------------------------------------
+        # Phase 1: sampling job (map-only). Each map task ships its block
+        # MBR and a small per-block sample to the driver.
+        # --------------------------------------------------------------
+        with tracer.span("index:sample", kind="index-phase") as sample_span:
+            num_blocks = fs.num_blocks(input_file)
+            sample_job = Job(
+                input_file=input_file,
+                map_fn=_sample_map,
+                config={"num_blocks": num_blocks, "sample_size": sample_size},
+                name=f"sample({input_file})",
             )
-        blocks.append(Block(records=list(records), metadata=metadata))
-        cells.append(
-            Cell(
-                cell_id=cell_id,
-                mbr=cell_mbr,
-                num_records=len(records),
-                content_mbr=content_mbr,
+            sample_result = runner.run(sample_job)
+
+            total_records = fs.num_records(input_file)
+            if not sample_result.output:
+                raise ValueError(f"cannot index empty file: {input_file!r}")
+            space: Rectangle = sample_result.output[0][0]
+            sample_points = []
+            for mbr, pts in sample_result.output:
+                space = space.union(mbr)
+                sample_points.extend(pts)
+            sample_points = reservoir_sample(
+                sample_points, sample_size, seed=seed
             )
+            sample_span.set("sample_points", len(sample_points))
+
+        # --------------------------------------------------------------
+        # Phase 2: derive cell boundaries, then the partitioning job. Map
+        # routes records to cells (replicating for disjoint techniques);
+        # each reduce task packs one cell.
+        # --------------------------------------------------------------
+        with tracer.span("index:plan", kind="index-phase") as plan_span:
+            num_cells = max(1, -(-total_records // capacity))  # ceil division
+            partitioner = PARTITIONERS[technique].create(
+                sample_points, num_cells, space
+            )
+            plan_span.set("cells", partitioner.num_cells())
+            plan_span.set("disjoint", partitioner.disjoint)
+
+        partition_job = Job(
+            input_file=input_file,
+            map_fn=_partition_map,
+            reduce_fn=_partition_reduce,
+            num_reducers=partitioner.num_cells(),
+            config={"partitioner": partitioner},
+            name=f"partition({input_file}, {technique})",
         )
+        partition_result = runner.run(partition_job)
 
-    global_index = GlobalIndex(
-        cells=cells, technique=technique, disjoint=partitioner.disjoint
-    )
-    if fs.exists(output_file):
-        fs.delete(output_file)
-    fs.create_file_from_blocks(
-        output_file,
-        blocks,
-        metadata={"global_index": global_index, "technique": technique},
-    )
+        # --------------------------------------------------------------
+        # Phase 3 (commit, on the master): assemble blocks + global index.
+        # --------------------------------------------------------------
+        with tracer.span("index:commit", kind="index-phase") as commit_span:
+            source_blocks = fs.get(input_file).blocks
+            blocks: List[Block] = []
+            cells: List[Cell] = []
+            for cell_id, refs in sorted(
+                partition_result.output, key=lambda kv: kv[0]
+            ):
+                records = [
+                    source_blocks[block_index].records[offset]
+                    for block_index, offset in refs
+                ]
+                if not records:
+                    continue
+                content_mbr = shape_mbr(records[0])
+                for r in records[1:]:
+                    content_mbr = content_mbr.union(shape_mbr(r))
+                if partitioner.disjoint:
+                    cell_mbr = partitioner.cell_rect(cell_id)
+                else:
+                    cell_mbr = content_mbr
+                metadata = {"cell": cell_mbr, "cell_id": cell_id}
+                if build_local_indexes:
+                    metadata["local_index"] = RTree(
+                        [
+                            RTreeEntry(mbr=shape_mbr(r), record=r)
+                            for r in records
+                        ]
+                    )
+                blocks.append(Block(records=list(records), metadata=metadata))
+                cells.append(
+                    Cell(
+                        cell_id=cell_id,
+                        mbr=cell_mbr,
+                        num_records=len(records),
+                        content_mbr=content_mbr,
+                    )
+                )
+
+            global_index = GlobalIndex(
+                cells=cells, technique=technique, disjoint=partitioner.disjoint
+            )
+            if fs.exists(output_file):
+                fs.delete(output_file)
+            fs.create_file_from_blocks(
+                output_file,
+                blocks,
+                metadata={"global_index": global_index, "technique": technique},
+            )
+            commit_span.set("partitions", len(cells))
+            commit_span.set("stored_records", global_index.total_records)
+        build_span.set("partitions", len(cells))
+
     return IndexBuildResult(
         output_file=output_file,
         global_index=global_index,

@@ -63,17 +63,21 @@ class ClusterModel:
             heapq.heappush(loads, lightest + duration)
         return max(loads)
 
-    def job_makespan(
+    def job_cost(
         self,
         map_tasks: Sequence[TaskStats],
         reduce_tasks: Sequence[TaskStats],
         shuffle_records: int = 0,
-    ) -> float:
-        """Simulated wall-clock of one MapReduce job.
+    ) -> dict:
+        """Per-component simulated cost of one MapReduce job.
 
-        The map wave and the reduce wave are serialised (reducers cannot
-        finish before all maps complete), shuffle cost is charged between
-        them, and the fixed job overhead is added once.
+        Returns ``{"overhead", "map", "shuffle", "reduce", "total"}`` in
+        seconds. The map wave and the reduce wave are serialised
+        (reducers cannot finish before all maps complete), shuffle cost
+        is charged between them, and the fixed job overhead is added
+        once; ``total`` is their sum. The breakdown is what the job
+        history and trace spans report, so skew diagnoses can say *which*
+        component dominated.
         """
         map_times = [
             t.seconds + self.per_record_io_s * (t.records_in + t.records_out)
@@ -83,9 +87,20 @@ class ClusterModel:
             t.seconds + self.per_record_io_s * (t.records_in + t.records_out)
             for t in reduce_tasks
         ]
-        return (
-            self.job_overhead_s
-            + self.schedule(map_times)
-            + self.per_shuffle_record_s * shuffle_records
-            + self.schedule(reduce_times)
-        )
+        cost = {
+            "overhead": self.job_overhead_s,
+            "map": self.schedule(map_times),
+            "shuffle": self.per_shuffle_record_s * shuffle_records,
+            "reduce": self.schedule(reduce_times),
+        }
+        cost["total"] = sum(cost.values())
+        return cost
+
+    def job_makespan(
+        self,
+        map_tasks: Sequence[TaskStats],
+        reduce_tasks: Sequence[TaskStats],
+        shuffle_records: int = 0,
+    ) -> float:
+        """Simulated wall-clock of one MapReduce job (see :meth:`job_cost`)."""
+        return self.job_cost(map_tasks, reduce_tasks, shuffle_records)["total"]

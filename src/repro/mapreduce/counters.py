@@ -51,9 +51,15 @@ class Counters:
         Task results cross process boundaries as plain dicts (cheaper to
         pickle than a :class:`Counters`); the driver folds them back in
         with this method. Addition commutes, so the merged totals are
-        identical no matter which backend ran the tasks.
+        identical no matter which backend ran the tasks. Values are
+        validated like :meth:`increment`: counters are monotone, and a
+        buggy task must not silently decrement driver-side totals.
         """
         for name, value in values.items():
+            if value < 0:
+                raise ValueError(
+                    f"counter {name!r} merged a negative value: {value}"
+                )
             self._values[name] += value
 
     def items(self) -> Iterator[Tuple[str, int]]:

@@ -72,6 +72,11 @@ class Executor:
     name = "abstract"
     #: Worker processes this executor uses (1 for serial).
     workers = 1
+    #: How the most recent wave was dispatched: ``{"chunks": int,
+    #: "mode": "in-process" | "pool"}``. Observability only — the trace
+    #: attaches it to wave spans as *volatile* diagnostics, because
+    #: dispatch mode is exactly the thing that differs between backends.
+    last_dispatch: Optional[dict] = None
 
     def map_chunks(
         self, fn: Callable[[Any], Any], chunks: Sequence[Any]
@@ -91,6 +96,7 @@ class SerialExecutor(Executor):
     def map_chunks(
         self, fn: Callable[[Any], Any], chunks: Sequence[Any]
     ) -> List[Any]:
+        self.last_dispatch = {"chunks": len(chunks), "mode": "in-process"}
         return [fn(chunk) for chunk in chunks]
 
 
@@ -144,18 +150,23 @@ class ParallelExecutor(Executor):
     ) -> List[Any]:
         if len(chunks) <= 1:
             # Nothing to overlap; skip the dispatch cost entirely.
+            self.last_dispatch = {"chunks": len(chunks), "mode": "in-process"}
             return [fn(chunk) for chunk in chunks]
         if not self._can_ship(chunks[0]):
             self.fallbacks += 1
+            self.last_dispatch = {"chunks": len(chunks), "mode": "in-process"}
             return [fn(chunk) for chunk in chunks]
         pool = self._ensure_pool()
         try:
-            return list(pool.map(fn, chunks))
+            results = list(pool.map(fn, chunks))
+            self.last_dispatch = {"chunks": len(chunks), "mode": "pool"}
+            return results
         except (pickle.PicklingError, AttributeError, TypeError):
             # A later chunk (or a task's return value) failed to pickle.
             # The pool survives submission-side pickling errors; rerun the
             # whole wave in-process so results stay complete and ordered.
             self.fallbacks += 1
+            self.last_dispatch = {"chunks": len(chunks), "mode": "in-process"}
             return [fn(chunk) for chunk in chunks]
 
     @staticmethod

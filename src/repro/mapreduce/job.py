@@ -109,6 +109,7 @@ class _EmitterContext:
         self.counters = counters
         self._emitted: List[Tuple[Any, Any]] = []
         self._output: List[Any] = []
+        self._events: List[Dict[str, Any]] = []
 
     @property
     def config(self) -> Dict[str, Any]:
@@ -117,6 +118,18 @@ class _EmitterContext:
     def emit(self, key: Any, value: Any) -> None:
         """Emit an intermediate key-value pair to the next stage."""
         self._emitted.append((key, value))
+
+    def trace_event(self, name: str, **attrs: Any) -> None:
+        """Record a trace event from inside a task.
+
+        Tasks may run in worker processes that cannot reach the driver's
+        tracer, so events are collected locally as plain dicts, shipped
+        back with the task result, and attached by the driver under the
+        task's span — in split/bucket order, so the merged trace never
+        depends on the execution backend. Cheap no-matter-what: when
+        tracing is disabled the driver simply drops them.
+        """
+        self._events.append({"name": name, "attrs": attrs})
 
     def write_output(self, record: Any) -> None:
         """Write a record directly to the final job output.

@@ -38,27 +38,32 @@ from repro.mapreduce.job import (
     default_partitioner,
 )
 from repro.mapreduce.types import InputSplit
+from repro.observe.history import JobHistory
+from repro.observe.metrics import (
+    SHUFFLE_BYTES_BUCKETS,
+    TASK_DURATION_BUCKETS,
+    MetricsRegistry,
+)
+from repro.observe.trace import NullTracer
 
 #: Per-task clock: CPU seconds of the calling process. Worker processes
 #: time their own CPU, so real parallelism cannot corrupt the simulated
 #: makespan (wall-clock in an oversubscribed pool would).
 _task_clock = time.process_time
 
-
-def _record_size(record: Any) -> int:
-    """Rough on-the-wire size of a record, for the shuffle-bytes counter."""
-    if isinstance(record, (str, bytes)):
-        return len(record)
-    return max(sys.getsizeof(record), 16)
+#: Shared no-op tracer: tracing must cost nothing until enabled.
+_NULL_TRACER = NullTracer()
 
 
 class _RecordSizer:
-    """Memoised :func:`_record_size`: one ``sys.getsizeof`` per shape.
+    """Memoised record sizing: one ``sys.getsizeof`` per record shape.
 
-    Shuffled records are overwhelmingly instances of a handful of types
-    (tuples of a few fixed layouts, geometry shapes), so sizing one sample
-    per (type, length) bucket replaces a per-record ``sys.getsizeof`` call
-    with a dict lookup. Strings and bytes keep their exact length.
+    Estimates the rough on-the-wire size of shuffled records for the
+    shuffle-bytes counter. Shuffled records are overwhelmingly instances
+    of a handful of types (tuples of a few fixed layouts, geometry
+    shapes), so sizing one sample per (type, length) bucket replaces a
+    per-record ``sys.getsizeof`` call with a dict lookup. Strings and
+    bytes keep their exact length.
     """
 
     __slots__ = ("_cache",)
@@ -181,8 +186,9 @@ def _run_map_chunk(payload):
     """Execute one chunk of map tasks; returns one result tuple per task.
 
     Each result is ``(task_id, records_in, counters_dict, emitted,
-    output, seconds)``. Counters are per-task and merged by the driver in
-    split order, so totals cannot depend on task interleaving.
+    output, seconds, events)``. Counters and trace events are per-task
+    and merged by the driver in split order, so totals — and traces —
+    cannot depend on task interleaving.
     """
     job, reader, splits = payload
     results = []
@@ -207,6 +213,7 @@ def _run_map_chunk(payload):
                 emitted,
                 ctx._output,
                 elapsed,
+                ctx._events,
             )
         )
     return results
@@ -216,7 +223,7 @@ def _run_reduce_chunk(payload):
     """Execute one chunk of reduce tasks; returns one tuple per task.
 
     Each result is ``(task_index, records_in, counters_dict, emitted,
-    output, seconds)``.
+    output, seconds, events)``.
     """
     job, tasks = payload
     results = []
@@ -242,6 +249,7 @@ def _run_reduce_chunk(payload):
                 ctx._emitted,
                 ctx._output,
                 elapsed,
+                ctx._events,
             )
         )
     return results
@@ -270,6 +278,13 @@ class JobRunner:
     processes. When ``workers`` is omitted, the ``REPRO_WORKERS``
     environment variable is consulted. Individual jobs may override the
     backend with ``Job.config["workers"]``.
+
+    ``tracer``, ``metrics`` and ``history`` attach the observability
+    layer: a :class:`~repro.observe.Tracer` receives job/wave/task spans,
+    a :class:`~repro.observe.MetricsRegistry` accumulates counters plus
+    task-duration and shuffle-bytes histograms, and a
+    :class:`~repro.observe.JobHistory` retains every finished job. All
+    three default to off/no-op, which costs nothing per job.
     """
 
     def __init__(
@@ -278,11 +293,29 @@ class JobRunner:
         cluster: Optional[ClusterModel] = None,
         workers: Optional[int] = None,
         executor: Optional[Executor] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+        history: Optional[JobHistory] = None,
     ):
         self.fs = fs
         self.cluster = cluster or ClusterModel()
         self.executor = executor if executor is not None else make_executor(workers)
+        self.tracer = tracer if tracer is not None else _NULL_TRACER
+        self.metrics = metrics
+        self.history = history
         self._job_executors: Dict[int, Executor] = {}
+
+    def __setstate__(self, state):
+        # Workspaces pickled before the observability layer existed must
+        # keep loading; fill the new attributes with their defaults.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("tracer", _NULL_TRACER)
+        self.__dict__.setdefault("metrics", None)
+        self.__dict__.setdefault("history", None)
+
+    def set_tracer(self, tracer) -> None:
+        """Swap the tracer (pass ``None`` to disable tracing)."""
+        self.tracer = tracer if tracer is not None else _NULL_TRACER
 
     @property
     def workers(self) -> int:
@@ -317,10 +350,34 @@ class JobRunner:
     # ------------------------------------------------------------------
     def run(self, job: Job) -> JobResult:
         """Run ``job`` to completion and return its result."""
+        tracer = self.tracer
+        with tracer.span(
+            f"job:{job.name}",
+            kind="job",
+            files=list(job.input_files),
+            reducers=job.num_reducers,
+        ) as job_span:
+            result = self._run_traced(job, job_span)
+        if self.metrics is not None:
+            self._record_metrics(result)
+        if self.history is not None:
+            self.history.record(
+                job.name,
+                result,
+                cost=self.cluster.job_cost(
+                    result.map_tasks,
+                    result.reduce_tasks,
+                    result.shuffle_records,
+                ),
+            )
+        return result
+
+    def _run_traced(self, job: Job, job_span) -> JobResult:
         counters = Counters()
         splitter = job.splitter or default_splitter
         reader = job.reader or default_reader
         executor = self._executor_for(job)
+        tracer = self.tracer
 
         entries: Dict[str, Any] = {}
         for file_name in job.input_files:
@@ -329,11 +386,15 @@ class JobRunner:
                 entry = entries[file_name] = self.fs.get(file_name)
             counters.increment(Counter.BLOCKS_TOTAL, entry.num_blocks)
 
-        splits = splitter(self.fs, job)
-        counters.increment(Counter.BLOCKS_READ, len(splits))
-        pruned = counters.get(Counter.BLOCKS_TOTAL) - len(splits)
-        if pruned > 0:
-            counters.increment(Counter.BLOCKS_PRUNED, pruned)
+        with tracer.span("split", kind="phase") as split_span:
+            splits = splitter(self.fs, job)
+            counters.increment(Counter.BLOCKS_READ, len(splits))
+            pruned = counters.get(Counter.BLOCKS_TOTAL) - len(splits)
+            if pruned > 0:
+                counters.increment(Counter.BLOCKS_PRUNED, pruned)
+            split_span.set("splits", len(splits))
+            split_span.set("blocks_total", counters.get(Counter.BLOCKS_TOTAL))
+            split_span.set("blocks_pruned", max(0, pruned))
 
         output: List[Any] = []
         map_stats, intermediate = self._run_map_wave(
@@ -344,9 +405,11 @@ class JobRunner:
         shuffle_records = 0
         if job.reduce_fn is not None:
             shuffle_records = len(intermediate)
+            shuffle_bytes = _RecordSizer().total(intermediate)
             counters.increment(Counter.SHUFFLE_RECORDS, shuffle_records)
-            counters.increment(
-                Counter.SHUFFLE_BYTES, _RecordSizer().total(intermediate)
+            counters.increment(Counter.SHUFFLE_BYTES, shuffle_bytes)
+            tracer.event(
+                "shuffle", records=shuffle_records, bytes=shuffle_bytes
             )
             reduce_stats = self._run_reduce_wave(
                 job, intermediate, counters, output, executor
@@ -356,10 +419,13 @@ class JobRunner:
             output.extend(v for _, v in intermediate)
 
         if job.commit_fn is not None:
-            commit_ctx = CommitContext(job, counters, output)
-            job.commit_fn(commit_ctx)
+            with tracer.span("commit", kind="phase") as commit_span:
+                commit_ctx = CommitContext(job, counters, output)
+                job.commit_fn(commit_ctx)
+                commit_span.set("output_records", len(output))
 
         counters.increment(Counter.OUTPUT_RECORDS, len(output))
+        job_span.set("output_records", len(output))
         makespan = self.cluster.job_makespan(
             map_stats, reduce_stats, shuffle_records
         )
@@ -370,6 +436,26 @@ class JobRunner:
             reduce_tasks=reduce_stats,
             makespan=makespan,
         )
+
+    def _record_metrics(self, result: JobResult) -> None:
+        """Fold one finished job into the metrics registry."""
+        metrics = self.metrics
+        metrics.inc("JOBS_TOTAL")
+        metrics.merge_counters(result.counters)
+        duration = metrics.histogram(
+            "task_duration_seconds", TASK_DURATION_BUCKETS
+        )
+        for task in result.map_tasks:
+            duration.observe(task.seconds)
+        for task in result.reduce_tasks:
+            duration.observe(task.seconds)
+        if result.reduce_tasks:
+            metrics.observe(
+                "shuffle_bytes",
+                result.counters.get(Counter.SHUFFLE_BYTES),
+                SHUFFLE_BYTES_BUCKETS,
+            )
+        metrics.set_gauge("last_job_makespan_s", result.makespan)
 
     # ------------------------------------------------------------------
     def _run_map_wave(
@@ -387,26 +473,41 @@ class JobRunner:
         if not splits:
             return stats, intermediate
 
-        shipped = _shipped_job(job, wave="map")
-        num_chunks = (
-            executor.workers * CHUNKS_PER_WORKER if executor.workers > 1 else 1
-        )
-        payloads = [
-            (shipped, reader, chunk) for chunk in _chunked(splits, num_chunks)
-        ]
-        for chunk_result in executor.map_chunks(_run_map_chunk, payloads):
-            for task_id, records_in, cdict, emitted, out, secs in chunk_result:
-                counters.merge_dict(cdict)
-                stats.append(
-                    TaskStats(
-                        task_id=task_id,
-                        records_in=records_in,
-                        records_out=len(emitted) + len(out),
-                        seconds=secs,
+        tracer = self.tracer
+        with tracer.span("wave:map", kind="wave", tasks=len(splits)) as wave:
+            shipped = _shipped_job(job, wave="map")
+            num_chunks = (
+                executor.workers * CHUNKS_PER_WORKER
+                if executor.workers > 1
+                else 1
+            )
+            payloads = [
+                (shipped, reader, chunk)
+                for chunk in _chunked(splits, num_chunks)
+            ]
+            chunk_results = executor.map_chunks(_run_map_chunk, payloads)
+            self._trace_dispatch(executor)
+            cursor = wave.start
+            for chunk_result in chunk_results:
+                for task_id, records_in, cdict, emitted, out, secs, events in (
+                    chunk_result
+                ):
+                    counters.merge_dict(cdict)
+                    stats.append(
+                        TaskStats(
+                            task_id=task_id,
+                            records_in=records_in,
+                            records_out=len(emitted) + len(out),
+                            seconds=secs,
+                        )
                     )
-                )
-                intermediate.extend(emitted)
-                output.extend(out)
+                    if tracer.enabled:
+                        cursor = self._trace_task(
+                            task_id, records_in, stats[-1].records_out,
+                            secs, events, cursor,
+                        )
+                    intermediate.extend(emitted)
+                    output.extend(out)
         return stats, intermediate
 
     def _run_reduce_wave(
@@ -433,28 +534,86 @@ class JobRunner:
         if not tasks:
             return stats
 
-        shipped = _shipped_job(job, wave="reduce")
-        num_chunks = (
-            executor.workers * CHUNKS_PER_WORKER if executor.workers > 1 else 1
-        )
-        payloads = [
-            (shipped, chunk) for chunk in _chunked(tasks, num_chunks)
-        ]
-        for chunk_result in executor.map_chunks(_run_reduce_chunk, payloads):
-            for task_index, records_in, cdict, emitted, out, secs in chunk_result:
-                counters.merge_dict(cdict)
-                stats.append(
-                    TaskStats(
-                        task_id=f"reduce-{task_index}",
-                        records_in=records_in,
-                        records_out=len(emitted) + len(out),
-                        seconds=secs,
+        tracer = self.tracer
+        with tracer.span("wave:reduce", kind="wave", tasks=len(tasks)) as wave:
+            shipped = _shipped_job(job, wave="reduce")
+            num_chunks = (
+                executor.workers * CHUNKS_PER_WORKER
+                if executor.workers > 1
+                else 1
+            )
+            payloads = [
+                (shipped, chunk) for chunk in _chunked(tasks, num_chunks)
+            ]
+            chunk_results = executor.map_chunks(_run_reduce_chunk, payloads)
+            self._trace_dispatch(executor)
+            cursor = wave.start
+            for chunk_result in chunk_results:
+                for task_index, records_in, cdict, emitted, out, secs, events in (
+                    chunk_result
+                ):
+                    counters.merge_dict(cdict)
+                    stats.append(
+                        TaskStats(
+                            task_id=f"reduce-{task_index}",
+                            records_in=records_in,
+                            records_out=len(emitted) + len(out),
+                            seconds=secs,
+                        )
                     )
-                )
-                # Reduce emit() goes to the job output (no later stage).
-                output.extend(v for _, v in emitted)
-                output.extend(out)
+                    if tracer.enabled:
+                        cursor = self._trace_task(
+                            f"reduce-{task_index}", records_in,
+                            stats[-1].records_out, secs, events, cursor,
+                        )
+                    # Reduce emit() goes to the job output (no later stage).
+                    output.extend(v for _, v in emitted)
+                    output.extend(out)
         return stats
+
+    # ------------------------------------------------------------------
+    # Trace plumbing. Task spans are laid out on a synthetic timeline —
+    # cumulative CPU seconds from the wave's start, in split/bucket
+    # order — so a wave reads like a schedule and serial/parallel runs
+    # produce identical span sequences (timestamps are normalised away
+    # on comparison; see repro.observe.trace).
+    # ------------------------------------------------------------------
+    def _trace_task(
+        self, task_id, records_in, records_out, secs, events, cursor
+    ) -> float:
+        span_id = self.tracer.add_span(
+            f"task:{task_id}",
+            "task",
+            cursor,
+            cursor + secs,
+            records_in=records_in,
+            records_out=records_out,
+        )
+        for event in events:
+            self.tracer.event(
+                event["name"], parent_id=span_id, **event["attrs"]
+            )
+        return cursor + secs
+
+    def _trace_dispatch(self, executor: Executor) -> None:
+        """Record how the wave was dispatched, as volatile diagnostics.
+
+        Backend, worker count and chunking legitimately differ between
+        serial and parallel runs, so this event is flagged volatile and
+        dropped by trace normalisation — visible in raw traces, excluded
+        from the determinism contract.
+        """
+        if not self.tracer.enabled:
+            return
+        info = executor.last_dispatch or {}
+        self.tracer.event(
+            "dispatch",
+            kind="dispatch",
+            volatile=True,
+            backend=executor.name,
+            workers=executor.workers,
+            **info,
+        )
 
 
 def _sorted_items(

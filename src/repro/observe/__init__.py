@@ -1,0 +1,56 @@
+"""repro.observe — structured tracing, metrics, and job history.
+
+The observability layer of the reproduction, threaded through the
+MapReduce substrate, index building, the operations, Pigeon and the CLI:
+
+* :class:`Tracer` / :class:`NullTracer` — span tracing with JSONL and
+  Chrome ``trace_event`` export (see :mod:`repro.observe.trace` for the
+  determinism contract).
+* :class:`MetricsRegistry` / :class:`Histogram` — cumulative counters,
+  gauges and fixed-bucket histograms.
+* :class:`JobHistory` — the Hadoop-JobHistory-style per-job store and
+  text report.
+
+Tracing is off by default (a shared :class:`NullTracer`) and costs
+nothing until enabled.
+"""
+
+from repro.observe.history import (
+    DEFAULT_HISTORY_LIMIT,
+    STRAGGLER_FACTOR,
+    JobHistory,
+    JobRecord,
+)
+from repro.observe.metrics import (
+    SHUFFLE_BYTES_BUCKETS,
+    TASK_DURATION_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observe.trace import (
+    TRACE_VERSION,
+    NullTracer,
+    Tracer,
+    normalize_events,
+    read_jsonl,
+)
+
+#: Shared no-op tracer: the default everywhere tracing is optional.
+NULL_TRACER = NullTracer()
+
+__all__ = [
+    "DEFAULT_HISTORY_LIMIT",
+    "Histogram",
+    "JobHistory",
+    "JobRecord",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SHUFFLE_BYTES_BUCKETS",
+    "STRAGGLER_FACTOR",
+    "TASK_DURATION_BUCKETS",
+    "TRACE_VERSION",
+    "Tracer",
+    "normalize_events",
+    "read_jsonl",
+]

@@ -1,0 +1,194 @@
+"""A Hadoop-JobHistory-style store of finished jobs.
+
+Every job the :class:`~repro.mapreduce.runtime.JobRunner` completes is
+appended here as a :class:`JobRecord` — name, counters, per-task stats
+for both waves, the simulated-cost breakdown — and :meth:`JobHistory.
+report` renders the classic JobHistory text view: a per-wave task table,
+the straggler list (tasks well past their wave's median), the blocks
+pruned/read ratio, a task-duration histogram and the sorted counter
+table. The store lives on the :class:`~repro.core.system.SpatialHadoop`
+facade and is pickled with the workspace, so the CLI's ``history``
+subcommand can inspect runs from earlier invocations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from repro.mapreduce.cluster import TaskStats
+from repro.observe.metrics import TASK_DURATION_BUCKETS, Histogram
+
+#: Tasks slower than this multiple of their wave's median are stragglers.
+STRAGGLER_FACTOR = 2.0
+
+#: Default cap on retained jobs: bounds workspace growth.
+DEFAULT_HISTORY_LIMIT = 200
+
+
+@dataclass
+class JobRecord:
+    """One finished job, as retained by the history store."""
+
+    job_id: int
+    name: str
+    makespan: float
+    counters: Dict[str, int]
+    map_tasks: List[TaskStats] = field(default_factory=list)
+    reduce_tasks: List[TaskStats] = field(default_factory=list)
+    #: Simulated-cost breakdown: overhead / map / shuffle / reduce / total.
+    cost: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def pruning_ratio(self) -> Optional[float]:
+        """Fraction of the input's blocks the global index pruned."""
+        total = self.counters.get("BLOCKS_TOTAL", 0)
+        if total <= 0:
+            return None
+        return self.counters.get("BLOCKS_PRUNED", 0) / total
+
+    def stragglers(self, wave_tasks: List[TaskStats]) -> List[TaskStats]:
+        """Tasks of one wave slower than STRAGGLER_FACTOR x wave median."""
+        if len(wave_tasks) < 3:
+            return []
+        seconds = sorted(t.seconds for t in wave_tasks)
+        median = seconds[len(seconds) // 2]
+        if median <= 0:
+            return []
+        cutoff = STRAGGLER_FACTOR * median
+        return [t for t in wave_tasks if t.seconds > cutoff]
+
+    def duration_histogram(self) -> Histogram:
+        hist = Histogram("task_duration_seconds", TASK_DURATION_BUCKETS)
+        hist.observe_many(
+            t.seconds for t in self.map_tasks + self.reduce_tasks
+        )
+        return hist
+
+
+class JobHistory:
+    """Bounded, ordered store of :class:`JobRecord` entries."""
+
+    def __init__(self, limit: int = DEFAULT_HISTORY_LIMIT):
+        self.limit = limit
+        self._records: Deque[JobRecord] = deque(maxlen=limit)
+        self._next_id = 1
+
+    # -- recording ------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        result: Any,
+        cost: Optional[Dict[str, float]] = None,
+    ) -> JobRecord:
+        """Append one finished :class:`JobResult` under ``name``."""
+        rec = JobRecord(
+            job_id=self._next_id,
+            name=name,
+            makespan=result.makespan,
+            counters=result.counters.as_dict(),
+            map_tasks=list(result.map_tasks),
+            reduce_tasks=list(result.reduce_tasks),
+            cost=dict(cost or {}),
+        )
+        self._next_id += 1
+        self._records.append(rec)
+        return rec
+
+    # -- access ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self._records)
+
+    @property
+    def total_recorded(self) -> int:
+        """Jobs ever recorded (retained or rotated out)."""
+        return self._next_id - 1
+
+    def last(self, n: Optional[int] = None) -> List[JobRecord]:
+        records = list(self._records)
+        if n is None:
+            return records
+        return records[-max(0, n):] if n else []
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    # -- rendering ------------------------------------------------------
+    def report(self, last: Optional[int] = None, counters: bool = True) -> str:
+        """The JobHistory text report for the ``last`` N jobs (default all)."""
+        records = self.last(last)
+        if not records:
+            return "job history is empty\n"
+        lines: List[str] = []
+        dropped = self.total_recorded - len(self._records)
+        lines.append(
+            f"=== job history: {len(records)} of {self.total_recorded} "
+            f"job(s){f' ({dropped} rotated out)' if dropped else ''} ==="
+        )
+        for rec in records:
+            lines.append("")
+            lines.extend(self._render_job(rec, counters))
+        return "\n".join(lines) + "\n"
+
+    def _render_job(self, rec: JobRecord, counters: bool) -> List[str]:
+        lines = [f"job #{rec.job_id}: {rec.name}"]
+        if rec.cost:
+            parts = " + ".join(
+                f"{key} {rec.cost.get(key, 0.0):.3f}s"
+                for key in ("overhead", "map", "shuffle", "reduce")
+                if key in rec.cost
+            )
+            lines.append(f"  simulated makespan: {rec.makespan:.3f}s ({parts})")
+        else:
+            lines.append(f"  simulated makespan: {rec.makespan:.3f}s")
+
+        ratio = rec.pruning_ratio
+        total = rec.counters.get("BLOCKS_TOTAL", 0)
+        read = rec.counters.get("BLOCKS_READ", 0)
+        if ratio is not None:
+            lines.append(
+                f"  blocks: {read}/{total} read "
+                f"({100 * ratio:.1f}% pruned by the global index)"
+            )
+
+        for wave, tasks in (("map", rec.map_tasks), ("reduce", rec.reduce_tasks)):
+            if not tasks:
+                continue
+            lines.append(f"  {wave} wave: {len(tasks)} task(s)")
+            lines.append(
+                "    task-id          records-in  records-out     seconds"
+            )
+            for t in tasks:
+                lines.append(
+                    f"    {t.task_id:<16} {t.records_in:>10d}  "
+                    f"{t.records_out:>11d}  {t.seconds:>10.6f}"
+                )
+            stragglers = rec.stragglers(tasks)
+            if stragglers:
+                seconds = sorted(t.seconds for t in tasks)
+                median = seconds[len(seconds) // 2]
+                names = ", ".join(
+                    f"{t.task_id} ({t.seconds / median:.1f}x median)"
+                    for t in stragglers
+                )
+                lines.append(f"    stragglers: {names}")
+            else:
+                lines.append("    stragglers: none")
+
+        hist = rec.duration_histogram()
+        lines.append(
+            f"  task-duration histogram "
+            f"({hist.count} tasks, mean {hist.mean:.6f}s):"
+        )
+        lines.append(hist.render(width=30, indent="    "))
+
+        if counters and rec.counters:
+            lines.append("  counters:")
+            width = max(len(k) for k in rec.counters)
+            for name, value in sorted(rec.counters.items()):
+                lines.append(f"    {name:<{width}} {value:>12d}")
+        return lines

@@ -1,0 +1,192 @@
+"""Counters, gauges and fixed-bucket histograms for the simulator.
+
+A :class:`MetricsRegistry` is the cumulative, workspace-lifetime view of
+what the engine did, subsuming the per-job
+:class:`~repro.mapreduce.counters.Counters`: after every job the runtime
+folds the job's counters into the registry (:meth:`merge_counters`) and
+observes per-task durations and shuffle sizes into histograms with fixed
+bucket boundaries, so distributions — not just totals — survive into
+reports and benchmark snapshots.
+
+Buckets follow the Prometheus convention: a value lands in the first
+bucket whose upper bound is >= the value (``le`` semantics), with an
+implicit overflow bucket above the last boundary. Fixed boundaries make
+histograms mergeable across jobs, backends and processes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Task-duration boundaries (seconds): simulated tasks are sub-second on
+#: laptop-scale inputs, so the grid is dense at the small end.
+TASK_DURATION_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0
+)
+
+#: Shuffle-size boundaries (bytes), powers of four from 1 KiB to 16 MiB.
+SHUFFLE_BYTES_BUCKETS: Tuple[float, ...] = (
+    1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20
+)
+
+
+class Histogram:
+    """A fixed-boundary histogram (counts per bucket + sum + count)."""
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(self, name: str, buckets: Sequence[float]):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket boundary")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket boundaries must strictly increase: {bounds}")
+        self.name = name
+        self.buckets = bounds
+        #: counts[i] counts values <= buckets[i]; counts[-1] is overflow.
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Count ``value`` into its bucket (``le`` upper-bound semantics)."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (boundaries must match)."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.count += other.count
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+    def render(self, width: int = 40, indent: str = "  ") -> str:
+        """ASCII rendering: one row per non-empty leading range."""
+        if not self.count:
+            return f"{indent}(empty)"
+        peak = max(self.counts)
+        rows = []
+        labels = [f"<= {b:g}" for b in self.buckets] + [f"> {self.buckets[-1]:g}"]
+        for label, c in zip(labels, self.counts):
+            bar = "#" * (round(width * c / peak) if peak else 0)
+            rows.append(f"{indent}{label:>12} {c:>7d} {bar}")
+        return "\n".join(rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, "
+            f"sum={self.total:.6g})"
+        )
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with a stable snapshot form.
+
+    Counter semantics match :class:`~repro.mapreduce.counters.Counters`
+    (monotonically increasing, non-negative increments); gauges are
+    last-write-wins; histograms are created on first use and keep their
+    boundaries for life.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- counters -------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative: {amount}")
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def merge_counters(self, counters: Any) -> None:
+        """Fold a :class:`Counters` (or plain mapping) into the registry."""
+        items = counters.items() if hasattr(counters, "items") else counters
+        for name, value in items:
+            self.inc(name, value)
+
+    # -- gauges ---------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    # -- histograms -----------------------------------------------------
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use.
+
+        ``buckets`` is required on creation and must match on later
+        lookups that re-specify it.
+        """
+        hist = self._histograms.get(name)
+        if hist is None:
+            if buckets is None:
+                raise KeyError(
+                    f"histogram {name!r} does not exist; pass its buckets"
+                )
+            hist = self._histograms[name] = Histogram(name, buckets)
+        elif buckets is not None and tuple(float(b) for b in buckets) != hist.buckets:
+            raise ValueError(
+                f"histogram {name!r} already exists with buckets {hist.buckets}"
+            )
+        return hist
+
+    def observe(
+        self, name: str, value: float, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy of everything, with sorted, stable keys."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: h.as_dict()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (gauges: theirs win)."""
+        for name, value in other._counters.items():
+            self.inc(name, value)
+        self._gauges.update(other._gauges)
+        for name, hist in other._histograms.items():
+            self.histogram(name, hist.buckets).merge(hist)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )

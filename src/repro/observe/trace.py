@@ -1,0 +1,355 @@
+"""Structured span tracing for the simulated cluster.
+
+The tracer records a tree of *spans* (job -> wave -> task, index-build
+phases, operation rounds, Pigeon statements) plus instant *events*, all
+created by the **driver** in a deterministic sequence: worker tasks never
+touch the tracer — they collect their events as plain dicts and ship them
+back with the task result, and the driver folds them in in split/bucket
+order. Span IDs are therefore assigned identically no matter which
+execution backend ran the tasks, and the record list itself — names,
+kinds, IDs, parentage, order, attributes — is the determinism contract.
+
+Timestamps are the one volatile part. Driver-side spans carry monotonic
+offsets from the trace start; task spans are laid out on a synthetic
+timeline (cumulative CPU seconds within their wave) so a wave reads like
+a schedule rather than a single instant. :func:`normalize_events`
+replaces timestamps with ordinals and drops records flagged *volatile*
+(backend-dependent diagnostics such as dispatch mode), after which serial
+and parallel traces of the same work compare equal.
+
+Two export formats:
+
+* JSON-lines (one record per line, ``type`` field discriminates) — the
+  stable machine-readable format the CLI's ``--trace`` flag writes.
+* Chrome ``trace_event`` JSON — loadable in ``chrome://tracing`` and
+  Perfetto. Driver spans render on one track, task spans on a small set
+  of lanes so overlapping work stays readable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+#: JSONL schema version, bumped on incompatible changes.
+TRACE_VERSION = 1
+
+#: Number of Chrome-trace lanes task spans are spread over.
+_TASK_LANES = 8
+
+
+class _NullSpan:
+    """The span handle of a disabled tracer: accepts everything, keeps
+    nothing. A single shared instance makes disabled tracing allocation
+    free."""
+
+    __slots__ = ()
+
+    span_id = 0
+    start = 0.0
+
+    def set(self, _name: str, _value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a no-op.
+
+    Instrumented code calls the same API whether tracing is on or off;
+    hot loops may additionally guard on :attr:`enabled` to skip building
+    attribute dicts entirely.
+    """
+
+    enabled = False
+
+    def span(self, name: str, kind: str = "phase", **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_span(
+        self,
+        name: str,
+        kind: str,
+        start: float,
+        end: float,
+        volatile: bool = False,
+        **attrs: Any,
+    ) -> int:
+        return 0
+
+    def event(
+        self,
+        name: str,
+        kind: str = "event",
+        parent_id: Optional[int] = None,
+        volatile: bool = False,
+        **attrs: Any,
+    ) -> None:
+        pass
+
+
+class _SpanHandle:
+    """Context manager for one open span of a live :class:`Tracer`."""
+
+    __slots__ = ("_tracer", "span_id", "name", "kind", "start", "attrs", "volatile")
+
+    def __init__(self, tracer, span_id, name, kind, start, attrs, volatile):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.name = name
+        self.kind = kind
+        self.start = start
+        self.attrs = attrs
+        self.volatile = volatile
+
+    def set(self, name: str, value: Any) -> None:
+        """Attach an attribute discovered while the span is open."""
+        self.attrs[name] = value
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._tracer._finish(self)
+
+
+class Tracer(NullTracer):
+    """Collects spans and events; see the module docstring for the model.
+
+    The tracer is driver-side only and single-threaded by design: the
+    runtime merges worker results in split/bucket order before anything
+    reaches it, which is what keeps IDs and record order deterministic.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._records: List[Dict[str, Any]] = []
+        self._next_id = 1
+        self._stack: List[int] = []
+        self._origin = time.monotonic()
+
+    # -- recording ------------------------------------------------------
+    def _now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def _current_parent(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, kind: str = "phase", **attrs: Any) -> _SpanHandle:
+        """Open a span; close it by leaving the ``with`` block."""
+        volatile = bool(attrs.pop("volatile", False))
+        span_id = self._next_id
+        self._next_id += 1
+        handle = _SpanHandle(
+            self, span_id, name, kind, self._now(), attrs, volatile
+        )
+        self._stack.append(span_id)
+        return handle
+
+    def _finish(self, handle: _SpanHandle) -> None:
+        # Spans are recorded at close; nested records therefore precede
+        # their parent, in a fixed, backend-independent order.
+        self._stack.remove(handle.span_id)
+        parent = self._stack[-1] if self._stack else None
+        self._records.append(
+            {
+                "type": "span",
+                "id": handle.span_id,
+                "parent": parent,
+                "name": handle.name,
+                "kind": handle.kind,
+                "ts": handle.start,
+                "dur": max(0.0, self._now() - handle.start),
+                "attrs": handle.attrs,
+                "volatile": handle.volatile,
+            }
+        )
+
+    def add_span(
+        self,
+        name: str,
+        kind: str,
+        start: float,
+        end: float,
+        volatile: bool = False,
+        **attrs: Any,
+    ) -> int:
+        """Record a closed span with caller-supplied times (task spans)."""
+        span_id = self._next_id
+        self._next_id += 1
+        self._records.append(
+            {
+                "type": "span",
+                "id": span_id,
+                "parent": self._current_parent(),
+                "name": name,
+                "kind": kind,
+                "ts": start,
+                "dur": max(0.0, end - start),
+                "attrs": dict(attrs),
+                "volatile": volatile,
+            }
+        )
+        return span_id
+
+    def event(
+        self,
+        name: str,
+        kind: str = "event",
+        parent_id: Optional[int] = None,
+        volatile: bool = False,
+        **attrs: Any,
+    ) -> None:
+        """Record an instant event under ``parent_id`` (default: open span)."""
+        self._records.append(
+            {
+                "type": "event",
+                "id": self._next_id,
+                "parent": parent_id if parent_id is not None else self._current_parent(),
+                "name": name,
+                "kind": kind,
+                "ts": self._now(),
+                "attrs": dict(attrs),
+                "volatile": volatile,
+            }
+        )
+        self._next_id += 1
+
+    # -- inspection -----------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """All records in recorded (deterministic) order."""
+        return list(self._records)
+
+    def spans(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        return [
+            r
+            for r in self._records
+            if r["type"] == "span" and (kind is None or r["kind"] == kind)
+        ]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._stack.clear()
+
+    # -- export ---------------------------------------------------------
+    def export_jsonl(self, path: Any, normalize: bool = False) -> None:
+        """Write the trace as JSON-lines to ``path`` (str/Path/file)."""
+        records = self.records()
+        if normalize:
+            records = normalize_events(records)
+        header = {"type": "trace", "version": TRACE_VERSION, "records": len(records)}
+        lines = [json.dumps(header)]
+        lines.extend(json.dumps(r, sort_keys=True, default=str) for r in records)
+        text = "\n".join(lines) + "\n"
+        if hasattr(path, "write"):
+            path.write(text)
+        else:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+    def export_chrome(self, path: Any) -> None:
+        """Write the trace in Chrome ``trace_event`` format.
+
+        Loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
+        Driver spans go on tid 0; task spans round-robin over a few lanes
+        so overlapping synthetic task intervals render side by side.
+        """
+        trace_events: List[Dict[str, Any]] = []
+        task_seq = 0
+        for r in self._records:
+            ts_us = r["ts"] * 1e6
+            if r["type"] == "span":
+                if r["kind"] == "task":
+                    tid = 1 + (task_seq % _TASK_LANES)
+                    task_seq += 1
+                else:
+                    tid = 0
+                trace_events.append(
+                    {
+                        "name": r["name"],
+                        "cat": r["kind"],
+                        "ph": "X",
+                        "ts": ts_us,
+                        "dur": max(r["dur"] * 1e6, 0.001),
+                        "pid": 0,
+                        "tid": tid,
+                        "args": _chrome_args(r),
+                    }
+                )
+            else:
+                trace_events.append(
+                    {
+                        "name": r["name"],
+                        "cat": r["kind"],
+                        "ph": "i",
+                        "s": "t",
+                        "ts": ts_us,
+                        "pid": 0,
+                        "tid": 0,
+                        "args": _chrome_args(r),
+                    }
+                )
+        doc = {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"source": "repro.observe", "version": TRACE_VERSION},
+        }
+        text = json.dumps(doc, default=str)
+        if hasattr(path, "write"):
+            path.write(text)
+        else:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+
+def _chrome_args(record: Dict[str, Any]) -> Dict[str, Any]:
+    args = {k: v for k, v in record["attrs"].items()}
+    args["span_id"] = record["id"]
+    if record["parent"] is not None:
+        args["parent_id"] = record["parent"]
+    return args
+
+
+def normalize_events(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The deterministic view of a trace: what must match across backends.
+
+    Drops records flagged volatile (backend diagnostics), replaces every
+    timestamp with the record's ordinal position and zeroes durations.
+    Two runs of the same work — serial or parallel, any worker count —
+    normalize to equal lists.
+    """
+    out: List[Dict[str, Any]] = []
+    for r in records:
+        if r.get("volatile"):
+            continue
+        clean = dict(r)
+        clean.pop("volatile", None)
+        clean["ts"] = len(out)
+        if "dur" in clean:
+            clean["dur"] = 0
+        out.append(clean)
+    return out
+
+
+def read_jsonl(path: Any) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file back into records (header excluded)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") != "trace":
+                records.append(record)
+    return records

@@ -108,49 +108,67 @@ def knn_spatial(
     if gindex is None:
         raise ValueError(f"{file_name!r} is not spatially indexed")
 
-    def run_round(cell_ids) -> "JobResult":  # noqa: F821
-        job = Job(
-            input_file=file_name,
-            map_fn=_knn_indexed_map,
-            splitter=spatial_splitter(
-                lambda gi: [c for c in gi if c.cell_id in cell_ids]
-            ),
-            reader=spatial_reader,
-            config={"query": query, "k": k, "use_local_index": use_local_index},
-            name=f"knn-spatial({file_name})",
-        )
-        return runner.run(job)
+    tracer = runner.tracer
 
-    # Round 1: the partition containing (or nearest to) the query point.
-    first = gindex.nearest_cell(query)
-    if first is None:
-        return OperationResult(answer=[], jobs=[])
-    processed = {first.cell_id}
-    jobs = [run_round(processed)]
-    answer = _merge_topk([jobs[0].output], k)
-
-    # Correctness rounds: grow until the k-th circle stays inside the
-    # processed region. With fewer than k answers the radius is unbounded.
-    while True:
-        if len(answer) >= k:
-            radius = answer[-1][0]
-            circle_mbr = Rectangle(
-                query.x - radius, query.y - radius,
-                query.x + radius, query.y + radius,
+    def run_round(round_index: int, cell_ids) -> "JobResult":  # noqa: F821
+        with tracer.span(
+            f"knn:round-{round_index}",
+            kind="round",
+            round=round_index,
+            cells=sorted(cell_ids),
+        ) as round_span:
+            job = Job(
+                input_file=file_name,
+                map_fn=_knn_indexed_map,
+                splitter=spatial_splitter(
+                    lambda gi: [c for c in gi if c.cell_id in cell_ids]
+                ),
+                reader=spatial_reader,
+                config={
+                    "query": query, "k": k, "use_local_index": use_local_index
+                },
+                name=f"knn-spatial({file_name})",
             )
-            needed = {
-                c.cell_id
-                for c in gindex
-                if c.mbr.min_distance_point(query) <= radius
-                and c.mbr.intersects(circle_mbr)
-            }
-        else:
-            needed = {c.cell_id for c in gindex if c.num_records > 0}
-        missing = needed - processed
-        if not missing:
-            break
-        processed |= missing
-        round_result = run_round(missing)
-        jobs.append(round_result)
-        answer = _merge_topk([answer, round_result.output], k)
+            result = runner.run(job)
+            round_span.set("candidates", len(result.output))
+        return result
+
+    with tracer.span(
+        f"op:knn-spatial({file_name})", kind="operation", file=file_name, k=k
+    ) as op_span:
+        # Round 1: the partition containing (or nearest to) the query point.
+        first = gindex.nearest_cell(query)
+        if first is None:
+            op_span.set("rounds", 0)
+            return OperationResult(answer=[], jobs=[])
+        processed = {first.cell_id}
+        jobs = [run_round(1, processed)]
+        answer = _merge_topk([jobs[0].output], k)
+
+        # Correctness rounds: grow until the k-th circle stays inside the
+        # processed region. With fewer than k answers the radius is
+        # unbounded.
+        while True:
+            if len(answer) >= k:
+                radius = answer[-1][0]
+                circle_mbr = Rectangle(
+                    query.x - radius, query.y - radius,
+                    query.x + radius, query.y + radius,
+                )
+                needed = {
+                    c.cell_id
+                    for c in gindex
+                    if c.mbr.min_distance_point(query) <= radius
+                    and c.mbr.intersects(circle_mbr)
+                }
+            else:
+                needed = {c.cell_id for c in gindex if c.num_records > 0}
+            missing = needed - processed
+            if not missing:
+                break
+            processed |= missing
+            round_result = run_round(len(jobs) + 1, missing)
+            jobs.append(round_result)
+            answer = _merge_topk([answer, round_result.output], k)
+        op_span.set("rounds", len(jobs))
     return OperationResult(answer=answer, jobs=jobs)

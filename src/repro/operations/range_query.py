@@ -71,13 +71,17 @@ def range_query_hadoop(
     runner: JobRunner, file_name: str, query: Rectangle
 ) -> OperationResult:
     """Full-scan range query on a heap (or indexed) file."""
-    job = Job(
-        input_file=file_name,
-        map_fn=_scan_map,
-        config={"query": query},
-        name=f"range-hadoop({file_name})",
-    )
-    result = runner.run(job)
+    with runner.tracer.span(
+        f"op:range-hadoop({file_name})", kind="operation", file=file_name
+    ) as op_span:
+        job = Job(
+            input_file=file_name,
+            map_fn=_scan_map,
+            config={"query": query},
+            name=f"range-hadoop({file_name})",
+        )
+        result = runner.run(job)
+        op_span.set("matches", len(result.output))
     return OperationResult(answer=result.output, jobs=[result], system="hadoop")
 
 
@@ -99,13 +103,28 @@ def range_query_spatial(
         raise ValueError(f"{file_name!r} is not spatially indexed")
     dedup = gindex.disjoint
 
-    job = Job(
-        input_file=file_name,
-        map_fn=_indexed_map,
-        splitter=spatial_splitter(overlapping_filter(query) if prune else None),
-        reader=spatial_reader,
-        config={"query": query, "use_local_index": use_local_index, "dedup": dedup},
-        name=f"range-spatial({file_name})",
-    )
-    result = runner.run(job)
+    with runner.tracer.span(
+        f"op:range-spatial({file_name})",
+        kind="operation",
+        file=file_name,
+        pruning=prune,
+        local_index=use_local_index,
+        dedup=dedup,
+    ) as op_span:
+        job = Job(
+            input_file=file_name,
+            map_fn=_indexed_map,
+            splitter=spatial_splitter(
+                overlapping_filter(query) if prune else None
+            ),
+            reader=spatial_reader,
+            config={
+                "query": query,
+                "use_local_index": use_local_index,
+                "dedup": dedup,
+            },
+            name=f"range-spatial({file_name})",
+        )
+        result = runner.run(job)
+        op_span.set("matches", len(result.output))
     return OperationResult(answer=result.output, jobs=[result])

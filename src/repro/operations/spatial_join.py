@@ -143,19 +143,27 @@ def spatial_join_sjmr(
     input_files = (
         [left_file] if left_file == right_file else [left_file, right_file]
     )
-    job = Job(
-        input_file=input_files,
-        map_fn=_sjmr_map,
-        reduce_fn=_sjmr_reduce,
-        num_reducers=grid.num_cells(),
-        config={
-            "grid": grid,
-            "left": left_file,
-            "self_join": left_file == right_file,
-        },
-        name=f"sjmr({left_file},{right_file})",
-    )
-    result = runner.run(job)
+    with runner.tracer.span(
+        f"op:sjmr({left_file},{right_file})",
+        kind="operation",
+        left=left_file,
+        right=right_file,
+        grid_cells=grid.num_cells(),
+    ) as op_span:
+        job = Job(
+            input_file=input_files,
+            map_fn=_sjmr_map,
+            reduce_fn=_sjmr_reduce,
+            num_reducers=grid.num_cells(),
+            config={
+                "grid": grid,
+                "left": left_file,
+                "self_join": left_file == right_file,
+            },
+            name=f"sjmr({left_file},{right_file})",
+        )
+        result = runner.run(job)
+        op_span.set("pairs", len(result.output))
     return OperationResult(
         answer=result.output, jobs=stats_jobs + [result], system="hadoop"
     )
@@ -205,61 +213,84 @@ def spatial_join_distributed(
     left_blocks = {b.metadata["cell_id"]: b for b in left_entry.blocks}
     right_blocks = {b.metadata["cell_id"]: b for b in right_entry.blocks}
 
-    # Join the global indexes: one virtual split per overlapping cell pair.
-    pair_blocks: List[Block] = []
-    for lc in left_index:
-        for rc in right_index:
-            inter = lc.mbr.intersection(rc.mbr)
-            if inter is None:
-                continue
-            lb = left_blocks[lc.cell_id]
-            rb = right_blocks[rc.cell_id]
-            records = [(0, r) for r in lb.records] + [(1, r) for r in rb.records]
-            pair_blocks.append(
-                Block(
-                    records=records,
-                    metadata={"cell": inter, "pair": (lc.cell_id, rc.cell_id)},
-                )
+    tracer = runner.tracer
+    with tracer.span(
+        f"op:dj({left_file},{right_file})",
+        kind="operation",
+        left=left_file,
+        right=right_file,
+    ) as op_span:
+        # Join the global indexes: one virtual split per overlapping
+        # cell pair.
+        with tracer.span("dj:index-join", kind="phase") as pair_span:
+            pair_blocks: List[Block] = []
+            for lc in left_index:
+                for rc in right_index:
+                    inter = lc.mbr.intersection(rc.mbr)
+                    if inter is None:
+                        continue
+                    lb = left_blocks[lc.cell_id]
+                    rb = right_blocks[rc.cell_id]
+                    records = (
+                        [(0, r) for r in lb.records]
+                        + [(1, r) for r in rb.records]
+                    )
+                    pair_blocks.append(
+                        Block(
+                            records=records,
+                            metadata={
+                                "cell": inter,
+                                "pair": (lc.cell_id, rc.cell_id),
+                            },
+                        )
+                    )
+            pair_span.set("pairs", len(pair_blocks))
+            pair_span.set(
+                "pairs_skipped",
+                len(left_blocks) * len(right_blocks) - len(pair_blocks),
             )
 
-    pairs_file = f"__dj_pairs__{left_file}__{right_file}"
-    if fs.exists(pairs_file):
-        fs.delete(pairs_file)
-    fs.create_file_from_blocks(pairs_file, pair_blocks)
+        pairs_file = f"__dj_pairs__{left_file}__{right_file}"
+        if fs.exists(pairs_file):
+            fs.delete(pairs_file)
+        fs.create_file_from_blocks(pairs_file, pair_blocks)
 
-    # Duplicate avoidance. When *both* indexes are disjoint, the cell-pair
-    # intersections refine both tilings, so the reference-point rule reports
-    # every pair exactly once with no communication. When at least one index
-    # assigns each record to a single cell, duplicates can only arise from
-    # the replicated side, and a driver-side identity dedup (a stand-in for
-    # Hadoop's dedup-by-key round) removes them.
-    reference_point_dedup = left_index.disjoint and right_index.disjoint
+        # Duplicate avoidance. When *both* indexes are disjoint, the
+        # cell-pair intersections refine both tilings, so the
+        # reference-point rule reports every pair exactly once with no
+        # communication. When at least one index assigns each record to a
+        # single cell, duplicates can only arise from the replicated side,
+        # and a driver-side identity dedup (a stand-in for Hadoop's
+        # dedup-by-key round) removes them.
+        reference_point_dedup = left_index.disjoint and right_index.disjoint
 
-    config = {"ref_dedup": reference_point_dedup}
-    if not reference_point_dedup:
-        # The driver-side fallback below dedups by object identity, which
-        # only holds when map tasks run in the driver process: pin this job
-        # to the serial backend so a parallel runner cannot break it.
-        config["workers"] = 1
-    job = Job(
-        input_file=pairs_file,
-        map_fn=_dj_map,
-        splitter=_pair_splitter,
-        config=config,
-        name=f"dj({left_file},{right_file})",
-    )
-    try:
-        result = runner.run(job)
-    finally:
-        fs.delete(pairs_file)
-    answer = result.output
-    if not reference_point_dedup:
-        seen = set()
-        unique = []
-        for pair in answer:
-            key = (id(pair[0]), id(pair[1]))
-            if key not in seen:
-                seen.add(key)
-                unique.append(pair)
-        answer = unique
+        config = {"ref_dedup": reference_point_dedup}
+        if not reference_point_dedup:
+            # The driver-side fallback below dedups by object identity,
+            # which only holds when map tasks run in the driver process:
+            # pin this job to the serial backend so a parallel runner
+            # cannot break it.
+            config["workers"] = 1
+        job = Job(
+            input_file=pairs_file,
+            map_fn=_dj_map,
+            splitter=_pair_splitter,
+            config=config,
+            name=f"dj({left_file},{right_file})",
+        )
+        try:
+            result = runner.run(job)
+        finally:
+            fs.delete(pairs_file)
+        answer = result.output
+        if not reference_point_dedup:
+            seen = set()
+            unique = []
+            for pair in answer:
+                key = (id(pair[0]), id(pair[1]))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(pair)
+            answer = unique
+        op_span.set("result_pairs", len(answer))
     return OperationResult(answer=answer, jobs=[result])

@@ -100,7 +100,12 @@ class _Runner:
             ast.Store: self._run_store,
             ast.Dump: self._run_dump,
         }[type(stmt)]
-        handler(stmt)
+        with self.sh.tracer.span(
+            f"pigeon:{type(stmt).__name__.lower()}",
+            kind="pigeon",
+            target=getattr(stmt, "target", None),
+        ):
+            handler(stmt)
 
     def _run_load(self, stmt: ast.Load) -> None:
         if not self.sh.fs.exists(stmt.file_name):
@@ -123,6 +128,13 @@ class _Runner:
     def _run_filter(self, stmt: ast.Filter) -> None:
         source = self._file_of(stmt.source)
         window = self._constant_overlap_window(stmt.predicate)
+        # The compile step: record which physical plan the planner chose,
+        # so traces show *why* a FILTER was (or was not) index-accelerated.
+        self.sh.tracer.event(
+            "pigeon:plan",
+            kind="pigeon-compile",
+            plan="indexed-range" if window is not None else "scan-filter",
+        )
         if window is not None:
             op = self.sh.range_query(source, window)
         else:

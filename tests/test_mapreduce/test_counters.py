@@ -26,6 +26,18 @@ class TestCounters:
         with pytest.raises(ValueError):
             c.increment("X", -1)
 
+    def test_merge_dict(self):
+        c = Counters()
+        c.increment("X", 2)
+        c.merge_dict({"X": 3, "Y": 1})
+        assert c["X"] == 5
+        assert c["Y"] == 1
+
+    def test_merge_dict_negative_rejected(self):
+        c = Counters()
+        with pytest.raises(ValueError, match="negative"):
+            c.merge_dict({"X": 2, "Y": -1})
+
     def test_merge(self):
         a, b = Counters(), Counters()
         a.increment("X", 2)

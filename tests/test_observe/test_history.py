@@ -1,0 +1,155 @@
+"""Unit tests for the job-history store and its text report."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.mapreduce.cluster import TaskStats
+from repro.mapreduce.counters import Counters
+from repro.observe.history import STRAGGLER_FACTOR, JobHistory, JobRecord
+
+
+def fake_result(
+    makespan=1.0,
+    counters=None,
+    map_tasks=(),
+    reduce_tasks=(),
+):
+    c = Counters()
+    for name, value in (counters or {}).items():
+        c.increment(name, value)
+    return SimpleNamespace(
+        makespan=makespan,
+        counters=c,
+        map_tasks=list(map_tasks),
+        reduce_tasks=list(reduce_tasks),
+    )
+
+
+class TestJobHistoryStore:
+    def test_record_assigns_sequential_ids(self):
+        h = JobHistory()
+        a = h.record("first", fake_result())
+        b = h.record("second", fake_result())
+        assert (a.job_id, b.job_id) == (1, 2)
+        assert len(h) == 2
+        assert [r.name for r in h] == ["first", "second"]
+
+    def test_limit_rotates_but_keeps_total(self):
+        h = JobHistory(limit=2)
+        for i in range(5):
+            h.record(f"job-{i}", fake_result())
+        assert len(h) == 2
+        assert h.total_recorded == 5
+        assert [r.name for r in h] == ["job-3", "job-4"]
+
+    def test_last(self):
+        h = JobHistory()
+        for i in range(4):
+            h.record(f"job-{i}", fake_result())
+        assert [r.name for r in h.last(2)] == ["job-2", "job-3"]
+        assert len(h.last()) == 4
+        assert h.last(0) == []
+
+    def test_clear(self):
+        h = JobHistory()
+        h.record("a", fake_result())
+        h.clear()
+        assert len(h) == 0
+        assert "empty" in h.report()
+
+
+class TestJobRecord:
+    def test_pruning_ratio(self):
+        rec = JobRecord(
+            1, "j", 1.0, {"BLOCKS_TOTAL": 10, "BLOCKS_PRUNED": 4}
+        )
+        assert rec.pruning_ratio == pytest.approx(0.4)
+        assert JobRecord(1, "j", 1.0, {}).pruning_ratio is None
+
+    def test_stragglers_need_at_least_three_tasks(self):
+        tasks = [TaskStats("m0", seconds=1.0), TaskStats("m1", seconds=100.0)]
+        assert JobRecord(1, "j", 1.0, {}).stragglers(tasks) == []
+
+    def test_stragglers_past_factor_times_median(self):
+        tasks = [
+            TaskStats("m0", seconds=1.0),
+            TaskStats("m1", seconds=1.0),
+            TaskStats("m2", seconds=1.0),
+            TaskStats("m3", seconds=STRAGGLER_FACTOR + 0.5),
+        ]
+        rec = JobRecord(1, "j", 1.0, {})
+        assert [t.task_id for t in rec.stragglers(tasks)] == ["m3"]
+        # Exactly at the cutoff is not a straggler.
+        tasks[-1] = TaskStats("m3", seconds=STRAGGLER_FACTOR * 1.0)
+        assert rec.stragglers(tasks) == []
+
+    def test_duration_histogram_covers_both_waves(self):
+        rec = JobRecord(
+            1, "j", 1.0, {},
+            map_tasks=[TaskStats("m0", seconds=0.002)],
+            reduce_tasks=[TaskStats("r0", seconds=0.2)],
+        )
+        assert rec.duration_histogram().count == 2
+
+
+class TestReport:
+    def _history(self):
+        h = JobHistory()
+        h.record(
+            "range-spatial(idx)",
+            fake_result(
+                makespan=0.5,
+                counters={
+                    "BLOCKS_TOTAL": 4,
+                    "BLOCKS_READ": 1,
+                    "BLOCKS_PRUNED": 3,
+                    "MAP_TASKS": 3,
+                },
+                map_tasks=[
+                    TaskStats("map-0", 100, 10, 0.001),
+                    TaskStats("map-1", 100, 10, 0.001),
+                    TaskStats("map-2", 900, 90, 0.05),
+                ],
+            ),
+            cost={
+                "overhead": 0.05, "map": 0.45,
+                "shuffle": 0.0, "reduce": 0.0, "total": 0.5,
+            },
+        )
+        return h
+
+    def test_report_sections(self):
+        text = self._history().report()
+        assert "=== job history: 1 of 1 job(s) ===" in text
+        assert "job #1: range-spatial(idx)" in text
+        assert "simulated makespan: 0.500s" in text
+        assert "overhead 0.050s" in text
+        assert "blocks: 1/4 read (75.0% pruned by the global index)" in text
+        assert "map wave: 3 task(s)" in text
+        assert "map-2" in text
+        assert "stragglers: map-2 (50.0x median)" in text
+        assert "task-duration histogram (3 tasks" in text
+        assert "BLOCKS_PRUNED" in text
+
+    def test_report_without_counters(self):
+        text = self._history().report(counters=False)
+        assert "counters:" not in text
+
+    def test_report_last_n(self):
+        h = JobHistory()
+        for i in range(3):
+            h.record(f"job-{i}", fake_result())
+        text = h.report(last=1)
+        assert "1 of 3 job(s)" in text
+        assert "job-2" in text
+        assert "job-0" not in text
+
+    def test_empty_report(self):
+        assert JobHistory().report() == "job history is empty\n"
+
+    def test_rotated_jobs_are_flagged(self):
+        h = JobHistory(limit=1)
+        h.record("a", fake_result())
+        h.record("b", fake_result())
+        assert "(1 rotated out)" in h.report()

@@ -1,0 +1,166 @@
+"""Unit tests for the metrics registry and fixed-bucket histograms."""
+
+import pytest
+
+from repro.observe.metrics import (
+    SHUFFLE_BYTES_BUCKETS,
+    TASK_DURATION_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogramBuckets:
+    def test_value_on_boundary_lands_in_that_bucket(self):
+        # Prometheus `le` semantics: a value equal to an upper bound
+        # counts in that bucket, not the next one.
+        h = Histogram("h", (1.0, 2.0, 4.0))
+        h.observe(2.0)
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_value_just_above_boundary_moves_up(self):
+        h = Histogram("h", (1.0, 2.0, 4.0))
+        h.observe(2.0000001)
+        assert h.counts == [0, 0, 1, 0]
+
+    def test_below_first_boundary(self):
+        h = Histogram("h", (1.0, 2.0))
+        h.observe(0.0)
+        h.observe(-5.0)  # degenerate but must not crash or escape
+        assert h.counts == [2, 0, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", (1.0, 2.0))
+        h.observe(2.5)
+        h.observe(1e18)
+        assert h.counts == [0, 0, 2]
+
+    def test_sum_count_mean(self):
+        h = Histogram("h", (10.0,))
+        h.observe_many([1.0, 3.0])
+        assert h.count == 2
+        assert h.total == pytest.approx(4.0)
+        assert h.mean == pytest.approx(2.0)
+        assert Histogram("empty", (1.0,)).mean == 0.0
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", (2.0, 1.0))
+
+    def test_merge(self):
+        a = Histogram("h", (1.0, 2.0))
+        b = Histogram("h", (1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.total == pytest.approx(11.0)
+
+    def test_merge_mismatched_buckets_rejected(self):
+        a = Histogram("h", (1.0, 2.0))
+        b = Histogram("h", (1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_as_dict_is_plain_data(self):
+        h = Histogram("h", (1.0,))
+        h.observe(0.5)
+        assert h.as_dict() == {
+            "buckets": [1.0],
+            "counts": [1, 0],
+            "sum": 0.5,
+            "count": 1,
+        }
+
+    def test_render(self):
+        h = Histogram("h", (1.0, 2.0))
+        assert "(empty)" in h.render()
+        h.observe(0.5)
+        h.observe(0.6)
+        h.observe(1.5)
+        text = h.render(width=10)
+        assert "<= 1" in text
+        assert "> 2" in text
+        assert "##########" in text  # the fullest bucket spans the width
+
+    def test_default_bucket_grids_are_valid(self):
+        Histogram("d", TASK_DURATION_BUCKETS)
+        Histogram("b", SHUFFLE_BYTES_BUCKETS)
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        m = MetricsRegistry()
+        m.inc("JOBS", 2)
+        m.inc("JOBS")
+        assert m.counter("JOBS") == 3
+        assert m.counter("MISSING") == 0
+
+    def test_negative_increment_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.inc("JOBS", -1)
+
+    def test_merge_counters_accepts_mapping(self):
+        m = MetricsRegistry()
+        m.merge_counters({"A": 1, "B": 2})
+        m.merge_counters({"A": 1}.items())
+        assert m.counter("A") == 2
+        assert m.counter("B") == 2
+
+    def test_gauges_last_write_wins(self):
+        m = MetricsRegistry()
+        m.set_gauge("g", 1.0)
+        m.set_gauge("g", 2.5)
+        assert m.gauge("g") == 2.5
+        assert m.gauge("missing", default=-1.0) == -1.0
+
+    def test_histogram_requires_buckets_on_creation(self):
+        m = MetricsRegistry()
+        with pytest.raises(KeyError):
+            m.histogram("h")
+        m.observe("h", 0.5, buckets=(1.0, 2.0))
+        assert m.histogram("h").count == 1
+
+    def test_histogram_bucket_conflict_rejected(self):
+        m = MetricsRegistry()
+        m.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            m.histogram("h", buckets=(1.0, 3.0))
+        # Re-specifying the same buckets is fine.
+        assert m.histogram("h", buckets=(1.0, 2.0)).buckets == (1.0, 2.0)
+
+    def test_snapshot_sorted_and_stable(self):
+        m = MetricsRegistry()
+        m.inc("B")
+        m.inc("A")
+        m.set_gauge("g", 1.0)
+        m.observe("h", 0.5, buckets=(1.0,))
+        snap = m.snapshot()
+        assert list(snap["counters"]) == ["A", "B"]
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        # Mutating the registry must not mutate an older snapshot.
+        m.inc("A")
+        assert snap["counters"]["A"] == 1
+
+    def test_registry_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("C", 1)
+        b.inc("C", 2)
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 9.0)
+        a.observe("h", 0.5, buckets=(1.0,))
+        b.observe("h", 2.0, buckets=(1.0,))
+        a.merge(b)
+        assert a.counter("C") == 3
+        assert a.gauge("g") == 9.0  # theirs win
+        assert a.histogram("h").count == 2

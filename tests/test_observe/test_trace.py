@@ -1,0 +1,183 @@
+"""Unit tests for the span tracer and its export formats."""
+
+import json
+
+import pytest
+
+from repro.observe.trace import (
+    TRACE_VERSION,
+    NullTracer,
+    Tracer,
+    normalize_events,
+    read_jsonl,
+)
+
+
+class TestTracerSpans:
+    def test_ids_are_sequential_from_one(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        assert [r["id"] for r in t.records()] == [1, 2]
+
+    def test_nested_spans_record_children_first(self):
+        t = Tracer()
+        with t.span("outer", kind="job"):
+            with t.span("inner", kind="phase"):
+                pass
+        names = [r["name"] for r in t.records()]
+        assert names == ["inner", "outer"]
+
+    def test_nesting_sets_parent(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                pass
+        records = {r["name"]: r for r in t.records()}
+        assert records["inner"]["parent"] == outer.span_id
+        assert records["outer"]["parent"] is None
+        assert inner.span_id != outer.span_id
+
+    def test_attrs_at_open_and_via_set(self):
+        t = Tracer()
+        with t.span("s", kind="operation", file="pts") as span:
+            span.set("matches", 7)
+        (record,) = t.records()
+        assert record["attrs"] == {"file": "pts", "matches": 7}
+        assert record["kind"] == "operation"
+
+    def test_span_closed_on_exception(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("outer"):
+                with t.span("inner"):
+                    raise RuntimeError("boom")
+        assert [r["name"] for r in t.records()] == ["inner", "outer"]
+        # The stack fully unwound: a new span is a root again.
+        with t.span("next"):
+            pass
+        assert t.records()[-1]["parent"] is None
+
+    def test_add_span_uses_caller_times(self):
+        t = Tracer()
+        with t.span("wave", kind="wave"):
+            sid = t.add_span("task:map-0", "task", 1.0, 1.5, records_in=10)
+        task = next(r for r in t.records() if r["kind"] == "task")
+        assert task["id"] == sid
+        assert task["ts"] == 1.0
+        assert task["dur"] == pytest.approx(0.5)
+        assert task["attrs"] == {"records_in": 10}
+
+    def test_event_under_explicit_parent(self):
+        t = Tracer()
+        with t.span("job", kind="job") as job:
+            t.event("shuffle", records=5)
+            t.event("custom", parent_id=99)
+        records = t.records()
+        shuffle = next(r for r in records if r["name"] == "shuffle")
+        custom = next(r for r in records if r["name"] == "custom")
+        assert shuffle["type"] == "event"
+        assert shuffle["parent"] == job.span_id
+        assert custom["parent"] == 99
+
+    def test_spans_filter_by_kind(self):
+        t = Tracer()
+        with t.span("j", kind="job"):
+            with t.span("w", kind="wave"):
+                pass
+            t.event("e")
+        assert [r["name"] for r in t.spans("wave")] == ["w"]
+        assert len(t.spans()) == 2
+
+    def test_clear(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        t.clear()
+        assert t.records() == []
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        t = NullTracer()
+        assert not t.enabled
+        with t.span("a", kind="job", x=1) as span:
+            span.set("y", 2)
+        assert t.add_span("t", "task", 0.0, 1.0) == 0
+        t.event("e", attrs_do_not="matter")
+
+    def test_shared_null_span(self):
+        t = NullTracer()
+        assert t.span("a") is t.span("b")
+
+
+class TestNormalize:
+    def test_drops_volatile_and_rewrites_timestamps(self):
+        t = Tracer()
+        with t.span("job", kind="job"):
+            t.event("dispatch", volatile=True, backend="pool")
+            t.add_span("task", "task", 0.0, 0.25)
+        normalized = normalize_events(t.records())
+        assert [r["name"] for r in normalized] == ["task", "job"]
+        assert [r["ts"] for r in normalized] == [0, 1]
+        assert all(r["dur"] == 0 for r in normalized)
+        assert all("volatile" not in r for r in normalized)
+
+    def test_attrs_and_structure_survive(self):
+        t = Tracer()
+        with t.span("op", kind="operation", file="pts") as op:
+            op.set("matches", 3)
+        (record,) = normalize_events(t.records())
+        assert record["attrs"] == {"file": "pts", "matches": 3}
+        assert record["id"] == 1
+
+
+class TestExports:
+    def _sample_tracer(self):
+        t = Tracer()
+        with t.span("job:x", kind="job"):
+            with t.span("wave:map", kind="wave", tasks=1):
+                t.add_span("task:map-0", "task", 0.0, 0.1)
+            t.event("dispatch", volatile=True, backend="in-process")
+        return t
+
+    def test_jsonl_round_trip(self, tmp_path):
+        t = self._sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        t.export_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "trace"
+        assert header["version"] == TRACE_VERSION
+        assert header["records"] == len(lines) - 1
+        assert read_jsonl(path) == t.records()
+
+    def test_jsonl_normalized(self, tmp_path):
+        t = self._sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        t.export_jsonl(path, normalize=True)
+        assert read_jsonl(path) == normalize_events(t.records())
+
+    def test_chrome_export_parses(self, tmp_path):
+        t = self._sample_tracer()
+        path = tmp_path / "trace.chrome.json"
+        t.export_chrome(path)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert len(events) == len(t.records())
+        phases = {e["ph"] for e in events}
+        assert phases == {"X", "i"}
+        task = next(e for e in events if e["cat"] == "task")
+        assert task["tid"] >= 1  # task lanes are separate from the driver
+        driver = next(e for e in events if e["cat"] == "job")
+        assert driver["tid"] == 0
+        assert all(e["dur"] > 0 for e in events if e["ph"] == "X")
+
+    def test_export_accepts_file_object(self, tmp_path):
+        t = self._sample_tracer()
+        path = tmp_path / "via_fh.jsonl"
+        with path.open("w") as fh:
+            t.export_jsonl(fh)
+        assert read_jsonl(path) == t.records()
