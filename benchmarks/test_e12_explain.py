@@ -1,0 +1,119 @@
+"""E12 — EXPLAIN/ANALYZE: planner overhead and estimator accuracy.
+
+Two claims worth measuring about the observability layer itself:
+
+* EXPLAIN is *cheap*: building the plan tree reads only the global index
+  (the partition catalogue), never the data, so it must cost a small
+  fraction of actually running the query.
+* The uniform-density estimator is *accurate where it should be*: on
+  uniform data the predicted partition and record counts match the
+  ANALYZE actuals across partitioning techniques; the per-technique
+  error is the planner's report card.
+"""
+
+import math
+import time
+
+from bench_utils import make_system, metrics_snapshot
+
+from repro.datagen import generate_points
+from repro.geometry import Rectangle
+
+N = 100_000
+SPACE = Rectangle(0, 0, 1_000_000, 1_000_000)
+TECHNIQUES = ["grid", "str", "quadtree", "kdtree"]
+#: EXPLAIN must cost under this fraction of running the query itself.
+OVERHEAD_BUDGET = 0.05
+
+
+def centred_window(selectivity: float) -> Rectangle:
+    side = math.sqrt(selectivity) * SPACE.width
+    c = SPACE.center
+    return Rectangle(
+        c.x - side / 2, c.y - side / 2, c.x + side / 2, c.y + side / 2
+    )
+
+
+def test_e12_explain_overhead(benchmark, report):
+    sh = make_system(block_capacity=3_000)
+    sh.load("pts", generate_points(N, "uniform", seed=12, space=SPACE))
+    sh.index("pts", "idx", technique="str")
+    query = "range idx 400000,400000,600000,600000"
+
+    # Warm both paths once before timing them.
+    sh.explain(query)
+    sh.analyze(query)
+
+    def wall(fn, rounds=5):
+        best = math.inf
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    explain_s = wall(lambda: sh.explain(query))
+    query_s = wall(lambda: sh.range_query("idx", centred_window(0.04)))
+    ratio = explain_s / query_s
+    report.add(
+        f"E12a: EXPLAIN overhead, {N:,} points (STR index)",
+        ["phase", "best wall time", "vs query"],
+        [
+            ["EXPLAIN (plan only)", f"{explain_s * 1e3:.2f}ms",
+             f"{100 * ratio:.1f}%"],
+            ["range query", f"{query_s * 1e3:.2f}ms", "100%"],
+        ],
+    )
+    assert ratio < OVERHEAD_BUDGET, (
+        f"EXPLAIN took {100 * ratio:.1f}% of the query time "
+        f"(budget {100 * OVERHEAD_BUDGET:.0f}%)"
+    )
+
+    benchmark.pedantic(lambda: sh.explain(query), rounds=5, iterations=1)
+
+
+def test_e12_estimator_error_by_partitioner(report):
+    sh = make_system(block_capacity=3_000)
+    sh.load("pts", generate_points(N, "uniform", seed=12, space=SPACE))
+    for technique in TECHNIQUES:
+        sh.index("pts", f"idx_{technique}", technique=technique)
+
+    window = centred_window(0.02)
+    query_fmt = (
+        f"range idx_{{t}} {window.x1:g},{window.y1:g},"
+        f"{window.x2:g},{window.y2:g}"
+    )
+    rows = []
+    for technique in TECHNIQUES:
+        e = sh.analyze(query_fmt.format(t=technique))
+        (job,) = e.plan.find("job")
+        est_b = job.estimated["blocks_read"]
+        act_b = job.actual["blocks_read"]
+        est_r = job.estimated["records_read"]
+        act_r = job.actual["records_read"]
+        record_err = 100 * abs(act_r - est_r) / max(1, act_r)
+        rows.append(
+            [
+                technique,
+                f"{est_b}/{act_b}",
+                job.actual["blocks_read_error"],
+                f"{est_r}/{act_r}",
+                f"{record_err:.1f}%",
+            ]
+        )
+        # Uniform data: the density estimator must nail the partition
+        # count and land within 25% on records for every partitioner.
+        assert job.actual["blocks_read_error"] == 0, technique
+        assert record_err < 25, technique
+
+    report.add(
+        f"E12b: estimator accuracy on {N:,} uniform points "
+        f"(selectivity 0.02, est/actual)",
+        ["technique", "partitions", "part err", "records", "record err"],
+        rows,
+    )
+    snap = metrics_snapshot(sh, "e12-estimator-error")
+    assert (
+        snap["metrics"]["counters"]["EXPLAIN_ANALYZE_RUNS"]
+        == len(TECHNIQUES)
+    )

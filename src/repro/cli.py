@@ -12,6 +12,9 @@ HDFS between invocations, so a session looks like::
     python -m repro -w ws.pkl plot pts_idx --ascii
     python -m repro -w ws.pkl info pts_idx
     python -m repro -w ws.pkl history
+    python -m repro -w ws.pkl explain "range pts_idx 0,0,1e5,1e5"
+    python -m repro -w ws.pkl explain --analyze "knn pts_idx 5e5,5e5 10"
+    python -m repro -w ws.pkl doctor pts_idx --heatmap pts.svg
 
 Every query command prints the answer summary plus the cost line the
 benchmarks use (blocks read, records shuffled, simulated makespan);
@@ -118,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
              "(open in chrome://tracing or Perfetto)",
     )
     parser.add_argument(
+        "--progress", action="store_true",
+        help="stream live wave/task progress of every job to stderr",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="print the full sorted counter table after query commands",
     )
@@ -186,6 +193,44 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
 
     p = sub.add_parser(
+        "explain",
+        help="EXPLAIN a query: print its plan tree without executing it",
+    )
+    p.add_argument(
+        "query", nargs="+",
+        help="query text, e.g.: range pts_idx 0,0,100,100 | "
+             "knn pts_idx 50,50 10 | sjoin a b | skyline pts_idx",
+    )
+    p.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query and annotate the plan with actuals",
+    )
+    p.add_argument(
+        "--pigeon", action="store_true",
+        help="the query is a Pigeon script (a file path, or inline text)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text tree)",
+    )
+
+    p = sub.add_parser(
+        "doctor",
+        help="diagnose an indexed file: skew, overlap hot-spots, fill",
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text report)",
+    )
+    p.add_argument(
+        "--heatmap", default=None, metavar="PATH",
+        help="write a per-partition record-density heatmap "
+             "(.svg for SVG, anything else for PGM)",
+    )
+    p.add_argument("--block-capacity", type=int, default=None)
+
+    p = sub.add_parser(
         "history", help="render the job-history report for this workspace"
     )
     p.add_argument(
@@ -212,6 +257,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # workspaces saved under --workers replay fine without it.
         sh.runner.set_workers(args.workers)
     tracer = sh.enable_tracing() if args.trace else None
+    if args.progress:
+        sh.enable_progress()
     jobs_before = sh.history.total_recorded
     mutated = False
 
@@ -222,6 +269,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     finally:
         sh.runner.close()
+        # The reporter holds an open stderr handle; like a live tracer it
+        # is per-invocation only and must never reach the pickle below.
+        sh.disable_progress()
         if tracer is not None:
             trace_path = Path(args.trace)
             tracer.export_jsonl(trace_path)
@@ -294,28 +344,13 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
         return False
 
     if cmd == "knnjoin":
-        from repro.operations import knn_join_hadoop, knn_join_spatial
-
-        indexed = (
-            global_index_of(sh.fs, args.left) is not None
-            and global_index_of(sh.fs, args.right) is not None
-        )
-        if indexed:
-            op = knn_join_spatial(sh.runner, args.left, args.right, args.k)
-        else:
-            op = knn_join_hadoop(sh.runner, args.left, args.right, args.k)
+        op = sh.knn_join(args.left, args.right, args.k)
         print(f"{len(op.answer)} rows, k={args.k}")
         _print_cost(op, args.verbose)
         return False
 
     if cmd == "rangecount":
-        from repro.operations import range_count_hadoop, range_count_spatial
-
-        window = _parse_window(args.window)
-        if global_index_of(sh.fs, args.file) is not None:
-            op = range_count_spatial(sh.runner, args.file, window)
-        else:
-            op = range_count_hadoop(sh.runner, args.file, window)
+        op = sh.range_count(args.file, _parse_window(args.window))
         print(f"count: {op.answer}")
         _print_cost(op, args.verbose)
         return False
@@ -424,6 +459,43 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
             snapshot = sh.metrics.snapshot()
             print("workspace metrics:")
             _print_counter_table(snapshot["counters"])
+        return False
+
+    if cmd == "explain":
+        from repro.observe import explain as explain_mod
+
+        text = " ".join(args.query)
+        if args.pigeon:
+            script_path = Path(text)
+            script = script_path.read_text() if script_path.exists() else text
+            explanation = explain_mod.explain_pigeon(
+                sh, script, analyze=args.analyze
+            )
+        elif args.analyze:
+            explanation = sh.analyze(text)
+        else:
+            explanation = sh.explain(text)
+        if args.format == "json":
+            print(explanation.to_json())
+        else:
+            print(explanation.render())
+        return False
+
+    if cmd == "doctor":
+        diagnosis = sh.doctor(args.file, block_capacity=args.block_capacity)
+        if args.format == "json":
+            import json
+
+            print(json.dumps(diagnosis.to_dict(), indent=2, default=str))
+        else:
+            print(diagnosis.render())
+        if args.heatmap:
+            from repro.viz import write_heatmap
+
+            fmt = write_heatmap(
+                global_index_of(sh.fs, args.file), args.heatmap
+            )
+            print(f"wrote {fmt} heatmap to {args.heatmap}", file=sys.stderr)
         return False
 
     if cmd == "history":

@@ -18,13 +18,17 @@ the answer, the MapReduce rounds executed, and the simulated makespan.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional
 
 from repro.core.result import OperationResult
 from repro.geometry import Point, Rectangle
 from repro.index.build import IndexBuildResult, build_index
 from repro.mapreduce import ClusterModel, FileSystem, JobRunner
 from repro.observe import JobHistory, MetricsRegistry, NullTracer, Tracer
+
+if TYPE_CHECKING:  # lazy imports below avoid the observe -> explain cycle
+    from repro.observe import Diagnosis, ProgressReporter
+    from repro.observe.explain import Explanation
 
 
 class SpatialHadoop:
@@ -97,6 +101,42 @@ class SpatialHadoop:
         """The Hadoop-JobHistory-style text report of retained jobs."""
         return self.history.report(last=last)
 
+    def enable_progress(self, stream: Any = None) -> "ProgressReporter":
+        """Stream live wave/task progress to ``stream`` (default stderr).
+
+        The reporter is attached per-invocation: it holds an open stream,
+        so it is never pickled with a workspace — call
+        :meth:`disable_progress` (or drop the facade) when done.
+        """
+        from repro.observe import ProgressReporter
+
+        reporter = ProgressReporter(stream=stream)
+        self.runner.set_progress(reporter)
+        return reporter
+
+    def disable_progress(self) -> None:
+        self.runner.set_progress(None)
+
+    def explain(self, query_text: str) -> "Explanation":
+        """EXPLAIN: the plan tree for a query, without executing it."""
+        from repro.observe import explain
+
+        return explain.explain_query(self, query_text)
+
+    def analyze(self, query_text: str) -> "Explanation":
+        """ANALYZE: execute the query and annotate the plan with actuals."""
+        from repro.observe import explain
+
+        return explain.analyze_query(self, query_text)
+
+    def doctor(
+        self, file_name: str, block_capacity: Optional[int] = None
+    ) -> "Diagnosis":
+        """Run the index doctor over an indexed file."""
+        from repro.observe import diagnose
+
+        return diagnose(self.fs, file_name, block_capacity=block_capacity)
+
     # ------------------------------------------------------------------
     # Storage layer
     # ------------------------------------------------------------------
@@ -141,6 +181,15 @@ class SpatialHadoop:
             return range_query_spatial(self.runner, file_name, query, **kwargs)
         return range_query_hadoop(self.runner, file_name, query)
 
+    def range_count(
+        self, file_name: str, query: Rectangle
+    ) -> OperationResult:
+        from repro.operations import range_count_hadoop, range_count_spatial
+
+        if self._is_indexed(file_name):
+            return range_count_spatial(self.runner, file_name, query)
+        return range_count_hadoop(self.runner, file_name, query)
+
     def knn(
         self, file_name: str, query: Point, k: int, **kwargs: Any
     ) -> OperationResult:
@@ -161,6 +210,15 @@ class SpatialHadoop:
         if self._is_indexed(left_file) and self._is_indexed(right_file):
             return spatial_join_distributed(self.runner, left_file, right_file)
         return spatial_join_sjmr(self.runner, left_file, right_file, **kwargs)
+
+    def knn_join(
+        self, left_file: str, right_file: str, k: int
+    ) -> OperationResult:
+        from repro.operations import knn_join_hadoop, knn_join_spatial
+
+        if self._is_indexed(left_file) and self._is_indexed(right_file):
+            return knn_join_spatial(self.runner, left_file, right_file, k)
+        return knn_join_hadoop(self.runner, left_file, right_file, k)
 
     def skyline(self, file_name: str, **kwargs: Any) -> OperationResult:
         from repro.operations import skyline_hadoop, skyline_spatial

@@ -38,6 +38,10 @@ class PartitionQuality:
     utilization: float
     #: Stored records / source records (1.0 = no replication).
     replication: float
+    #: Partition-size distribution endpoints (records per partition).
+    min_partition: int = 0
+    median_partition: float = 0.0
+    max_partition: int = 0
 
 
 def measure_quality(
@@ -69,7 +73,13 @@ def measure_quality(
 
     sizes = [c.num_records for c in cells]
     mean_size = statistics.fmean(sizes)
-    cv = (statistics.pstdev(sizes) / mean_size) if mean_size > 0 else math.inf
+    # A single partition is perfectly balanced by definition; pstdev would
+    # report 0/mean = 0 anyway, but guard explicitly so the intent is clear
+    # and the empty-mean fallback cannot mislabel it as infinitely skewed.
+    if len(sizes) < 2:
+        cv = 0.0
+    else:
+        cv = (statistics.pstdev(sizes) / mean_size) if mean_size > 0 else math.inf
 
     stored = sum(sizes)
     source = source_records if source_records is not None else stored
@@ -84,4 +94,7 @@ def measure_quality(
         load_balance_cv=cv,
         utilization=utilization,
         replication=stored / max(1, source),
+        min_partition=min(sizes),
+        median_partition=statistics.median(sizes),
+        max_partition=max(sizes),
     )

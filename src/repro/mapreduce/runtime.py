@@ -303,6 +303,9 @@ class JobRunner:
         self.tracer = tracer if tracer is not None else _NULL_TRACER
         self.metrics = metrics
         self.history = history
+        #: Optional live progress sink (see repro.observe.progress). Holds
+        #: an open stream, so it is attached per-invocation, never pickled.
+        self.progress = None
         self._job_executors: Dict[int, Executor] = {}
 
     def __setstate__(self, state):
@@ -312,10 +315,15 @@ class JobRunner:
         self.__dict__.setdefault("tracer", _NULL_TRACER)
         self.__dict__.setdefault("metrics", None)
         self.__dict__.setdefault("history", None)
+        self.__dict__.setdefault("progress", None)
 
     def set_tracer(self, tracer) -> None:
         """Swap the tracer (pass ``None`` to disable tracing)."""
         self.tracer = tracer if tracer is not None else _NULL_TRACER
+
+    def set_progress(self, reporter) -> None:
+        """Attach a progress reporter (pass ``None`` to detach)."""
+        self.progress = reporter
 
     @property
     def workers(self) -> int:
@@ -351,6 +359,8 @@ class JobRunner:
     def run(self, job: Job) -> JobResult:
         """Run ``job`` to completion and return its result."""
         tracer = self.tracer
+        if self.progress is not None:
+            self.progress.job_started(job.name, list(job.input_files))
         with tracer.span(
             f"job:{job.name}",
             kind="job",
@@ -358,6 +368,8 @@ class JobRunner:
             reducers=job.num_reducers,
         ) as job_span:
             result = self._run_traced(job, job_span)
+        if self.progress is not None:
+            self.progress.job_finished(job.name, result)
         if self.metrics is not None:
             self._record_metrics(result)
         if self.history is not None:
@@ -474,6 +486,9 @@ class JobRunner:
             return stats, intermediate
 
         tracer = self.tracer
+        progress = self.progress
+        if progress is not None:
+            progress.wave_started(job.name, "map", len(splits))
         with tracer.span("wave:map", kind="wave", tasks=len(splits)) as wave:
             shipped = _shipped_job(job, wave="map")
             num_chunks = (
@@ -506,6 +521,11 @@ class JobRunner:
                             task_id, records_in, stats[-1].records_out,
                             secs, events, cursor,
                         )
+                    if progress is not None:
+                        progress.task_finished(
+                            "map", len(stats), len(splits),
+                            records_in, stats[-1].records_out,
+                        )
                     intermediate.extend(emitted)
                     output.extend(out)
         return stats, intermediate
@@ -535,6 +555,9 @@ class JobRunner:
             return stats
 
         tracer = self.tracer
+        progress = self.progress
+        if progress is not None:
+            progress.wave_started(job.name, "reduce", len(tasks))
         with tracer.span("wave:reduce", kind="wave", tasks=len(tasks)) as wave:
             shipped = _shipped_job(job, wave="reduce")
             num_chunks = (
@@ -565,6 +588,11 @@ class JobRunner:
                         cursor = self._trace_task(
                             f"reduce-{task_index}", records_in,
                             stats[-1].records_out, secs, events, cursor,
+                        )
+                    if progress is not None:
+                        progress.task_finished(
+                            "reduce", len(stats), len(tasks),
+                            records_in, stats[-1].records_out,
                         )
                     # Reduce emit() goes to the job output (no later stage).
                     output.extend(v for _, v in emitted)

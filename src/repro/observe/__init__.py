@@ -15,6 +15,14 @@ Tracing is off by default (a shared :class:`NullTracer`) and costs
 nothing until enabled.
 """
 
+from repro.observe.doctor import (
+    OVERLAP_FRACTION,
+    SKEW_FACTOR,
+    UNDERFILL_FRACTION,
+    Diagnosis,
+    Finding,
+    diagnose,
+)
 from repro.observe.history import (
     DEFAULT_HISTORY_LIMIT,
     STRAGGLER_FACTOR,
@@ -27,6 +35,13 @@ from repro.observe.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.observe.plan import (
+    PLAN_VERSION,
+    PlanNode,
+    attach_error,
+    estimate_job_cost,
+)
+from repro.observe.progress import UPDATES_PER_WAVE, ProgressReporter
 from repro.observe.trace import (
     TRACE_VERSION,
     NullTracer,
@@ -35,22 +50,39 @@ from repro.observe.trace import (
     read_jsonl,
 )
 
+# NOTE: repro.observe.explain is intentionally NOT imported here — it
+# imports the operations layer, which imports repro.observe.plan; going
+# through this package initialiser would close the cycle. Import it as
+# ``from repro.observe import explain`` (module) instead.
+
 #: Shared no-op tracer: the default everywhere tracing is optional.
 NULL_TRACER = NullTracer()
 
 __all__ = [
     "DEFAULT_HISTORY_LIMIT",
+    "Diagnosis",
+    "Finding",
     "Histogram",
     "JobHistory",
     "JobRecord",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "OVERLAP_FRACTION",
+    "PLAN_VERSION",
+    "PlanNode",
+    "ProgressReporter",
     "SHUFFLE_BYTES_BUCKETS",
+    "SKEW_FACTOR",
     "STRAGGLER_FACTOR",
     "TASK_DURATION_BUCKETS",
     "TRACE_VERSION",
     "Tracer",
+    "UNDERFILL_FRACTION",
+    "UPDATES_PER_WAVE",
+    "attach_error",
+    "diagnose",
+    "estimate_job_cost",
     "normalize_events",
     "read_jsonl",
 ]

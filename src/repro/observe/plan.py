@@ -1,0 +1,197 @@
+"""Query plan trees: the data model behind EXPLAIN/ANALYZE.
+
+A plan is a tree of :class:`PlanNode` instances. Each node carries three
+attribute dictionaries with distinct lifecycles:
+
+* ``detail`` — static facts about the node, known at plan time and never
+  revised (the strategy chosen, the filter function applied, the index
+  technique).
+* ``estimated`` — what the planner *predicts* the node will do: partitions
+  and blocks touched, records read, matches, and a simulated-cost
+  breakdown obtained from :meth:`~repro.mapreduce.cluster.ClusterModel.
+  job_cost` over synthetic task stats (I/O and overhead only — CPU time
+  cannot be known before execution).
+* ``actual`` — filled in by ANALYZE after execution, from the job's
+  counters and the span tracer: partitions pruned vs. scanned, records
+  read, selectivity, per-node wall and CPU time, and estimate-vs-actual
+  errors.
+
+The determinism contract mirrors the tracer's: every *count* in a plan is
+backend-independent, while every *time* is volatile. :meth:`PlanNode.
+normalized` therefore strips keys that carry seconds (``*_s``,
+``*_seconds``, ``cost``), after which serial and parallel ANALYZE runs of
+the same query compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.mapreduce.cluster import ClusterModel, TaskStats
+
+#: Plan JSON schema version, bumped on incompatible changes.
+PLAN_VERSION = 1
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, dict):
+        inner = ", ".join(f"{k} {_fmt_value(v)}" for k, v in value.items())
+        return f"({inner})"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_fmt_value(v) for v in value) + "]"
+    return str(value)
+
+
+def _fmt_attrs(attrs: Dict[str, Any]) -> str:
+    return " ".join(f"{k}={_fmt_value(v)}" for k, v in attrs.items())
+
+
+@dataclass
+class PlanNode:
+    """One node of an EXPLAIN/ANALYZE plan tree."""
+
+    name: str
+    kind: str = "phase"
+    detail: Dict[str, Any] = field(default_factory=dict)
+    estimated: Dict[str, Any] = field(default_factory=dict)
+    actual: Dict[str, Any] = field(default_factory=dict)
+    children: List["PlanNode"] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------
+    def add(self, child: "PlanNode") -> "PlanNode":
+        """Append ``child`` and return it (builder convenience)."""
+        self.children.append(child)
+        return child
+
+    # -- traversal ------------------------------------------------------
+    def walk(self) -> Iterator["PlanNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: str) -> List["PlanNode"]:
+        """All nodes of ``kind`` in pre-order."""
+        return [n for n in self.walk() if n.kind == kind]
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+            "estimated": dict(self.estimated),
+            "actual": dict(self.actual),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PlanNode":
+        return cls(
+            name=data["name"],
+            kind=data.get("kind", "phase"),
+            detail=dict(data.get("detail", {})),
+            estimated=dict(data.get("estimated", {})),
+            actual=dict(data.get("actual", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+    def normalized(self) -> Dict[str, Any]:
+        """The backend-independent view of the plan.
+
+        Counts (partitions, blocks, records, rounds, errors on counts)
+        are deterministic across execution backends; anything measured in
+        seconds is not. This strips every timing key — ``cost`` and keys
+        ending in ``_s``/``_seconds`` — recursively, so that serial and
+        ``workers=N`` ANALYZE trees of the same query compare equal,
+        exactly like :func:`repro.observe.trace.normalize_events` does
+        for raw traces.
+        """
+        return _scrub(self.to_dict())
+
+    # -- rendering ------------------------------------------------------
+    def render(self, show_estimates: bool = True) -> str:
+        """ASCII tree rendering (one node per block of lines)."""
+        lines: List[str] = []
+        self._render_into(lines, "", "", show_estimates)
+        return "\n".join(lines)
+
+    def _render_into(
+        self,
+        lines: List[str],
+        prefix: str,
+        child_prefix: str,
+        show_estimates: bool,
+    ) -> None:
+        head = f"{self.name}"
+        if self.detail:
+            head += f"  [{_fmt_attrs(self.detail)}]"
+        lines.append(prefix + head)
+        if show_estimates and self.estimated:
+            lines.append(child_prefix + f"  est: {_fmt_attrs(self.estimated)}")
+        if self.actual:
+            lines.append(child_prefix + f"  act: {_fmt_attrs(self.actual)}")
+        for i, child in enumerate(self.children):
+            last = i == len(self.children) - 1
+            connector = "└─ " if last else "├─ "
+            extension = "   " if last else "│  "
+            child._render_into(
+                lines,
+                child_prefix + connector,
+                child_prefix + extension,
+                show_estimates,
+            )
+
+
+def _scrub(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {
+            k: _scrub(v)
+            for k, v in value.items()
+            if not (k == "cost" or k.endswith("_s") or k.endswith("_seconds"))
+        }
+    if isinstance(value, list):
+        return [_scrub(v) for v in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# Cost estimation
+# ----------------------------------------------------------------------
+def estimate_job_cost(
+    cluster: ClusterModel,
+    map_records_in: Sequence[int],
+    map_records_out: Optional[Sequence[int]] = None,
+    reduce_records_in: Sequence[int] = (),
+    shuffle_records: int = 0,
+) -> Dict[str, float]:
+    """Predicted :meth:`ClusterModel.job_cost` breakdown for one job.
+
+    Builds synthetic :class:`TaskStats` — one map task per entry of
+    ``map_records_in`` — with zero CPU seconds, so the estimate covers
+    the model's deterministic components only: the fixed job overhead,
+    per-record I/O scheduled over the cluster, and the shuffle transfer.
+    Actual CPU time is what ANALYZE adds on top.
+    """
+    outs = list(map_records_out or [0] * len(map_records_in))
+    map_tasks = [
+        TaskStats(task_id=f"est-map-{i}", records_in=r, records_out=o)
+        for i, (r, o) in enumerate(zip(map_records_in, outs))
+    ]
+    reduce_tasks = [
+        TaskStats(task_id=f"est-reduce-{i}", records_in=r, records_out=0)
+        for i, r in enumerate(reduce_records_in)
+    ]
+    return cluster.job_cost(map_tasks, reduce_tasks, shuffle_records)
+
+
+def attach_error(node: PlanNode, key: str) -> None:
+    """Record ``<key>_error = actual - estimated`` on an analysed node."""
+    if key in node.estimated and key in node.actual:
+        est = node.estimated[key]
+        act = node.actual[key]
+        if isinstance(est, (int, float)) and isinstance(act, (int, float)):
+            node.actual[f"{key}_error"] = act - est

@@ -1,0 +1,95 @@
+"""Live progress reporting for the MapReduce substrate.
+
+A :class:`ProgressReporter` attached to a
+:class:`~repro.mapreduce.runtime.JobRunner` streams job, wave and task
+completion to a text stream (stderr by default) while jobs run — the
+simulator's analogue of watching the Hadoop job tracker. Task updates are
+throttled to roughly :data:`UPDATES_PER_WAVE` lines per wave so a
+10,000-task wave does not produce 10,000 lines.
+
+The reporter holds an open stream, so it is never pickled into a
+workspace: the CLI attaches one per invocation and detaches it before
+saving, mirroring how the tracer is handled.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, List, Optional, TextIO
+
+#: Target number of task-completion lines per wave.
+UPDATES_PER_WAVE = 10
+
+#: The per-job counters worth streaming, in display order.
+_REPORTED_COUNTERS = (
+    "BLOCKS_TOTAL",
+    "BLOCKS_READ",
+    "BLOCKS_PRUNED",
+    "MAP_INPUT_RECORDS",
+    "MAP_OUTPUT_RECORDS",
+    "SHUFFLE_RECORDS",
+    "REDUCE_INPUT_RECORDS",
+    "OUTPUT_RECORDS",
+)
+
+
+class ProgressReporter:
+    """Streams wave/task completion and per-job counter deltas.
+
+    Every line is prefixed with ``[progress]`` so interleaved stdout
+    output (answers, plan trees, JSON) stays machine-readable.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        updates_per_wave: int = UPDATES_PER_WAVE,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.updates_per_wave = max(1, updates_per_wave)
+        self._wave_step = 1
+        self._jobs_seen = 0
+
+    # -- runner hooks ---------------------------------------------------
+    def job_started(self, name: str, files: List[str]) -> None:
+        self._jobs_seen += 1
+        self._emit(f"job {name} started (input: {', '.join(files)})")
+
+    def wave_started(self, job_name: str, wave: str, tasks: int) -> None:
+        self._wave_step = max(1, tasks // self.updates_per_wave)
+        self._emit(f"job {job_name}: {wave} wave, {tasks} task(s)")
+
+    def task_finished(
+        self,
+        wave: str,
+        done: int,
+        total: int,
+        records_in: int,
+        records_out: int,
+    ) -> None:
+        if done % self._wave_step and done != total:
+            return
+        pct = 100.0 * done / total if total else 100.0
+        self._emit(
+            f"  {wave} {done}/{total} ({pct:.0f}%) "
+            f"last task: {records_in} in / {records_out} out"
+        )
+
+    def job_finished(self, name: str, result: Any) -> None:
+        deltas = []
+        for key in _REPORTED_COUNTERS:
+            value = result.counters.get(key)
+            if value:
+                deltas.append(f"{key}={value}")
+        self._emit(
+            f"job {name} finished: makespan {result.makespan:.3f}s "
+            f"({'; '.join(deltas) if deltas else 'no counters'})"
+        )
+
+    # -- plumbing -------------------------------------------------------
+    def _emit(self, message: str) -> None:
+        try:
+            self.stream.write(f"[progress] {message}\n")
+            self.stream.flush()
+        except (ValueError, OSError):  # closed stream: drop silently
+            pass

@@ -15,32 +15,55 @@ paper's tables directly. Single-machine baselines live in
 :mod:`repro.operations.single_machine`.
 """
 
-from repro.operations.range_count import range_count_hadoop, range_count_spatial
-from repro.operations.range_query import range_query_hadoop, range_query_spatial
+from repro.operations.range_count import (
+    plan_range_count,
+    range_count_hadoop,
+    range_count_spatial,
+)
+from repro.operations.range_query import (
+    plan_range_query,
+    range_query_hadoop,
+    range_query_spatial,
+)
 from repro.operations.stats import FileStats, file_stats
-from repro.operations.knn import knn_hadoop, knn_spatial
-from repro.operations.knn_join import knn_join_hadoop, knn_join_spatial
+from repro.operations.knn import knn_hadoop, knn_spatial, plan_knn
+from repro.operations.knn_join import (
+    knn_join_hadoop,
+    knn_join_spatial,
+    plan_knn_join,
+)
 from repro.operations.spatial_join import (
+    plan_spatial_join,
     spatial_join_distributed,
     spatial_join_sjmr,
 )
 from repro.operations.skyline import (
+    plan_skyline,
     skyline_hadoop,
     skyline_output_sensitive,
     skyline_spatial,
 )
-from repro.operations.convex_hull import convex_hull_hadoop, convex_hull_spatial
-from repro.operations.closest_pair import closest_pair_spatial
+from repro.operations.convex_hull import (
+    convex_hull_hadoop,
+    convex_hull_spatial,
+    plan_convex_hull,
+)
+from repro.operations.closest_pair import (
+    closest_pair_spatial,
+    plan_closest_pair,
+)
 from repro.operations.farthest_pair import (
     farthest_pair_hadoop,
     farthest_pair_spatial,
+    plan_farthest_pair,
 )
 from repro.operations.union import (
+    plan_union,
     union_enhanced,
     union_hadoop,
     union_spatial,
 )
-from repro.operations.voronoi import VoronoiResult, voronoi_spatial
+from repro.operations.voronoi import VoronoiResult, plan_voronoi, voronoi_spatial
 from repro.operations import single_machine
 
 __all__ = [
@@ -55,6 +78,17 @@ __all__ = [
     "knn_join_hadoop",
     "knn_join_spatial",
     "knn_spatial",
+    "plan_closest_pair",
+    "plan_convex_hull",
+    "plan_farthest_pair",
+    "plan_knn",
+    "plan_knn_join",
+    "plan_range_count",
+    "plan_range_query",
+    "plan_skyline",
+    "plan_spatial_join",
+    "plan_union",
+    "plan_voronoi",
     "range_count_hadoop",
     "range_count_spatial",
     "range_query_hadoop",

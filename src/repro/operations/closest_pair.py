@@ -15,11 +15,14 @@ local pruning unsound); the single-machine baseline lives in
 
 from __future__ import annotations
 
+import math
+
 from repro.core.result import OperationResult
 from repro.core.reader import spatial_reader
 from repro.core.splitter import global_index_of, spatial_splitter
 from repro.geometry.algorithms.closest_pair import closest_pair
-from repro.operations.common import as_points
+from repro.observe.plan import PlanNode
+from repro.operations.common import as_points, plan_indexed_scan
 from repro.mapreduce import Job, JobRunner
 
 
@@ -70,3 +73,41 @@ def closest_pair_spatial(runner: JobRunner, file_name: str) -> OperationResult:
     result = runner.run(job)
     answer = result.output[0] if result.output else None
     return OperationResult(answer=answer, jobs=[result])
+
+
+# ----------------------------------------------------------------------
+# Plan hook (EXPLAIN)
+# ----------------------------------------------------------------------
+def _est_boundary_candidates(num_records: int) -> int:
+    """Expected candidate-buffer size of a partition.
+
+    With n uniform points, the local closest-pair distance delta scales
+    like sqrt(A/n); the boundary band of width delta then holds roughly
+    perimeter * delta * density = 4 * sqrt(n) points (plus the pair).
+    """
+    if num_records <= 1:
+        return num_records
+    return min(num_records, 2 + round(4 * math.sqrt(num_records)))
+
+
+def plan_closest_pair(runner: JobRunner, file_name: str) -> PlanNode:
+    """EXPLAIN plan for the closest-pair operation (disjoint index only)."""
+    gindex = global_index_of(runner.fs, file_name)
+    if gindex is None:
+        raise ValueError(f"{file_name!r} is not spatially indexed")
+    selected = list(gindex)
+    plan = plan_indexed_scan(
+        runner,
+        f"ClosestPair({file_name})",
+        f"job:closest-pair({file_name})",
+        gindex,
+        selected,
+        map_desc="local closest pair + boundary buffer",
+        reduce_desc="closest pair of survivors",
+        shuffle_records=sum(
+            _est_boundary_candidates(c.num_records) for c in selected
+        ),
+    )
+    if not gindex.disjoint:
+        plan.detail["note"] = "pruning requires a disjoint index"
+    return plan

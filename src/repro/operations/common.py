@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.geometry import Point
+from repro.observe.plan import PlanNode, estimate_job_cost
 
 
 def as_point(record: Any) -> Point:
@@ -27,3 +28,105 @@ def as_point(record: Any) -> Point:
 def as_points(records: Iterable[Any]) -> List[Point]:
     """Convert a record iterable to points (see :func:`as_point`)."""
     return [as_point(r) for r in records]
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN plan builders shared by the single-file operations
+# ----------------------------------------------------------------------
+def plan_indexed_scan(
+    runner: Any,
+    op_name: str,
+    job_name: str,
+    gindex: Any,
+    selected: List[Any],
+    map_desc: str,
+    reduce_desc: str = "none",
+    shuffle_records: int = 0,
+    detail: Optional[Dict[str, Any]] = None,
+    filter_desc: str = "every-partition",
+) -> PlanNode:
+    """One-round indexed plan: filter step + a single partition-scan job."""
+    root = PlanNode(
+        op_name,
+        kind="operation",
+        detail={
+            "strategy": "indexed",
+            "technique": gindex.technique,
+            **(detail or {}),
+        },
+        estimated={"rounds": 1},
+    )
+    root.add(
+        PlanNode(
+            "GlobalIndexFilter",
+            kind="filter",
+            detail={"filter": filter_desc},
+            estimated={
+                "partitions_total": len(gindex),
+                "partitions_scanned": len(selected),
+                "partitions_pruned": len(gindex) - len(selected),
+            },
+        )
+    )
+    records_in = [c.num_records for c in selected]
+    root.add(
+        PlanNode(
+            job_name,
+            kind="job",
+            detail={"map": map_desc, "reduce": reduce_desc},
+            estimated={
+                "blocks_read": len(selected),
+                "records_read": sum(records_in),
+                "shuffle_records": shuffle_records,
+                "cost": estimate_job_cost(
+                    runner.cluster,
+                    records_in,
+                    reduce_records_in=(
+                        [shuffle_records] if shuffle_records else []
+                    ),
+                    shuffle_records=shuffle_records,
+                ),
+            },
+        )
+    )
+    return root
+
+
+def plan_full_scan(
+    runner: Any,
+    file_name: str,
+    op_name: str,
+    job_name: str,
+    map_desc: str,
+    reduce_desc: str = "none",
+    shuffle_per_block: int = 0,
+    detail: Optional[Dict[str, Any]] = None,
+) -> PlanNode:
+    """One-round heap-file plan: every block read, optional merge reducer."""
+    entry = runner.fs.get(file_name)
+    shuffle = shuffle_per_block * entry.num_blocks
+    root = PlanNode(
+        op_name,
+        kind="operation",
+        detail={"strategy": "full-scan", **(detail or {})},
+        estimated={"rounds": 1},
+    )
+    root.add(
+        PlanNode(
+            job_name,
+            kind="job",
+            detail={"map": map_desc, "reduce": reduce_desc},
+            estimated={
+                "blocks_read": entry.num_blocks,
+                "records_read": entry.num_records,
+                "shuffle_records": shuffle,
+                "cost": estimate_job_cost(
+                    runner.cluster,
+                    [len(b) for b in entry.blocks],
+                    reduce_records_in=[shuffle] if shuffle else [],
+                    shuffle_records=shuffle,
+                ),
+            },
+        )
+    )
+    return root

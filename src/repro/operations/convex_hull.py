@@ -18,9 +18,10 @@ from repro.core.splitter import global_index_of, spatial_splitter
 from repro.geometry import Point, Rectangle
 from repro.geometry.algorithms.convex_hull import convex_hull
 from repro.geometry.algorithms.skyline import dominates
-from repro.operations.common import as_points
+from repro.observe.plan import PlanNode
+from repro.operations.common import as_points, plan_full_scan, plan_indexed_scan
 from repro.index.global_index import Cell, GlobalIndex
-from repro.mapreduce import Job, JobRunner
+from repro.mapreduce import Counter, Job, JobRunner
 
 #: The four quadrant directions of the hull filter.
 _DIRECTIONS = ((1, 1), (1, -1), (-1, 1), (-1, -1))
@@ -93,19 +94,67 @@ def convex_hull_spatial(
     gindex = global_index_of(runner.fs, file_name)
     if gindex is None:
         raise ValueError(f"{file_name!r} is not spatially indexed")
-    job = Job(
-        input_file=file_name,
-        map_fn=_map_local_hull,
-        combine_fn=_reduce_global_hull,
-        reduce_fn=_reduce_global_hull,
-        splitter=spatial_splitter(convex_hull_filter if prune else None),
-        reader=spatial_reader,
-        name=f"hull-spatial({file_name})",
-    )
-    result = runner.run(job)
+    with runner.tracer.span(
+        f"op:hull-spatial({file_name})",
+        kind="operation",
+        file=file_name,
+        pruning=prune,
+    ) as op_span:
+        job = Job(
+            input_file=file_name,
+            map_fn=_map_local_hull,
+            combine_fn=_reduce_global_hull,
+            reduce_fn=_reduce_global_hull,
+            splitter=spatial_splitter(convex_hull_filter if prune else None),
+            reader=spatial_reader,
+            name=f"hull-spatial({file_name})",
+        )
+        result = runner.run(job)
+        op_span.set("hull_size", len(result.output))
+        op_span.set(
+            "partitions_pruned", result.counters.get(Counter.BLOCKS_PRUNED)
+        )
     return OperationResult(answer=_ccw(result.output), jobs=[result])
 
 
 def _ccw(points: List[Point]) -> List[Point]:
     """Normalise the reducer's hull output to a clean CCW vertex list."""
     return convex_hull(points)
+
+
+# ----------------------------------------------------------------------
+# Plan hook (EXPLAIN)
+# ----------------------------------------------------------------------
+def plan_convex_hull(
+    runner: JobRunner, file_name: str, prune: bool = True
+) -> PlanNode:
+    """EXPLAIN plan for the convex-hull operation."""
+    from repro.operations.skyline import est_summary_size
+
+    gindex = global_index_of(runner.fs, file_name)
+    op_name = f"ConvexHull({file_name})"
+    if gindex is None:
+        entry = runner.fs.get(file_name)
+        return plan_full_scan(
+            runner,
+            file_name,
+            op_name,
+            f"job:hull-hadoop({file_name})",
+            map_desc="per-block local hull",
+            reduce_desc="hull of hulls",
+            shuffle_per_block=est_summary_size(
+                entry.num_records // max(1, entry.num_blocks)
+            ),
+        )
+    selected = convex_hull_filter(gindex) if prune else list(gindex)
+    return plan_indexed_scan(
+        runner,
+        op_name,
+        f"job:hull-spatial({file_name})",
+        gindex,
+        selected,
+        map_desc="per-partition local hull",
+        reduce_desc="hull of hulls",
+        shuffle_records=sum(est_summary_size(c.num_records) for c in selected),
+        filter_desc="four-directional skyline" if prune else "every-partition",
+    )

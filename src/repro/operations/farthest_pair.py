@@ -20,7 +20,8 @@ from repro.core.result import OperationResult
 from repro.core.splitter import global_index_of
 from repro.geometry.algorithms.convex_hull import convex_hull
 from repro.geometry.algorithms.farthest_pair import farthest_pair_on_hull
-from repro.operations.common import as_points
+from repro.observe.plan import PlanNode, estimate_job_cost
+from repro.operations.common import as_points, plan_full_scan
 from repro.index.global_index import GlobalIndex
 from repro.mapreduce import Block, Job, JobRunner
 from repro.mapreduce.types import InputSplit
@@ -133,3 +134,78 @@ def farthest_pair_spatial(runner: JobRunner, file_name: str) -> OperationResult:
         fs.delete(pairs_file)
     answer = result.output[0] if result.output else None
     return OperationResult(answer=answer, jobs=[result])
+
+
+# ----------------------------------------------------------------------
+# Plan hook (EXPLAIN)
+# ----------------------------------------------------------------------
+def plan_farthest_pair(runner: JobRunner, file_name: str) -> PlanNode:
+    """EXPLAIN plan for the farthest-pair operation."""
+    from repro.operations.skyline import est_summary_size
+
+    gindex = global_index_of(runner.fs, file_name)
+    op_name = f"FarthestPair({file_name})"
+    if gindex is None:
+        entry = runner.fs.get(file_name)
+        return plan_full_scan(
+            runner,
+            file_name,
+            op_name,
+            f"job:farthest-hadoop({file_name})",
+            map_desc="per-block local hull",
+            reduce_desc="rotating calipers on hull of hulls",
+            shuffle_per_block=est_summary_size(
+                entry.num_records // max(1, entry.num_blocks)
+            ),
+        )
+
+    cells = {c.cell_id: c for c in gindex}
+    nonempty = sum(1 for c in gindex if c.num_records > 0)
+    pairs = select_cell_pairs(gindex)
+    pairs_total = nonempty * (nonempty + 1) // 2
+    root = PlanNode(
+        op_name,
+        kind="operation",
+        detail={"strategy": "indexed", "technique": gindex.technique},
+        estimated={"rounds": 1},
+    )
+    root.add(
+        PlanNode(
+            "CellPairFilter",
+            kind="filter",
+            detail={"filter": "upper-bound < greatest lower bound"},
+            estimated={
+                "pairs_total": pairs_total,
+                "pairs_scanned": len(pairs),
+                "pairs_pruned": pairs_total - len(pairs),
+            },
+        )
+    )
+    records_in = []
+    for left_id, right_id in pairs:
+        n = cells[left_id].num_records
+        if right_id != left_id:
+            n += cells[right_id].num_records
+        records_in.append(n)
+    root.add(
+        PlanNode(
+            f"job:farthest-spatial({file_name})",
+            kind="job",
+            detail={
+                "map": "hull + calipers per cell pair",
+                "reduce": "max over pair candidates",
+            },
+            estimated={
+                "blocks_read": len(pairs),
+                "records_read": sum(records_in),
+                "shuffle_records": len(pairs),
+                "cost": estimate_job_cost(
+                    runner.cluster,
+                    records_in,
+                    reduce_records_in=[len(pairs)] if pairs else [],
+                    shuffle_records=len(pairs),
+                ),
+            },
+        )
+    )
+    return root

@@ -12,6 +12,7 @@ exactly the behaviour experiment E3 records.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import List, Tuple
 
 from repro.core.result import OperationResult
@@ -19,7 +20,8 @@ from repro.core.reader import local_index_of, spatial_reader
 from repro.core.splitter import global_index_of, spatial_splitter
 from repro.geometry import Point, Rectangle
 from repro.index.partitioners.base import shape_mbr
-from repro.mapreduce import Job, JobRunner
+from repro.mapreduce import Counter, Job, JobRunner
+from repro.observe.plan import PlanNode, estimate_job_cost
 
 #: kNN answers are (distance, record) pairs sorted by distance.
 Neighbors = List[Tuple[float, object]]
@@ -171,4 +173,148 @@ def knn_spatial(
             jobs.append(round_result)
             answer = _merge_topk([answer, round_result.output], k)
         op_span.set("rounds", len(jobs))
+        op_span.set(
+            "partitions_pruned",
+            sum(j.counters.get(Counter.BLOCKS_PRUNED) for j in jobs),
+        )
     return OperationResult(answer=answer, jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# Plan hook (EXPLAIN)
+# ----------------------------------------------------------------------
+def estimate_knn_radius(cell, k: int) -> float:
+    """Expected k-th neighbour distance under uniform density.
+
+    With ``n`` points uniformly spread over the cell's area ``A``, the
+    circle holding the k nearest neighbours has expected area
+    ``k * A / n``, hence radius ``sqrt(k * A / (pi * n))``.
+    """
+    if cell.num_records <= 0 or cell.mbr.area <= 0:
+        return math.inf
+    return math.sqrt(k * cell.mbr.area / (math.pi * cell.num_records))
+
+
+def plan_knn(
+    runner: JobRunner, file_name: str, query: Point, k: int
+) -> PlanNode:
+    """EXPLAIN plan for kNN, including the predicted round protocol."""
+    gindex = global_index_of(runner.fs, file_name)
+    if gindex is None:
+        entry = runner.fs.get(file_name)
+        root = PlanNode(
+            f"Knn({file_name})",
+            kind="operation",
+            detail={"strategy": "full-scan", "point": str(query), "k": k},
+            estimated={"rounds": 1},
+        )
+        shuffle = k * entry.num_blocks
+        root.add(
+            PlanNode(
+                f"job:knn-hadoop({file_name})",
+                kind="job",
+                detail={"map": "per-block top-k", "reduce": "merge top-k"},
+                estimated={
+                    "blocks_read": entry.num_blocks,
+                    "records_read": entry.num_records,
+                    "shuffle_records": shuffle,
+                    "cost": estimate_job_cost(
+                        runner.cluster,
+                        [len(b) for b in entry.blocks],
+                        reduce_records_in=[shuffle],
+                        shuffle_records=shuffle,
+                    ),
+                },
+            )
+        )
+        return root
+
+    root = PlanNode(
+        f"Knn({file_name})",
+        kind="operation",
+        detail={
+            "strategy": "indexed",
+            "point": str(query),
+            "k": k,
+            "technique": gindex.technique,
+        },
+    )
+    first = gindex.nearest_cell(query)
+    if first is None:
+        root.detail["note"] = "empty index: no rounds needed"
+        root.estimated = {"rounds": 0}
+        return root
+
+    round1 = root.add(
+        PlanNode(
+            "knn:round-1",
+            kind="round",
+            detail={"cells": [first.cell_id], "reason": "nearest partition"},
+            estimated={"partitions_scanned": 1},
+        )
+    )
+    round1.add(
+        PlanNode(
+            f"job:knn-spatial({file_name})",
+            kind="job",
+            detail={"map": "local-index kNN", "reduce": "none"},
+            estimated={
+                "blocks_read": 1,
+                "records_read": first.num_records,
+                "cost": estimate_job_cost(
+                    runner.cluster, [first.num_records], [k]
+                ),
+            },
+        )
+    )
+
+    # Correctness-check prediction: the k-th circle under uniform density.
+    # When it spills past partitions other than the first, a second round
+    # must read them; E3 shows one round suffices for most queries.
+    radius = estimate_knn_radius(first, k)
+    if first.num_records >= k and radius < math.inf:
+        extra = [
+            c
+            for c in gindex
+            if c.cell_id != first.cell_id
+            and c.num_records > 0
+            and c.mbr.min_distance_point(query) <= radius
+        ]
+    else:
+        extra = [
+            c
+            for c in gindex
+            if c.cell_id != first.cell_id and c.num_records > 0
+        ]
+    root.estimated = {
+        "rounds": 1 if not extra else 2,
+        "k_radius": radius if radius < math.inf else -1.0,
+    }
+    if extra:
+        round2 = root.add(
+            PlanNode(
+                "knn:round-2",
+                kind="round",
+                detail={
+                    "cells": sorted(c.cell_id for c in extra),
+                    "reason": "k-th circle may spill past round-1 partitions",
+                },
+                estimated={"partitions_scanned": len(extra)},
+            )
+        )
+        records_in = [c.num_records for c in extra]
+        round2.add(
+            PlanNode(
+                f"job:knn-spatial({file_name})",
+                kind="job",
+                detail={"map": "local-index kNN", "reduce": "none"},
+                estimated={
+                    "blocks_read": len(extra),
+                    "records_read": sum(records_in),
+                    "cost": estimate_job_cost(
+                        runner.cluster, records_in, [k] * len(extra)
+                    ),
+                },
+            )
+        )
+    return root

@@ -18,6 +18,7 @@ each R partition touches) as counters.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, List, Tuple
 
 from repro.core.result import OperationResult
@@ -25,6 +26,7 @@ from repro.core.reader import spatial_reader
 from repro.core.splitter import global_index_of, spatial_splitter
 from repro.index.rtree import RTree
 from repro.mapreduce import Job, JobRunner
+from repro.observe.plan import PlanNode, estimate_job_cost
 from repro.operations.common import as_point
 
 #: One join result row: (r_record, [(distance, s_record), ...] ascending).
@@ -144,3 +146,93 @@ def knn_join_hadoop(
     )
     result = runner.run(job)
     return OperationResult(answer=result.output, jobs=[result], system="hadoop")
+
+
+# ----------------------------------------------------------------------
+# Plan hook (EXPLAIN)
+# ----------------------------------------------------------------------
+def plan_knn_join(
+    runner: JobRunner, left_file: str, right_file: str, k: int
+) -> PlanNode:
+    """EXPLAIN plan for the kNN join."""
+    fs = runner.fs
+    left_index = global_index_of(fs, left_file)
+    right_index = global_index_of(fs, right_file)
+    name = f"KnnJoin({left_file},{right_file})"
+    if left_index is None or right_index is None:
+        left_entry = fs.get(left_file)
+        right_entry = fs.get(right_file)
+        root = PlanNode(
+            name,
+            kind="operation",
+            detail={"strategy": "block-nested full-scan", "k": k},
+            estimated={"rounds": 1},
+        )
+        root.add(
+            PlanNode(
+                f"job:knn-join-hadoop({left_file},{right_file})",
+                kind="job",
+                detail={"map": "R block x whole S", "reduce": "none"},
+                estimated={
+                    "blocks_read": left_entry.num_blocks,
+                    "records_read": left_entry.num_records,
+                    "s_block_reads": left_entry.num_blocks
+                    * right_entry.num_blocks,
+                    "cost": estimate_job_cost(
+                        runner.cluster,
+                        [len(b) for b in left_entry.blocks],
+                    ),
+                },
+            )
+        )
+        return root
+
+    # Expected k-th circle radius from S's global density; each R record
+    # touches the S partitions within that radius of its own partition.
+    s_total = right_index.total_records
+    s_area = right_index.mbr.area if len(right_index) else 0.0
+    radius = (
+        math.sqrt(k * s_area / (math.pi * s_total))
+        if s_total and s_area > 0
+        else 0.0
+    )
+    s_cells = list(right_index)
+    s_touch = 0
+    for cell in left_index:
+        if cell.num_records == 0:
+            continue
+        reachable = sum(
+            1
+            for s in s_cells
+            if s.num_records > 0
+            and s.mbr.min_distance_rect(cell.mbr) <= radius
+        )
+        s_touch += max(1, reachable)
+    root = PlanNode(
+        name,
+        kind="operation",
+        detail={
+            "strategy": "indexed",
+            "k": k,
+            "technique": f"{left_index.technique}/{right_index.technique}",
+        },
+        estimated={"rounds": 1, "k_radius": radius},
+    )
+    records_in = [c.num_records for c in left_index]
+    root.add(
+        PlanNode(
+            f"job:knn-join({left_file},{right_file})",
+            kind="job",
+            detail={
+                "map": "best-first over S partitions per R record",
+                "reduce": "none",
+            },
+            estimated={
+                "blocks_read": len(left_index),
+                "records_read": sum(records_in),
+                "s_blocks_touched": s_touch,
+                "cost": estimate_job_cost(runner.cluster, records_in),
+            },
+        )
+    )
+    return root

@@ -14,7 +14,8 @@ from repro.core.reader import local_index_of, spatial_reader
 from repro.core.splitter import global_index_of, overlapping_filter, spatial_splitter
 from repro.geometry import Point, Rectangle
 from repro.index.partitioners.base import shape_mbr
-from repro.mapreduce import Job, JobRunner
+from repro.mapreduce import Counter, Job, JobRunner
+from repro.observe.plan import PlanNode, estimate_job_cost
 
 
 def _matches(record, query: Rectangle) -> bool:
@@ -127,4 +128,114 @@ def range_query_spatial(
         )
         result = runner.run(job)
         op_span.set("matches", len(result.output))
+        op_span.set(
+            "partitions_pruned", result.counters.get(Counter.BLOCKS_PRUNED)
+        )
     return OperationResult(answer=result.output, jobs=[result])
+
+
+# ----------------------------------------------------------------------
+# Plan hook (EXPLAIN)
+# ----------------------------------------------------------------------
+def estimated_matches(cells, query: Rectangle) -> int:
+    """Uniform-density estimate of matching records in ``cells``.
+
+    Each cell contributes records proportionally to how much of its
+    boundary rectangle the query window covers — the textbook uniformity
+    assumption, which is also what makes estimate-vs-actual error a
+    useful skew signal in ANALYZE output.
+    """
+    total = 0.0
+    for cell in cells:
+        inter = cell.mbr.intersection(query)
+        if inter is None:
+            continue
+        area = cell.mbr.area
+        fraction = (inter.area / area) if area > 0 else 1.0
+        total += cell.num_records * fraction
+    return round(total)
+
+
+def plan_range_query(
+    runner: JobRunner,
+    file_name: str,
+    query: Rectangle,
+    use_local_index: bool = True,
+    prune: bool = True,
+) -> PlanNode:
+    """EXPLAIN plan for a range query (never reads record data)."""
+    gindex = global_index_of(runner.fs, file_name)
+    if gindex is None:
+        entry = runner.fs.get(file_name)
+        root = PlanNode(
+            f"RangeQuery({file_name})",
+            kind="operation",
+            detail={"strategy": "full-scan", "window": str(query)},
+            estimated={"rounds": 1},
+        )
+        root.add(
+            PlanNode(
+                f"job:range-hadoop({file_name})",
+                kind="job",
+                detail={"map": "scan every block", "reduce": "none"},
+                estimated={
+                    "blocks_read": entry.num_blocks,
+                    "records_read": entry.num_records,
+                    "cost": estimate_job_cost(
+                        runner.cluster,
+                        [len(b) for b in entry.blocks],
+                    ),
+                },
+            )
+        )
+        return root
+
+    selected = gindex.overlapping(query) if prune else list(gindex)
+    dedup = gindex.disjoint
+    matches = estimated_matches(selected, query)
+    root = PlanNode(
+        f"RangeQuery({file_name})",
+        kind="operation",
+        detail={
+            "strategy": "indexed",
+            "window": str(query),
+            "technique": gindex.technique,
+            "dedup": dedup,
+        },
+        estimated={"rounds": 1, "matches": matches},
+    )
+    root.add(
+        PlanNode(
+            "GlobalIndexFilter",
+            kind="filter",
+            detail={"filter": "overlapping" if prune else "every-partition"},
+            estimated={
+                "partitions_total": len(gindex),
+                "partitions_scanned": len(selected),
+                "partitions_pruned": len(gindex) - len(selected),
+            },
+        )
+    )
+    records_in = [c.num_records for c in selected]
+    root.add(
+        PlanNode(
+            f"job:range-spatial({file_name})",
+            kind="job",
+            detail={
+                "map": "local-index search" if use_local_index else "record scan",
+                "reduce": "none",
+                "dedup": "reference-point" if dedup else "off",
+            },
+            estimated={
+                "blocks_read": len(selected),
+                "records_read": sum(records_in),
+                "matches": matches,
+                "cost": estimate_job_cost(
+                    runner.cluster,
+                    records_in,
+                    [estimated_matches([c], query) for c in selected],
+                ),
+            },
+        )
+    )
+    return root

@@ -14,6 +14,7 @@ Three algorithms, following the paper's progression:
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 from repro.core.result import OperationResult
@@ -21,9 +22,10 @@ from repro.core.reader import spatial_reader
 from repro.core.splitter import global_index_of, spatial_splitter
 from repro.geometry import Point, Rectangle
 from repro.geometry.algorithms.skyline import dominates, skyline
-from repro.operations.common import as_points
+from repro.observe.plan import PlanNode
+from repro.operations.common import as_points, plan_full_scan, plan_indexed_scan
 from repro.index.global_index import Cell, GlobalIndex
-from repro.mapreduce import Job, JobRunner
+from repro.mapreduce import Counter, Job, JobRunner
 
 
 def _corner_dominators(mbr: Rectangle) -> List[Point]:
@@ -85,16 +87,26 @@ def skyline_spatial(
     gindex = global_index_of(runner.fs, file_name)
     if gindex is None:
         raise ValueError(f"{file_name!r} is not spatially indexed")
-    job = Job(
-        input_file=file_name,
-        map_fn=_map_local_skyline,
-        combine_fn=_reduce_global_skyline,
-        reduce_fn=_reduce_global_skyline,
-        splitter=spatial_splitter(skyline_filter if prune else None),
-        reader=spatial_reader,
-        name=f"skyline-spatial({file_name})",
-    )
-    result = runner.run(job)
+    with runner.tracer.span(
+        f"op:skyline-spatial({file_name})",
+        kind="operation",
+        file=file_name,
+        pruning=prune,
+    ) as op_span:
+        job = Job(
+            input_file=file_name,
+            map_fn=_map_local_skyline,
+            combine_fn=_reduce_global_skyline,
+            reduce_fn=_reduce_global_skyline,
+            splitter=spatial_splitter(skyline_filter if prune else None),
+            reader=spatial_reader,
+            name=f"skyline-spatial({file_name})",
+        )
+        result = runner.run(job)
+        op_span.set("skyline_size", len(result.output))
+        op_span.set(
+            "partitions_pruned", result.counters.get(Counter.BLOCKS_PRUNED)
+        )
     return OperationResult(answer=sorted(result.output), jobs=[result])
 
 
@@ -137,3 +149,44 @@ def skyline_output_sensitive(
     )
     result = runner.run(job)
     return OperationResult(answer=sorted(result.output), jobs=[result])
+
+
+# ----------------------------------------------------------------------
+# Plan hook (EXPLAIN)
+# ----------------------------------------------------------------------
+def est_summary_size(num_records: int) -> int:
+    """Expected skyline/hull size of a uniform point set: O(log n)."""
+    return max(1, round(math.log(num_records + 1)))
+
+
+def plan_skyline(
+    runner: JobRunner, file_name: str, prune: bool = True
+) -> PlanNode:
+    """EXPLAIN plan for the skyline operation."""
+    gindex = global_index_of(runner.fs, file_name)
+    op_name = f"Skyline({file_name})"
+    if gindex is None:
+        entry = runner.fs.get(file_name)
+        return plan_full_scan(
+            runner,
+            file_name,
+            op_name,
+            f"job:skyline-hadoop({file_name})",
+            map_desc="per-block local skyline",
+            reduce_desc="global skyline",
+            shuffle_per_block=est_summary_size(
+                entry.num_records // max(1, entry.num_blocks)
+            ),
+        )
+    selected = skyline_filter(gindex) if prune else list(gindex)
+    return plan_indexed_scan(
+        runner,
+        op_name,
+        f"job:skyline-spatial({file_name})",
+        gindex,
+        selected,
+        map_desc="per-partition local skyline",
+        reduce_desc="global skyline",
+        shuffle_records=sum(est_summary_size(c.num_records) for c in selected),
+        filter_desc="partition-dominance" if prune else "every-partition",
+    )

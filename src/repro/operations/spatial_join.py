@@ -26,6 +26,7 @@ from repro.index.partitioners.base import shape_mbr
 from repro.index.partitioners.grid import GridPartitioner
 from repro.mapreduce import Block, Job, JobRunner
 from repro.mapreduce.types import InputSplit
+from repro.observe.plan import PlanNode, estimate_job_cost
 
 
 def plane_sweep_join(left: List[Any], right: List[Any]) -> List[Tuple[Any, Any]]:
@@ -293,4 +294,140 @@ def spatial_join_distributed(
                     unique.append(pair)
             answer = unique
         op_span.set("result_pairs", len(answer))
+        op_span.set(
+            "partitions_pruned",
+            len(left_blocks) * len(right_blocks) - len(pair_blocks),
+        )
     return OperationResult(answer=answer, jobs=[result])
+
+
+# ----------------------------------------------------------------------
+# Plan hook (EXPLAIN)
+# ----------------------------------------------------------------------
+def plan_spatial_join(
+    runner: JobRunner, left_file: str, right_file: str
+) -> PlanNode:
+    """EXPLAIN plan for a join: distributed join when both sides are
+    indexed (the partition-pair pruning is computed exactly from the two
+    global indexes), SJMR otherwise."""
+    fs = runner.fs
+    left_index = global_index_of(fs, left_file)
+    right_index = global_index_of(fs, right_file)
+
+    if left_index is not None and right_index is not None:
+        pairs = [
+            (lc, rc)
+            for lc in left_index
+            for rc in right_index
+            if lc.mbr.intersection(rc.mbr) is not None
+        ]
+        total_pairs = len(left_index) * len(right_index)
+        root = PlanNode(
+            f"SpatialJoin({left_file},{right_file})",
+            kind="operation",
+            detail={
+                "strategy": "distributed-join",
+                "left_technique": left_index.technique,
+                "right_technique": right_index.technique,
+                "dedup": "reference-point"
+                if left_index.disjoint and right_index.disjoint
+                else "driver-side",
+            },
+            estimated={"rounds": 1},
+        )
+        root.add(
+            PlanNode(
+                "GlobalIndexJoin",
+                kind="filter",
+                detail={"filter": "overlapping partition pairs"},
+                estimated={
+                    "partitions_total": total_pairs,
+                    "partitions_scanned": len(pairs),
+                    "partitions_pruned": total_pairs - len(pairs),
+                },
+            )
+        )
+        records_in = [lc.num_records + rc.num_records for lc, rc in pairs]
+        root.add(
+            PlanNode(
+                f"job:dj({left_file},{right_file})",
+                kind="job",
+                detail={"map": "per-pair plane sweep", "reduce": "none"},
+                estimated={
+                    "blocks_read": len(pairs),
+                    "records_read": sum(records_in),
+                    "cost": estimate_job_cost(runner.cluster, records_in),
+                },
+            )
+        )
+        return root
+
+    # SJMR: statistics pass per distinct heap input, then the
+    # grid-repartition join.
+    total = fs.num_records(left_file) + fs.num_records(right_file)
+    self_join = left_file == right_file
+    size = max(1, math.ceil(math.sqrt(max(1, total) / fs.default_block_capacity)))
+    root = PlanNode(
+        f"SpatialJoin({left_file},{right_file})",
+        kind="operation",
+        detail={
+            "strategy": "sjmr",
+            "grid": f"{size}x{size}",
+            "dedup": "reference-point",
+        },
+    )
+    stats_jobs = 0
+    for name in dict.fromkeys((left_file, right_file)):
+        if global_index_of(fs, name) is not None:
+            continue  # indexed side: statistics come free from the index
+        stats_jobs += 1
+        entry = fs.get(name)
+        root.add(
+            PlanNode(
+                f"job:stats({name})",
+                kind="job",
+                detail={"map": "per-block MBR + count", "reduce": "merge"},
+                estimated={
+                    "blocks_read": entry.num_blocks,
+                    "records_read": entry.num_records,
+                    "shuffle_records": entry.num_blocks,
+                    "cost": estimate_job_cost(
+                        runner.cluster,
+                        [len(b) for b in entry.blocks],
+                        reduce_records_in=[entry.num_blocks],
+                        shuffle_records=entry.num_blocks,
+                    ),
+                },
+            )
+        )
+    root.estimated = {"rounds": stats_jobs + 1}
+    blocks = fs.num_blocks(left_file)
+    if not self_join:
+        blocks += fs.num_blocks(right_file)
+    shuffle = total * (2 if self_join else 1)  # lower bound: 1 cell/record
+    root.add(
+        PlanNode(
+            f"job:sjmr({left_file},{right_file})",
+            kind="job",
+            detail={
+                "map": "grid repartition",
+                "reduce": "per-cell plane sweep",
+                "reducers": size * size,
+            },
+            estimated={
+                "blocks_read": blocks,
+                "records_read": total,
+                "shuffle_records": shuffle,
+                "cost": estimate_job_cost(
+                    runner.cluster,
+                    [total // max(1, blocks)] * blocks,
+                    reduce_records_in=[
+                        shuffle // max(1, size * size)
+                    ]
+                    * (size * size),
+                    shuffle_records=shuffle,
+                ),
+            },
+        )
+    )
+    return root

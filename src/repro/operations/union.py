@@ -25,6 +25,8 @@ from repro.core.splitter import global_index_of, spatial_splitter
 from repro.geometry import Point, Polygon
 from repro.geometry.algorithms.clip import clip_segment
 from repro.geometry.algorithms.union import polygon_union, rings_union
+from repro.observe.plan import PlanNode
+from repro.operations.common import plan_full_scan, plan_indexed_scan
 from repro.mapreduce import Job, JobRunner
 
 Segment = Tuple[Point, Point]
@@ -120,3 +122,53 @@ def union_enhanced(runner: JobRunner, file_name: str) -> OperationResult:
     )
     result = runner.run(job)
     return OperationResult(answer=result.output, jobs=[result])
+
+
+# ----------------------------------------------------------------------
+# Plan hook (EXPLAIN)
+# ----------------------------------------------------------------------
+def plan_union(
+    runner: JobRunner, file_name: str, enhanced: bool = False
+) -> PlanNode:
+    """EXPLAIN plan for the polygon-union operation."""
+    gindex = global_index_of(runner.fs, file_name)
+    op_name = f"Union({file_name})"
+    if enhanced:
+        if gindex is None:
+            raise ValueError(f"{file_name!r} is not spatially indexed")
+        plan = plan_indexed_scan(
+            runner,
+            op_name,
+            f"job:union-enhanced({file_name})",
+            gindex,
+            list(gindex),
+            map_desc="local union clipped to partition boundary",
+            detail={"variant": "enhanced (map-only)"},
+        )
+        if not gindex.disjoint:
+            plan.detail["note"] = "boundary clipping requires a disjoint index"
+        return plan
+    if gindex is None:
+        return plan_full_scan(
+            runner,
+            file_name,
+            op_name,
+            f"job:union-hadoop({file_name})",
+            map_desc="per-block local union",
+            reduce_desc="union of survivors",
+            shuffle_per_block=1,
+            detail={"variant": "random partitioning"},
+        )
+    # Spatially partitioned: adjacent polygons meet in the same partition,
+    # so each partition ships roughly one dissolved blob of rings.
+    return plan_indexed_scan(
+        runner,
+        op_name,
+        f"job:union-spatial({file_name})",
+        gindex,
+        list(gindex),
+        map_desc="per-partition local union",
+        reduce_desc="union of local unions",
+        shuffle_records=len(gindex),
+        detail={"variant": "spatial partitioning"},
+    )

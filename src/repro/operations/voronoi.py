@@ -23,6 +23,7 @@ the safety test assumes no foreign site can appear inside the partition.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -31,7 +32,8 @@ from repro.core.reader import spatial_reader
 from repro.core.splitter import global_index_of, spatial_splitter
 from repro.geometry import Point
 from repro.geometry.algorithms.voronoi import VoronoiRegion, voronoi
-from repro.operations.common import as_points
+from repro.observe.plan import PlanNode
+from repro.operations.common import as_points, plan_indexed_scan
 from repro.mapreduce import Job, JobRunner
 
 
@@ -127,3 +129,39 @@ def voronoi_spatial(runner: JobRunner, file_name: str) -> OperationResult:
     else:
         answer.final_regions = list(result.output)
     return OperationResult(answer=answer, jobs=[result])
+
+
+# ----------------------------------------------------------------------
+# Plan hook (EXPLAIN)
+# ----------------------------------------------------------------------
+def plan_voronoi(runner: JobRunner, file_name: str) -> PlanNode:
+    """EXPLAIN plan for the Voronoi operation.
+
+    Non-safe sites live near partition boundaries, so the shuffle (and the
+    headline pruned fraction) is estimated with the same boundary-band
+    argument as the closest-pair candidate buffer: ~4*sqrt(n) per cell.
+    """
+    gindex = global_index_of(runner.fs, file_name)
+    if gindex is None:
+        raise ValueError(f"{file_name!r} is not spatially indexed")
+    shuffle = sum(
+        min(c.num_records, round(4 * math.sqrt(c.num_records)))
+        for c in gindex
+    )
+    plan = plan_indexed_scan(
+        runner,
+        f"Voronoi({file_name})",
+        f"job:voronoi({file_name})",
+        gindex,
+        list(gindex),
+        map_desc="local VD, early-flush safe regions",
+        reduce_desc="merge non-safe + support sites",
+        shuffle_records=shuffle,
+    )
+    total = gindex.total_records
+    plan.estimated["pruned_fraction"] = (
+        round(1.0 - shuffle / total, 4) if total else 0.0
+    )
+    if not gindex.disjoint:
+        plan.detail["note"] = "the safety test requires a disjoint index"
+    return plan

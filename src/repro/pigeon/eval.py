@@ -7,7 +7,7 @@ record's shape; other identifiers resolve to feature attributes.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.core.feature import Feature
 from repro.geometry import Point, Rectangle
@@ -163,6 +163,40 @@ def constant_fold(expr: ast.Expr) -> Any:
     """
     marker = object()
     return evaluate(expr, marker)
+
+
+def constant_overlap_window(predicate: ast.Expr) -> Optional[Rectangle]:
+    """Detect ``Overlaps(geom, <constant>)`` and return the window MBR.
+
+    The pattern that makes a FILTER index-accelerable: one side of the
+    Overlaps call is the record's geometry, the other folds to a constant
+    shape. Shared by the Pigeon planner (which compiles such FILTERs to
+    the indexed range query) and EXPLAIN (which reports that choice
+    without executing anything). Returns ``None`` when the predicate does
+    not match the pattern.
+    """
+    if not (
+        isinstance(predicate, ast.FunctionCall)
+        and predicate.name == "OVERLAPS"
+        and len(predicate.args) == 2
+    ):
+        return None
+    a, b = predicate.args
+    if isinstance(a, ast.Identifier) and a.name == "geom":
+        window_expr = b
+    elif isinstance(b, ast.Identifier) and b.name == "geom":
+        window_expr = a
+    else:
+        return None
+    if references_record(window_expr):
+        return None
+    try:
+        value = constant_fold(window_expr)
+    except PigeonEvalError:
+        return None
+    if isinstance(value, Rectangle):
+        return value
+    return getattr(value, "mbr", None)
 
 
 def references_record(expr: ast.Expr) -> bool:

@@ -17,12 +17,7 @@ from repro.core.system import SpatialHadoop
 from repro.geometry import Point, Rectangle
 from repro.mapreduce import Job
 from repro.pigeon import ast
-from repro.pigeon.eval import (
-    PigeonEvalError,
-    constant_fold,
-    evaluate,
-    references_record,
-)
+from repro.pigeon.eval import constant_overlap_window, evaluate
 from repro.pigeon.parser import parse
 
 
@@ -127,7 +122,7 @@ class _Runner:
     # -- FILTER ---------------------------------------------------------
     def _run_filter(self, stmt: ast.Filter) -> None:
         source = self._file_of(stmt.source)
-        window = self._constant_overlap_window(stmt.predicate)
+        window = constant_overlap_window(stmt.predicate)
         # The compile step: record which physical plan the planner chose,
         # so traces show *why* a FILTER was (or was not) index-accelerated.
         self.sh.tracer.event(
@@ -141,32 +136,6 @@ class _Runner:
             op = self._scan_filter(source, stmt.predicate)
         self._record(op)
         self._materialize(stmt.target, list(op.answer))
-
-    def _constant_overlap_window(self, predicate: ast.Expr):
-        """Detect ``Overlaps(geom, <constant>)`` and return the window."""
-        if not (
-            isinstance(predicate, ast.FunctionCall)
-            and predicate.name == "OVERLAPS"
-            and len(predicate.args) == 2
-        ):
-            return None
-        a, b = predicate.args
-        if isinstance(a, ast.Identifier) and a.name == "geom":
-            window_expr = b
-        elif isinstance(b, ast.Identifier) and b.name == "geom":
-            window_expr = a
-        else:
-            return None
-        if references_record(window_expr):
-            return None
-        try:
-            value = constant_fold(window_expr)
-        except PigeonEvalError:
-            return None
-        if isinstance(value, Rectangle):
-            return value
-        mbr = getattr(value, "mbr", None)
-        return mbr
 
     def _scan_filter(self, source: str, predicate: ast.Expr) -> OperationResult:
         def map_fn(_key, records, ctx):

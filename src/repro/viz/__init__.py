@@ -8,7 +8,17 @@ written as PGM (portable graymap) or rendered as ASCII art.
 """
 
 from repro.viz.canvas import Canvas
+from repro.viz.heatmap import heatmap_svg, partition_heatmap, write_heatmap
 from repro.viz.plot import plot
 from repro.viz.pyramid import TilePyramid, plot_pyramid, tile_rect
 
-__all__ = ["Canvas", "TilePyramid", "plot", "plot_pyramid", "tile_rect"]
+__all__ = [
+    "Canvas",
+    "TilePyramid",
+    "heatmap_svg",
+    "partition_heatmap",
+    "plot",
+    "plot_pyramid",
+    "tile_rect",
+    "write_heatmap",
+]

@@ -1,0 +1,79 @@
+"""Index-doctor tests (repro.observe.doctor)."""
+
+import json
+
+import pytest
+
+from repro import SpatialHadoop
+from repro.datagen import generate_points
+from repro.geometry import Point
+from repro.observe import diagnose
+
+
+def make_system(capacity=100):
+    return SpatialHadoop(num_nodes=4, block_capacity=capacity)
+
+
+class TestDiagnose:
+    def test_rejects_heap_files(self):
+        sh = make_system()
+        sh.load("pts", generate_points(100, "uniform", seed=1))
+        with pytest.raises(ValueError, match="not spatially indexed"):
+            diagnose(sh.fs, "pts")
+
+    def test_uniform_grid_is_balanced(self):
+        sh = make_system()
+        sh.load("pts", generate_points(4000, "uniform", seed=5))
+        sh.index("pts", "idx", technique="str")
+        d = sh.doctor("idx")
+        codes = {f.code for f in d.findings}
+        assert "skewed-partition" not in codes
+        assert "load-imbalance" not in codes
+
+    def test_skew_flagged_on_hotspot_data(self):
+        sh = make_system()
+        # A dense cluster plus sparse background: grid partitions over
+        # the same space get wildly different record counts.
+        records = generate_points(3000, "uniform", seed=7)
+        records += [Point(1 + i % 10 * 0.01, 1 + i // 10 * 0.01)
+                    for i in range(3000)]
+        sh.load("pts", records)
+        sh.index("pts", "idx", technique="grid")
+        d = sh.doctor("idx")
+        codes = {f.code for f in d.findings}
+        assert "skewed-partition" in codes
+        assert not d.healthy
+        skew = next(f for f in d.findings if f.code == "skewed-partition")
+        assert skew.partition is not None
+        assert skew.data["records"] > 0
+
+    def test_underfill_uses_block_capacity(self):
+        sh = make_system(capacity=100)
+        sh.load("pts", generate_points(400, "uniform", seed=2))
+        sh.index("pts", "idx", technique="str")
+        # With a huge claimed capacity every partition is under-filled.
+        d = sh.doctor("idx", block_capacity=100_000)
+        assert any(f.code == "underfilled-partition" for f in d.findings)
+
+    def test_to_dict_is_json_ready(self):
+        sh = make_system()
+        sh.load("pts", generate_points(500, "uniform", seed=3))
+        sh.index("pts", "idx", technique="grid")
+        doc = json.loads(json.dumps(sh.doctor("idx").to_dict()))
+        assert doc["file"] == "idx"
+        assert doc["technique"] == "grid"
+        assert isinstance(doc["healthy"], bool)
+        assert {"min_partition", "median_partition", "max_partition"} <= set(
+            doc["quality"]
+        )
+        for finding in doc["findings"]:
+            assert finding["severity"] in ("warning", "info")
+            assert finding["code"]
+
+    def test_render_mentions_partition_sizes(self):
+        sh = make_system()
+        sh.load("pts", generate_points(500, "uniform", seed=3))
+        sh.index("pts", "idx", technique="str")
+        text = sh.doctor("idx").render()
+        assert "partition sizes: min" in text
+        assert "index doctor: idx" in text

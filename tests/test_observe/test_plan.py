@@ -1,0 +1,109 @@
+"""Unit tests for the plan-tree data model (repro.observe.plan)."""
+
+from repro.mapreduce import ClusterModel
+from repro.observe import PlanNode, attach_error, estimate_job_cost
+
+
+def make_tree():
+    root = PlanNode("Op", kind="operation", detail={"strategy": "indexed"})
+    f = root.add(PlanNode("Filter", kind="filter"))
+    j = root.add(PlanNode("job:x", kind="job"))
+    return root, f, j
+
+
+class TestPlanNode:
+    def test_add_returns_child(self):
+        root = PlanNode("Op")
+        child = root.add(PlanNode("child"))
+        assert root.children == [child]
+
+    def test_walk_is_preorder(self):
+        root, f, j = make_tree()
+        assert [n.name for n in root.walk()] == ["Op", "Filter", "job:x"]
+
+    def test_find_by_kind(self):
+        root, f, j = make_tree()
+        assert root.find("job") == [j]
+        assert root.find("filter") == [f]
+        assert root.find("missing") == []
+
+    def test_dict_roundtrip(self):
+        root, _, j = make_tree()
+        j.estimated["blocks_read"] = 3
+        j.actual["blocks_read"] = 4
+        clone = PlanNode.from_dict(root.to_dict())
+        assert clone.to_dict() == root.to_dict()
+
+    def test_render_shows_est_and_act(self):
+        root, _, j = make_tree()
+        j.estimated["blocks_read"] = 3
+        j.actual["blocks_read"] = 4
+        text = root.render()
+        assert "est: blocks_read=3" in text
+        assert "act: blocks_read=4" in text
+        assert "└─ job:x" in text
+
+    def test_render_can_hide_estimates(self):
+        root, _, j = make_tree()
+        j.estimated["blocks_read"] = 3
+        assert "est:" not in root.render(show_estimates=False)
+
+
+class TestNormalized:
+    def test_strips_timing_keys_recursively(self):
+        root, _, j = make_tree()
+        j.estimated.update({"blocks_read": 3, "cost": {"total": 1.0}})
+        j.actual.update(
+            {"blocks_read": 3, "makespan_s": 0.5, "cpu_seconds": 0.1}
+        )
+        norm = root.normalized()
+        job = norm["children"][1]
+        assert job["estimated"] == {"blocks_read": 3}
+        assert job["actual"] == {"blocks_read": 3}
+
+    def test_counts_survive(self):
+        root, f, _ = make_tree()
+        f.estimated["partitions_scanned"] = 7
+        assert (
+            root.normalized()["children"][0]["estimated"][
+                "partitions_scanned"
+            ]
+            == 7
+        )
+
+
+class TestAttachError:
+    def test_records_difference(self):
+        node = PlanNode("j", kind="job")
+        node.estimated["blocks_read"] = 3
+        node.actual["blocks_read"] = 5
+        attach_error(node, "blocks_read")
+        assert node.actual["blocks_read_error"] == 2
+
+    def test_noop_when_either_side_missing(self):
+        node = PlanNode("j", kind="job")
+        node.estimated["blocks_read"] = 3
+        attach_error(node, "blocks_read")
+        assert "blocks_read_error" not in node.actual
+
+    def test_noop_on_non_numeric(self):
+        node = PlanNode("j", kind="job")
+        node.estimated["x"] = "a"
+        node.actual["x"] = "b"
+        attach_error(node, "x")
+        assert "x_error" not in node.actual
+
+
+class TestEstimateJobCost:
+    def test_breakdown_shape(self):
+        cluster = ClusterModel(num_nodes=4, job_overhead_s=0.5)
+        cost = estimate_job_cost(cluster, [100, 100], shuffle_records=50)
+        assert set(cost) >= {"overhead", "map", "shuffle", "reduce", "total"}
+        assert cost["overhead"] == 0.5
+        assert cost["total"] >= cost["overhead"]
+
+    def test_more_records_cost_more(self):
+        cluster = ClusterModel(num_nodes=4, job_overhead_s=0.5)
+        small = estimate_job_cost(cluster, [10])
+        large = estimate_job_cost(cluster, [10_000])
+        assert large["total"] > small["total"]

@@ -1,0 +1,49 @@
+"""Partition heatmap tests (repro.viz.heatmap)."""
+
+from repro import SpatialHadoop
+from repro.core.splitter import global_index_of
+from repro.datagen import generate_points
+from repro.viz import heatmap_svg, partition_heatmap, write_heatmap
+
+
+def indexed_gindex(technique="grid"):
+    sh = SpatialHadoop(num_nodes=4, block_capacity=100)
+    sh.load("pts", generate_points(1500, "uniform", seed=4))
+    sh.index("pts", "idx", technique=technique)
+    return global_index_of(sh.fs, "idx")
+
+
+class TestPartitionHeatmap:
+    def test_canvas_has_ink(self):
+        canvas = partition_heatmap(indexed_gindex(), width=32, height=32)
+        assert canvas.width == 32 and canvas.height == 32
+        assert any(v > 0 for row in canvas.counts for v in row)
+
+
+class TestHeatmapSvg:
+    def test_one_rect_per_partition(self):
+        gindex = indexed_gindex()
+        svg = heatmap_svg(gindex)
+        # The background rect plus one per partition.
+        assert svg.count("<rect") == len(gindex) + 1
+        assert svg.count("<title>") == len(gindex)
+        assert svg.startswith("<svg")
+
+    def test_denser_partitions_are_more_opaque(self):
+        gindex = indexed_gindex()
+        svg = heatmap_svg(gindex)
+        assert 'fill-opacity="' in svg
+
+
+class TestWriteHeatmap:
+    def test_svg_by_suffix(self, tmp_path):
+        path = tmp_path / "h.svg"
+        fmt = write_heatmap(indexed_gindex(), path)
+        assert fmt == "svg"
+        assert path.read_text().startswith("<svg")
+
+    def test_pgm_otherwise(self, tmp_path):
+        path = tmp_path / "h.pgm"
+        fmt = write_heatmap(indexed_gindex(), path)
+        assert fmt == "pgm"
+        assert path.read_text().startswith("P2")
