@@ -1,0 +1,237 @@
+"""E13 — fault tolerance: overhead when idle, payoff under skew.
+
+Two claims about the fault-tolerance layer:
+
+1. **It is (nearly) free when nothing fails.** The per-attempt machinery
+   — fault-plan lookups, attempt bookkeeping, result validation — must
+   cost under 5% wall-clock on a clean CPU-bound workload, and a clean
+   run's simulated makespan must be *bit-identical* to plain LPT
+   scheduling of the task durations (the pre-fault-tolerance model).
+
+2. **Speculative execution pays off on skewed partitions.** With a
+   zipf-skewed partitioning (one giant partition, a long tail of small
+   ones) on a heterogeneous simulated cluster (one slow node — the
+   scenario Hadoop's speculation targets), turning speculation on must
+   reduce the simulated makespan, without changing the answer.
+"""
+
+import math
+import time
+
+import pytest
+
+from bench_utils import fmt_s
+
+from repro.datagen import generate_points
+from repro.geometry import Rectangle
+from repro.mapreduce import ClusterModel, FileSystem, Job, JobRunner
+from repro.mapreduce.fs import Block
+
+SPACE = Rectangle(0, 0, 1000, 1000)
+
+#: Zipf-ish partition sizes: partition k holds ~N/k records, so the head
+#: partition dominates the wave the way a hot spatial cell dominates a
+#: real skewed dataset.
+ZIPF_HEAD = 6000
+ZIPF_PARTITIONS = 12
+
+ANCHORS = [((37.0 * i) % 1000.0, (59.0 * i) % 1000.0) for i in range(32)]
+
+
+def _heavy_map(_key, records, ctx):
+    """CPU-bound map task: work is proportional to partition size."""
+    total = 0.0
+    for r in records:
+        for ax, ay in ANCHORS:
+            total += math.sqrt((r.x - ax) ** 2 + (r.y - ay) ** 2)
+    ctx.emit(1, round(total, 6))
+
+
+def _sum_reduce(_key, values, ctx):
+    ctx.write_output(round(sum(values), 6))
+
+
+def _make_runner(**kwargs):
+    fs = FileSystem(default_block_capacity=500)
+    cluster = kwargs.pop(
+        "cluster", ClusterModel(num_nodes=4, job_overhead_s=0.02)
+    )
+    return JobRunner(fs, cluster, **kwargs)
+
+
+def _load_zipf(fs, name="zipf"):
+    points = iter(
+        generate_points(
+            sum(ZIPF_HEAD // k for k in range(1, ZIPF_PARTITIONS + 1)),
+            "uniform",
+            seed=13,
+            space=SPACE,
+        )
+    )
+    blocks = []
+    for k in range(1, ZIPF_PARTITIONS + 1):
+        blocks.append(
+            Block(records=[next(points) for _ in range(ZIPF_HEAD // k)])
+        )
+    fs.create_file_from_blocks(name, blocks)
+
+
+def _clean_job(name):
+    return Job(
+        "pts", _heavy_map, reduce_fn=_sum_reduce, name=name
+    )
+
+
+def _timed_run(runner, job, repeats=3):
+    """Best-of-N wall-clock (minimum filters scheduler noise)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = runner.run(job)
+        wall = time.perf_counter() - start
+        best = wall if best is None else min(best, wall)
+    return result, best
+
+
+def test_e13_fault_free_overhead(report):
+    """The fault-tolerant path costs <5% when no faults are injected."""
+    runner = _make_runner()
+    runner.fs.create_file(
+        "pts", generate_points(20_000, "uniform", seed=3, space=SPACE)
+    )
+    baseline, base_wall = _timed_run(runner, _clean_job("e13-clean"))
+
+    # Same workload with the chaos machinery maximally armed but never
+    # firing: a plan that matches no task, timeouts and speculation on.
+    armed = _make_runner(
+        faults="crash:map:99999,hang:reduce:99999",
+        task_timeout=1e9,
+        speculative=True,
+    )
+    armed.fs.create_file(
+        "pts", generate_points(20_000, "uniform", seed=3, space=SPACE)
+    )
+    guarded, armed_wall = _timed_run(armed, _clean_job("e13-armed"))
+
+    assert guarded.output == baseline.output
+    assert guarded.counters.as_dict() == baseline.counters.as_dict()
+    assert guarded.fault_summary == {}
+
+    overhead = armed_wall / base_wall - 1.0
+    assert overhead < 0.05, (
+        f"fault-tolerance overhead {overhead:.1%} exceeds the 5% budget"
+    )
+
+    # A clean run's makespan is bit-identical to plain LPT scheduling of
+    # the measured durations — the pre-fault-tolerance cost model.
+    cluster = runner.cluster
+    io = cluster.per_record_io_s
+    for tasks in (baseline.map_tasks, baseline.reduce_tasks):
+        durations = [
+            t.seconds + io * (t.records_in + t.records_out) for t in tasks
+        ]
+        assert cluster.wave_span(tasks) == cluster.schedule(durations)
+
+    report.add(
+        "E13a: fault-tolerance overhead, fault-free path (20,000 points)",
+        ["configuration", "wall-clock (best of 3)", "overhead"],
+        [
+            ["plain run", fmt_s(base_wall), "-"],
+            [
+                "armed (plan + timeout + speculation)",
+                fmt_s(armed_wall),
+                f"{overhead:+.1%}",
+            ],
+        ],
+    )
+
+
+def test_e13_speculation_on_skewed_partitions(report):
+    """Speculation cuts the simulated makespan of a zipf-skewed wave."""
+    #: One of four simulated nodes runs 4x slow: the LPT replay places
+    #: the head partition's (longest) task there — the straggler regime.
+    cluster = ClusterModel(
+        num_nodes=4,
+        job_overhead_s=0.02,
+        slow_nodes=1,
+        slow_node_factor=4.0,
+    )
+    results = {}
+    for speculative in (False, True):
+        runner = _make_runner(
+            cluster=cluster, speculative=speculative
+        )
+        _load_zipf(runner.fs)
+        job = Job(
+            "zipf",
+            _heavy_map,
+            reduce_fn=_sum_reduce,
+            name=f"e13-skew(spec={speculative})",
+        )
+        results[speculative] = runner.run(job)
+
+    off, on = results[False], results[True]
+    assert on.output == off.output
+    assert on.counters.as_dict() == off.counters.as_dict()
+    assert on.tasks_speculative >= 1
+    assert on.makespan < off.makespan, (
+        f"speculation did not help: {on.makespan:.3f}s >= "
+        f"{off.makespan:.3f}s"
+    )
+
+    sizes = [ZIPF_HEAD // k for k in range(1, ZIPF_PARTITIONS + 1)]
+    report.add(
+        f"E13b: speculative execution, zipf partitions "
+        f"(head {sizes[0]}, tail {sizes[-1]} records; 1 of 4 nodes 4x slow)",
+        ["speculation", "simulated makespan", "backup attempts"],
+        [
+            ["off", fmt_s(off.makespan), 0],
+            ["on", fmt_s(on.makespan), on.tasks_speculative],
+        ],
+    )
+
+
+def test_e13_recovery_cost_visible(report):
+    """Retries charge the makespan: chaos is visible in simulated time."""
+    plans = [
+        ("none", None),
+        ("1 crash", "crash:map:0"),
+        ("3 crashes + kill", "crash:map:0,crash:map:2,crash:map:4,kill:map:1"),
+    ]
+    rows = []
+    outputs = set()
+    for label, plan in plans:
+        runner = _make_runner(faults=plan)
+        runner.fs.create_file(
+            "pts", generate_points(6000, "uniform", seed=3, space=SPACE)
+        )
+        result = runner.run(_clean_job(f"e13-recovery({label})"))
+        outputs.add(tuple(result.output))
+        rows.append(
+            [
+                label,
+                fmt_s(result.makespan),
+                int(result.fault_summary.get("retries", 0)),
+                f"{result.fault_summary.get('backoff_s', 0.0):.2f}s",
+            ]
+        )
+    assert len(outputs) == 1  # identical answers under every plan
+    makespans = [float(r[1].rstrip("s")) for r in rows]
+    assert makespans[0] < makespans[1] < makespans[2]
+    report.add(
+        "E13c: recovery cost in simulated time (6,000 points)",
+        ["fault plan", "simulated makespan", "retries", "backoff charged"],
+        rows,
+    )
+
+
+def test_e13_kernel_benchmark(benchmark):
+    """pytest-benchmark kernel: one clean fault-supervised map wave."""
+    runner = _make_runner()
+    runner.fs.create_file(
+        "pts", generate_points(4000, "uniform", seed=3, space=SPACE)
+    )
+    job = _clean_job("e13-kernel")
+    result = benchmark(lambda: runner.run(job))
+    assert result.fault_summary == {}

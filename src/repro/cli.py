@@ -115,6 +115,27 @@ def _build_parser() -> argparse.ArgumentParser:
              "identical to serial execution",
     )
     parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="retry each failed task up to N attempts before the job "
+             "fails (default: 4)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="fail a task attempt whose simulated CPU charge exceeds "
+             "this many seconds (default: no timeout)",
+    )
+    parser.add_argument(
+        "--speculative", action="store_true",
+        help="launch backup attempts for straggler tasks "
+             "(Hadoop speculative execution)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject deterministic faults, e.g. "
+             "'crash:map:1,kill:map:2' or 'random:crash:0.1:seed'; "
+             "overrides $REPRO_FAULTS for this invocation",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help="record a structured trace of this invocation: JSON-lines "
              "spans to FILE plus a Chrome trace_event file next to it "
@@ -256,6 +277,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         # A per-invocation execution choice, not a workspace property:
         # workspaces saved under --workers replay fine without it.
         sh.runner.set_workers(args.workers)
+    if args.max_attempts is not None:
+        if args.max_attempts < 1:
+            print("error: --max-attempts must be >= 1", file=sys.stderr)
+            return 1
+        sh.runner.max_attempts = args.max_attempts
+    if args.task_timeout is not None:
+        sh.runner.task_timeout = args.task_timeout
+    if args.speculative:
+        sh.runner.speculative = True
+    # Chaos tooling is per-invocation by construction: the runner drops
+    # its fault plan when the workspace is pickled, so the --faults flag
+    # (or, failing that, $REPRO_FAULTS) is re-resolved on every command.
+    try:
+        sh.runner.set_faults(args.faults)
+    except ValueError as exc:
+        print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+        return 1
     tracer = sh.enable_tracing() if args.trace else None
     if args.progress:
         sh.enable_progress()
@@ -266,6 +304,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         mutated = _dispatch(sh, args)
     except (FileNotFoundError, FileExistsError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except RuntimeError as exc:
+        # A job failed outright — e.g. a task exhausted its attempts
+        # under an injected fault plan. Report, don't traceback.
+        print(f"error: job failed: {exc}", file=sys.stderr)
         return 1
     finally:
         sh.runner.close()

@@ -40,12 +40,21 @@ class SpatialHadoop:
         block_capacity: int = 10_000,
         job_overhead_s: float = 0.5,
         workers: Optional[int] = None,
+        max_attempts: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        speculative: bool = False,
+        faults: Any = None,
     ):
         """``workers`` picks the execution backend: 1 (default) runs tasks
         serially in-process; >1 runs each map/reduce wave across that many
         worker processes. ``None`` defers to the ``REPRO_WORKERS``
         environment variable. Backends are output-equivalent; only real
-        wall-clock changes, never results or simulated makespans."""
+        wall-clock changes, never results or simulated makespans.
+
+        ``max_attempts``, ``task_timeout``, ``speculative`` and ``faults``
+        configure the fault-tolerance layer (see :class:`JobRunner`);
+        ``faults`` accepts a :class:`~repro.mapreduce.FaultPlan` or a spec
+        string and defaults to ``$REPRO_FAULTS``."""
         self.fs = FileSystem(default_block_capacity=block_capacity)
         self.cluster = ClusterModel(
             num_nodes=num_nodes, job_overhead_s=job_overhead_s
@@ -56,6 +65,9 @@ class SpatialHadoop:
         self.tracer = NullTracer()
         self.metrics = MetricsRegistry()
         self.history = JobHistory()
+        runner_kwargs: dict = {}
+        if max_attempts is not None:
+            runner_kwargs["max_attempts"] = max_attempts
         self.runner = JobRunner(
             self.fs,
             self.cluster,
@@ -63,6 +75,10 @@ class SpatialHadoop:
             tracer=self.tracer,
             metrics=self.metrics,
             history=self.history,
+            task_timeout=task_timeout,
+            speculative=speculative,
+            faults=faults,
+            **runner_kwargs,
         )
 
     def __setstate__(self, state):
@@ -132,10 +148,19 @@ class SpatialHadoop:
     def doctor(
         self, file_name: str, block_capacity: Optional[int] = None
     ) -> "Diagnosis":
-        """Run the index doctor over an indexed file."""
+        """Run the index doctor over an indexed file.
+
+        Job history rides along so retry-prone partitions (map tasks
+        that keep failing) show up as findings.
+        """
         from repro.observe import diagnose
 
-        return diagnose(self.fs, file_name, block_capacity=block_capacity)
+        return diagnose(
+            self.fs,
+            file_name,
+            block_capacity=block_capacity,
+            history=self.history,
+        )
 
     # ------------------------------------------------------------------
     # Storage layer

@@ -27,13 +27,23 @@ The pieces mirror Hadoop's:
 from repro.mapreduce.counters import Counter, Counters
 from repro.mapreduce.fs import Block, FileEntry, FileSystem
 from repro.mapreduce.types import InputSplit
-from repro.mapreduce.cluster import ClusterModel, TaskStats
+from repro.mapreduce.cluster import ClusterModel, TaskAttempt, TaskStats
 from repro.mapreduce.executor import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
     make_executor,
     resolve_workers,
+)
+from repro.mapreduce.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RandomFaults,
+    TaskCorrupted,
+    TaskTimeoutError,
+    WorkerKilled,
+    retry_backoff,
 )
 from repro.mapreduce.job import Job, MapContext, ReduceContext
 from repro.mapreduce.runtime import JobResult, JobRunner
@@ -44,17 +54,26 @@ __all__ = [
     "Counter",
     "Counters",
     "Executor",
+    "FaultPlan",
+    "FaultSpec",
     "FileEntry",
     "FileSystem",
+    "InjectedFault",
     "InputSplit",
     "Job",
     "JobResult",
     "JobRunner",
     "MapContext",
     "ParallelExecutor",
+    "RandomFaults",
     "ReduceContext",
     "SerialExecutor",
+    "TaskAttempt",
+    "TaskCorrupted",
     "TaskStats",
+    "TaskTimeoutError",
+    "WorkerKilled",
     "make_executor",
     "resolve_workers",
+    "retry_backoff",
 ]

@@ -20,6 +20,13 @@ Jobs whose functions cannot be pickled (closures over local state, lambdas)
 transparently fall back to in-process execution; the ``fallbacks`` counter
 on the executor records how often that happened.
 
+The parallel backend also degrades gracefully when workers die: a broken
+pool (worker process killed, pipe torn down) is rebuilt once per wave and
+only the chunks that had not completed are re-dispatched; if the rebuilt
+pool breaks too, the remaining chunks run in-process. Repeated breakage
+across waves blacklists the pool entirely. The ``pool_rebuilds`` counter
+records every rebuild.
+
 The worker count is resolved from, in decreasing priority: an explicit
 ``Job.config["workers"]`` entry, the ``JobRunner(workers=...)`` argument,
 the ``REPRO_WORKERS`` environment variable, and finally 1 (serial).
@@ -29,6 +36,7 @@ from __future__ import annotations
 
 import os
 import pickle
+from concurrent.futures import BrokenExecutor
 from typing import Any, Callable, List, Optional, Sequence
 
 #: Environment variable consulted when no explicit worker count is given.
@@ -37,6 +45,23 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 #: Target number of chunks per worker: more chunks -> better load balance,
 #: fewer chunks -> less pickling. 4 is the conventional compromise.
 CHUNKS_PER_WORKER = 4
+
+#: Pool rebuilds allowed within a single wave before the remainder of the
+#: wave runs in-process.
+MAX_REBUILDS_PER_WAVE = 1
+
+#: Cumulative pool rebuilds after which the pool is blacklisted and every
+#: later wave runs in-process (the environment, not the wave, is broken).
+BLACKLIST_REBUILDS = 5
+
+#: Errors meaning "result or submission failed to pickle" — the pool
+#: survives these; only the offending chunks re-run in-process.
+_PICKLE_ERRORS = (pickle.PicklingError, AttributeError, TypeError)
+
+#: Errors meaning "the pool itself is dead" (worker process killed, result
+#: pipe torn down). BrokenExecutor covers BrokenProcessPool.
+_BROKEN_POOL_ERRORS = (BrokenExecutor, BrokenPipeError, EOFError,
+                       ConnectionResetError)
 
 
 def resolve_workers(explicit: Optional[int] = None) -> int:
@@ -84,8 +109,13 @@ class Executor:
         """Apply ``fn`` to every chunk and return results in chunk order."""
         raise NotImplementedError
 
-    def close(self) -> None:
-        """Release any pooled resources. Idempotent."""
+    def close(self, wait: bool = True) -> None:
+        """Release any pooled resources. Idempotent.
+
+        ``wait=False`` must never block: it is the interpreter-teardown
+        path (``__del__``), where joining worker processes can deadlock
+        or stall exit.
+        """
 
 
 class SerialExecutor(Executor):
@@ -115,8 +145,16 @@ class ParallelExecutor(Executor):
     def __init__(self, workers: Optional[int] = None):
         self.workers = max(2, resolve_workers(workers))
         #: Number of waves that could not be parallelised (unpicklable
-        #: job functions) and ran in-process instead.
+        #: job functions or results) and ran — fully or partly —
+        #: in-process instead.
         self.fallbacks = 0
+        #: Number of times a broken pool (dead worker, torn pipe) was
+        #: thrown away and re-created.
+        self.pool_rebuilds = 0
+        #: Set once pool breakage crosses ``BLACKLIST_REBUILDS``: the
+        #: environment is deemed hostile and all later waves run
+        #: in-process.
+        self.blacklisted = False
         self._pool = None
 
     # -- pickling support -------------------------------------------------
@@ -124,6 +162,12 @@ class ParallelExecutor(Executor):
         state = self.__dict__.copy()
         state["_pool"] = None
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Executors pickled before degraded-mode recovery existed.
+        self.__dict__.setdefault("pool_rebuilds", 0)
+        self.__dict__.setdefault("blacklisted", False)
 
     # -- pool management --------------------------------------------------
     def _ensure_pool(self):
@@ -133,14 +177,28 @@ class ParallelExecutor(Executor):
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
-    def close(self) -> None:
+    def _discard_pool(self) -> None:
+        """Drop a (possibly broken) pool without waiting on its workers."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
+    def close(self, wait: bool = True) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+            if wait:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            else:
+                self._discard_pool()
 
     def __del__(self):  # pragma: no cover - best-effort cleanup
+        # Interpreter teardown must not join worker processes: a pool
+        # that is mid-shutdown (or broken) can block exit indefinitely.
         try:
-            self.close()
+            self.close(wait=False)
         except Exception:
             pass
 
@@ -148,26 +206,88 @@ class ParallelExecutor(Executor):
     def map_chunks(
         self, fn: Callable[[Any], Any], chunks: Sequence[Any]
     ) -> List[Any]:
-        if len(chunks) <= 1:
-            # Nothing to overlap; skip the dispatch cost entirely.
-            self.last_dispatch = {"chunks": len(chunks), "mode": "in-process"}
+        if len(chunks) <= 1 or self.blacklisted:
+            # Single chunk: nothing to overlap. Blacklisted: the pool
+            # keeps breaking, stop feeding it.
+            self.last_dispatch = {
+                "chunks": len(chunks),
+                "mode": "in-process",
+                **({"blacklisted": True} if self.blacklisted else {}),
+            }
             return [fn(chunk) for chunk in chunks]
         if not self._can_ship(chunks[0]):
             self.fallbacks += 1
             self.last_dispatch = {"chunks": len(chunks), "mode": "in-process"}
             return [fn(chunk) for chunk in chunks]
-        pool = self._ensure_pool()
-        try:
-            results = list(pool.map(fn, chunks))
-            self.last_dispatch = {"chunks": len(chunks), "mode": "pool"}
-            return results
-        except (pickle.PicklingError, AttributeError, TypeError):
-            # A later chunk (or a task's return value) failed to pickle.
-            # The pool survives submission-side pickling errors; rerun the
-            # whole wave in-process so results stay complete and ordered.
-            self.fallbacks += 1
-            self.last_dispatch = {"chunks": len(chunks), "mode": "in-process"}
-            return [fn(chunk) for chunk in chunks]
+        return self._map_chunks_pooled(fn, chunks)
+
+    def _map_chunks_pooled(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> List[Any]:
+        """Pool dispatch with degraded-mode recovery.
+
+        Chunks are submitted individually so a failure only loses *its*
+        chunk: completed results are kept across a pool rebuild, chunks
+        whose results cannot be pickled re-run in-process, and only the
+        still-incomplete chunks are re-dispatched. A wave tolerates
+        ``MAX_REBUILDS_PER_WAVE`` rebuilds before its remainder runs
+        in-process.
+        """
+        results: List[Any] = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        wave_rebuilds = 0
+        recovered = False
+        while pending:
+            pool = self._ensure_pool()
+            try:
+                futures = [(i, pool.submit(fn, chunks[i])) for i in pending]
+            except _PICKLE_ERRORS + _BROKEN_POOL_ERRORS:
+                # Submission itself failed (rare: _can_ship probed only
+                # the first chunk, or the pool died while idle). Run the
+                # remainder in-process.
+                self.fallbacks += 1
+                recovered = True
+                for i in pending:
+                    results[i] = fn(chunks[i])
+                break
+            broken: List[int] = []
+            unpicklable: List[int] = []
+            for i, future in futures:
+                try:
+                    results[i] = future.result()
+                except _BROKEN_POOL_ERRORS:
+                    broken.append(i)
+                except _PICKLE_ERRORS:
+                    unpicklable.append(i)
+            if unpicklable:
+                # A task's *return value* would not cross the pipe; the
+                # pool survives. Re-run just those chunks in-process,
+                # keeping every result the pool did deliver.
+                self.fallbacks += 1
+                recovered = True
+                for i in unpicklable:
+                    results[i] = fn(chunks[i])
+            if not broken:
+                break
+            # A worker died mid-wave and the pool is broken. Rebuild it
+            # (once per wave) and re-dispatch only the lost chunks.
+            self.pool_rebuilds += 1
+            wave_rebuilds += 1
+            recovered = True
+            self._discard_pool()
+            if self.pool_rebuilds >= BLACKLIST_REBUILDS:
+                self.blacklisted = True
+            if wave_rebuilds > MAX_REBUILDS_PER_WAVE or self.blacklisted:
+                for i in broken:
+                    results[i] = fn(chunks[i])
+                break
+            pending = broken
+        self.last_dispatch = {
+            "chunks": len(chunks),
+            "mode": "pool",
+            **({"recovered": True} if recovered else {}),
+        }
+        return results
 
     @staticmethod
     def _can_ship(chunk: Any) -> bool:

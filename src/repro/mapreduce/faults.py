@@ -1,0 +1,315 @@
+"""Deterministic fault injection for the MapReduce substrate.
+
+Real SpatialHadoop inherits Hadoop's fault tolerance: tasks that crash are
+re-executed, stragglers get speculative backups, and lost task trackers
+only cost the attempts that ran on them. To test the equivalent machinery
+in this simulator we need failures that are *scriptable and repeatable*:
+a :class:`FaultPlan` decides, purely from ``(wave, task-index, attempt)``,
+whether a task attempt
+
+* ``crash``   — raises :class:`InjectedFault` before the task body runs,
+* ``hang``    — runs normally but has extra CPU-seconds added to its
+  charge, so it looks like a straggler (and trips per-attempt timeouts),
+* ``corrupt`` — runs normally but returns an unusable result, exercising
+  driver-side result validation,
+* ``kill``    — terminates the worker process mid-chunk (``os._exit``),
+  exercising :class:`BrokenProcessPool` recovery. In the serial backend,
+  where exiting would kill the driver itself, the kill degrades to a
+  ``worker-lost`` failure so both backends observe the same attempt
+  history.
+
+Plans are seeded and stateless: the same plan produces the same faults on
+every run and on every backend, which is what lets the chaos tests assert
+bit-identical output against a fault-free run.
+
+Plans are built programmatically, parsed from a compact spec string
+(``--faults`` / ``REPRO_FAULTS``), or both::
+
+    crash:map:1                 # map task 1 crashes on its first attempt
+    crash:map:1:1               # ... and again on its second attempt
+    kill:map:2                  # the worker running map task 2 dies
+    hang:reduce:0:0:30          # reduce task 0's first attempt +30 CPU s
+    corrupt:map:*               # every map task's first result is garbage
+    random:crash:0.05:42        # every attempt crashes with p=0.05, seed 42
+
+Entries are comma-separated; fields are ``kind:wave:task[:attempt[:arg]]``
+with ``*`` (or ``-1``) as a wildcard for wave/task/attempt.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Environment variable holding a fault-plan spec (chaos CI hook).
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("crash", "hang", "corrupt", "kill")
+
+#: CPU seconds a ``hang`` fault adds when the spec gives no explicit arg.
+DEFAULT_HANG_SECONDS = 30.0
+
+#: Exit code used for injected worker kills (distinguishable in waitpid).
+KILL_EXIT_CODE = 137
+
+#: Backoff schedule: ``min(cap, base * 2**(attempt-1)) * jitter`` with
+#: jitter deterministically drawn from [0.5, 1.5). Seconds are *simulated*
+#: (charged to the cluster-model makespan), never slept.
+BACKOFF_BASE_S = 1.0
+BACKOFF_CAP_S = 60.0
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a task attempt the fault plan scripted to crash."""
+
+
+class WorkerKilled(RuntimeError):
+    """A task attempt was lost because its worker process died."""
+
+
+class TaskCorrupted(RuntimeError):
+    """A task attempt returned a result that failed validation."""
+
+
+class TaskTimeoutError(RuntimeError):
+    """A task exceeded the per-attempt timeout on its final attempt."""
+
+
+class RemoteTaskError(RuntimeError):
+    """Wraps a worker-side exception that could not be pickled back."""
+
+
+def in_worker_process() -> bool:
+    """True when running inside a multiprocessing worker (not the driver)."""
+    return multiprocessing.parent_process() is not None
+
+
+def retry_backoff(task_id: str, attempt: int, seed: int = 0) -> float:
+    """Simulated backoff before ``attempt`` (1-based) of ``task_id``.
+
+    Capped exponential with deterministic jitter: the jitter factor in
+    [0.5, 1.5) is derived from a CRC-32 of (seed, task, attempt), so the
+    schedule is identical across runs and backends yet decorrelated
+    across tasks — the standard thundering-herd fix, minus the wall clock.
+    """
+    if attempt <= 0:
+        return 0.0
+    base = min(BACKOFF_CAP_S, BACKOFF_BASE_S * (2.0 ** (attempt - 1)))
+    digest = zlib.crc32(f"{seed}|{task_id}|{attempt}".encode("utf-8"))
+    jitter = 0.5 + (digest % 10_000) / 10_000.0
+    return base * jitter
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: which attempt it hits and what it does.
+
+    ``wave`` is ``"map"``, ``"reduce"`` or ``"*"``; ``task`` is the task's
+    position in its wave (-1 = any); ``attempt`` is 0-based (-1 = any).
+    ``seconds`` only matters for ``hang``.
+    """
+
+    kind: str
+    wave: str = "*"
+    task: int = -1
+    attempt: int = 0
+    seconds: float = DEFAULT_HANG_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.wave not in ("map", "reduce", "*"):
+            raise ValueError(f"unknown wave {self.wave!r}")
+
+    def matches(self, wave: str, task: int, attempt: int) -> bool:
+        return (
+            (self.wave == "*" or self.wave == wave)
+            and (self.task < 0 or self.task == task)
+            and (self.attempt < 0 or self.attempt == attempt)
+        )
+
+
+@dataclass(frozen=True)
+class RandomFaults:
+    """Seeded background fault rate: each attempt fails with ``rate``.
+
+    The decision is a pure hash of (seed, wave, task, attempt), so a
+    given attempt either always faults or never does — rerunning the
+    same plan reproduces the same chaos.
+    """
+
+    kind: str
+    rate: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+
+    def hits(self, wave: str, task: int, attempt: int) -> bool:
+        digest = zlib.crc32(
+            f"{self.seed}|{wave}|{task}|{attempt}".encode("utf-8")
+        )
+        return (digest % 1_000_000) < self.rate * 1_000_000
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic script of task-attempt faults.
+
+    Stateless and picklable: the plan ships to worker processes inside
+    the job config, and both the driver (serial backend) and the workers
+    consult it with the same ``(wave, task, attempt)`` triple.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    random: Tuple[RandomFaults, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> Optional["FaultPlan"]:
+        """Parse a ``--faults`` / ``REPRO_FAULTS`` spec string.
+
+        Returns ``None`` for an empty spec. See the module docstring for
+        the grammar.
+        """
+        specs: List[FaultSpec] = []
+        random: List[RandomFaults] = []
+        seed = 0
+        for raw in text.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            fields = entry.split(":")
+            head = fields[0].lower()
+            if head == "seed":
+                seed = _int_field(entry, fields, 1, "seed")
+                continue
+            if head == "random":
+                if len(fields) < 3 or len(fields) > 4:
+                    raise ValueError(
+                        f"bad random fault entry {entry!r}; expected "
+                        "random:<kind>:<rate>[:<seed>]"
+                    )
+                random.append(
+                    RandomFaults(
+                        kind=fields[1].lower(),
+                        rate=_float_field(entry, fields, 2, "rate"),
+                        seed=_int_field(entry, fields, 3, "seed")
+                        if len(fields) > 3
+                        else 0,
+                    )
+                )
+                continue
+            if len(fields) < 2 or len(fields) > 5:
+                raise ValueError(
+                    f"bad fault entry {entry!r}; expected "
+                    "kind:wave:task[:attempt[:seconds]]"
+                )
+            specs.append(
+                FaultSpec(
+                    kind=head,
+                    wave=fields[1].lower() if len(fields) > 1 else "*",
+                    task=_index_field(entry, fields, 2),
+                    attempt=_index_field(entry, fields, 3)
+                    if len(fields) > 3
+                    else 0,
+                    seconds=_float_field(entry, fields, 4, "seconds")
+                    if len(fields) > 4
+                    else DEFAULT_HANG_SECONDS,
+                )
+            )
+        if not specs and not random:
+            return None
+        return cls(specs=tuple(specs), random=tuple(random), seed=seed)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan scripted by ``$REPRO_FAULTS``, or ``None``."""
+        spec = os.environ.get(FAULTS_ENV_VAR, "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec)
+
+    def lookup(self, wave: str, task: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault scripted for this attempt, or ``None``.
+
+        Explicit specs win over random background faults; the first
+        matching entry decides, so plans read top to bottom.
+        """
+        for spec in self.specs:
+            if spec.matches(wave, task, attempt):
+                return spec
+        for rnd in self.random:
+            if rnd.hits(wave, task, attempt):
+                return FaultSpec(kind=rnd.kind, wave=wave, task=task,
+                                 attempt=attempt)
+        return None
+
+    def describe(self) -> str:
+        parts = [
+            f"{s.kind}:{s.wave}:{s.task}"
+            + (f":{s.attempt}" if s.attempt != 0 else "")
+            for s in self.specs
+        ]
+        parts.extend(f"random:{r.kind}:{r.rate}:{r.seed}" for r in self.random)
+        return ",".join(parts) or "<empty>"
+
+
+def resolve_faults(value) -> Optional[FaultPlan]:
+    """Coerce a faults knob (plan, spec string, or None) into a plan.
+
+    ``None`` defers to ``$REPRO_FAULTS`` so chaos CI can inject failures
+    without touching call sites — mirroring how worker counts resolve.
+    """
+    if value is None:
+        return FaultPlan.from_env()
+    if isinstance(value, FaultPlan):
+        return value
+    if isinstance(value, str):
+        return FaultPlan.parse(value)
+    raise TypeError(
+        f"faults must be a FaultPlan, a spec string or None, got "
+        f"{type(value).__name__}"
+    )
+
+
+def _index_field(entry: str, fields: List[str], pos: int) -> int:
+    if pos >= len(fields):
+        return -1
+    token = fields[pos].strip()
+    if token in ("*", ""):
+        return -1
+    try:
+        return int(token)
+    except ValueError:
+        raise ValueError(
+            f"bad index {token!r} in fault entry {entry!r}"
+        ) from None
+
+
+def _int_field(entry: str, fields: List[str], pos: int, name: str) -> int:
+    try:
+        return int(fields[pos])
+    except (IndexError, ValueError):
+        raise ValueError(
+            f"bad {name} in fault entry {entry!r}"
+        ) from None
+
+
+def _float_field(entry: str, fields: List[str], pos: int, name: str) -> float:
+    try:
+        return float(fields[pos])
+    except (IndexError, ValueError):
+        raise ValueError(
+            f"bad {name} in fault entry {entry!r}"
+        ) from None

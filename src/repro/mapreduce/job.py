@@ -79,6 +79,17 @@ class Job:
     Only ``input_file`` and ``map_fn`` are mandatory; a job without
     ``reduce_fn`` is map-only and its map output goes straight to the job
     output, as in Hadoop.
+
+    ``config`` is free-form and reaches every task context, but a few
+    keys are also read by the runtime's fault-tolerance layer and
+    override the :class:`~repro.mapreduce.JobRunner` defaults per job:
+
+    * ``max_attempts`` — attempts per task before the job fails.
+    * ``task_timeout`` — per-attempt simulated-CPU budget in seconds.
+    * ``speculative`` / ``slow_task_factor`` — straggler backups.
+    * ``faults`` — a :class:`~repro.mapreduce.FaultPlan`, a spec string
+      (see :meth:`FaultPlan.parse`), or ``None`` to disable injection
+      for this job even when the runner carries a plan.
     """
 
     input_file: Any  # one file name, or a list of names for multi-input jobs

@@ -12,22 +12,46 @@ Task durations are measured with ``time.process_time`` — per-task CPU
 seconds, not wall-clock — so the simulated makespan produced by the
 :class:`ClusterModel` is unaffected by real parallelism (worker processes
 time their own CPU, oversubscription and scheduling noise excluded).
+
+Waves are *fault tolerant*: every task runs as one or more **attempts**.
+An attempt that raises, exceeds the per-attempt timeout, or returns an
+invalid result is retried with capped exponential backoff (simulated —
+charged to the makespan, never slept) up to ``max_attempts``; only then
+does the job fail, re-raising the original error. Because retried tasks
+still merge in split/bucket order and only the winning attempt's output
+and counters are used, job results stay bit-identical to a clean run.
+With ``speculative=True``, tasks slower than ``slow_task_factor ×`` the
+wave median get a backup attempt and the faster copy wins. The
+:mod:`repro.mapreduce.faults` harness injects deterministic failures for
+testing all of this.
 """
 
 from __future__ import annotations
 
+import pickle
 import sys
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.mapreduce.cluster import ClusterModel, TaskStats
+from repro.mapreduce.cluster import ClusterModel, TaskAttempt, TaskStats
 from repro.mapreduce.counters import Counter, Counters
 from repro.mapreduce.executor import (
     CHUNKS_PER_WORKER,
     Executor,
     make_executor,
     resolve_workers,
+)
+from repro.mapreduce.faults import (
+    FaultPlan,
+    InjectedFault,
+    RemoteTaskError,
+    TaskCorrupted,
+    TaskTimeoutError,
+    WorkerKilled,
+    in_worker_process,
+    resolve_faults,
+    retry_backoff,
 )
 from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import (
@@ -40,6 +64,7 @@ from repro.mapreduce.job import (
 from repro.mapreduce.types import InputSplit
 from repro.observe.history import JobHistory
 from repro.observe.metrics import (
+    BACKOFF_SECONDS_BUCKETS,
     SHUFFLE_BYTES_BUCKETS,
     TASK_DURATION_BUCKETS,
     MetricsRegistry,
@@ -53,6 +78,21 @@ _task_clock = time.process_time
 
 #: Shared no-op tracer: tracing must cost nothing until enabled.
 _NULL_TRACER = NullTracer()
+
+#: Hadoop's ``mapreduce.map.maxattempts`` default: a task may run this
+#: many times in total before the job fails.
+DEFAULT_MAX_ATTEMPTS = 4
+
+#: A task is a straggler when slower than this multiple of the wave
+#: median (Hadoop's speculative-execution heuristic).
+DEFAULT_SLOW_TASK_FACTOR = 2.0
+
+#: Below this many tasks a median is meaningless; no speculation.
+MIN_SPECULATION_TASKS = 3
+
+#: Marker returned by an attempt the fault plan scripted to corrupt —
+#: deliberately not a valid task-result tuple.
+_CORRUPTED_RESULT = "\x00corrupted-task-result\x00"
 
 
 class _RecordSizer:
@@ -121,6 +161,13 @@ class JobResult:
     map_tasks: List[TaskStats] = field(default_factory=list)
     reduce_tasks: List[TaskStats] = field(default_factory=list)
     makespan: float = 0.0
+    #: Fault-tolerance activity, zero-entries omitted: ``retries``,
+    #: ``timeouts``, ``corrupt``, ``worker_lost``, ``crashes``,
+    #: ``speculative``, ``faults_injected``, ``backoff_s``,
+    #: ``pool_rebuilds``. Empty for a clean run. Diagnostics only —
+    #: never part of the output/counters determinism contract
+    #: (``pool_rebuilds`` in particular is backend-dependent).
+    fault_summary: Dict[str, float] = field(default_factory=dict)
 
     @property
     def blocks_read(self) -> int:
@@ -130,24 +177,67 @@ class JobResult:
     def shuffle_records(self) -> int:
         return self.counters.get(Counter.SHUFFLE_RECORDS)
 
+    @property
+    def tasks_retried(self) -> int:
+        return int(self.fault_summary.get("retries", 0))
+
+    @property
+    def tasks_speculative(self) -> int:
+        return int(self.fault_summary.get("speculative", 0))
+
+    @property
+    def tasks_timed_out(self) -> int:
+        return int(self.fault_summary.get("timeouts", 0))
+
+
+@dataclass
+class _WavePolicy:
+    """Resolved fault-tolerance knobs for one job's waves."""
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    task_timeout: Optional[float] = None
+    speculative: bool = False
+    slow_task_factor: float = DEFAULT_SLOW_TASK_FACTOR
+    faults: Optional[FaultPlan] = None
+
 
 # ----------------------------------------------------------------------
 # Task bodies. These are module-level pure functions so the parallel
 # executor can ship them to worker processes; the serial executor calls
 # the very same code, which is what guarantees backend equivalence.
+#
+# Each chunk is a list of (wave_index, attempt, item) triples, and each
+# task yields a *marker*:
+#
+#   ("ok",  wave_index, attempt, data)                      — data is the
+#       usual 7-tuple (task_id, records_in, counters_dict, emitted,
+#       output, seconds, events);
+#   ("err", wave_index, attempt, outcome, error, seconds)   — the attempt
+#       failed; ``error`` is the exception (wrapped if unpicklable).
+#
+# Exceptions never propagate out of a chunk: the driver's wave supervisor
+# decides whether an attempt is retried or fails the job.
 # ----------------------------------------------------------------------
 def _noop_map(_key: Any, _records: Any, _ctx: Any) -> None:  # pragma: no cover
     """Placeholder map function for reduce-wave job shipping."""
 
 
-def _shipped_job(job: Job, wave: str) -> Job:
+def _shipped_job(
+    job: Job, wave: str, faults: Optional[FaultPlan] = None
+) -> Job:
     """A copy of ``job`` stripped to what one wave's tasks actually need.
 
     Driver-only hooks (splitter, reader, commit, partitioner) never run
     inside a task, so dropping them keeps per-chunk pickling small and —
     more importantly — lets a job with an unpicklable driver hook still
-    run its waves in parallel.
+    run its waves in parallel. The resolved fault plan rides along in the
+    config so worker processes consult the same script as the driver.
     """
+    config = job.config
+    if faults is not None or config.get("faults") is not None:
+        config = {k: v for k, v in config.items() if k != "faults"}
+        if faults is not None:
+            config["faults"] = faults
     return replace(
         job,
         splitter=None,
@@ -157,6 +247,7 @@ def _shipped_job(job: Job, wave: str) -> Job:
         map_fn=job.map_fn if wave == "map" else _noop_map,
         combine_fn=job.combine_fn if wave == "map" else None,
         reduce_fn=job.reduce_fn if wave == "reduce" else None,
+        config=config,
     )
 
 
@@ -182,77 +273,147 @@ def _combine(
     return ctx._emitted
 
 
-def _run_map_chunk(payload):
-    """Execute one chunk of map tasks; returns one result tuple per task.
+def _map_task_data(job: Job, reader, split: InputSplit):
+    """Execute one map task; returns its 7-tuple result."""
+    counters = Counters()
+    ctx = MapContext(job, counters, split)
+    started = _task_clock()
+    key, records = reader(split)
+    job.map_fn(key, records, ctx)
+    emitted = ctx._emitted
+    raw_emitted = len(emitted)
+    if job.combine_fn is not None and emitted:
+        emitted = _combine(job, counters, emitted)
+    elapsed = _task_clock() - started
+    counters.increment(Counter.MAP_INPUT_RECORDS, len(records))
+    counters.increment(Counter.MAP_OUTPUT_RECORDS, raw_emitted)
+    return (
+        f"map-{split.block_index}",
+        len(records),
+        counters.as_dict(),
+        emitted,
+        ctx._output,
+        elapsed,
+        ctx._events,
+    )
 
-    Each result is ``(task_id, records_in, counters_dict, emitted,
-    output, seconds, events)``. Counters and trace events are per-task
-    and merged by the driver in split order, so totals — and traces —
-    cannot depend on task interleaving.
+
+def _reduce_task_data(job: Job, task_index: int, items):
+    """Execute one reduce task; returns its 7-tuple result."""
+    counters = Counters()
+    ctx = ReduceContext(job, counters, task_index)
+    started = _task_clock()
+    # Hadoop sorts by key before reducing; keep that contract for
+    # reducers that rely on key order.
+    for k, values in _sorted_items(items):
+        job.reduce_fn(k, values, ctx)  # type: ignore[misc]
+    elapsed = _task_clock() - started
+    records_in = sum(len(values) for _, values in items)
+    counters.increment(Counter.REDUCE_INPUT_RECORDS, records_in)
+    counters.increment(
+        Counter.REDUCE_OUTPUT_RECORDS, len(ctx._emitted) + len(ctx._output)
+    )
+    return (
+        task_index,
+        records_in,
+        counters.as_dict(),
+        ctx._emitted,
+        ctx._output,
+        elapsed,
+        ctx._events,
+    )
+
+
+def _run_attempt(job: Job, wave: str, index: int, attempt: int, body):
+    """One task attempt, fault plan consulted, exceptions captured.
+
+    A scripted ``kill`` terminates the worker process for real
+    (exercising pool recovery); in the driver process — the serial
+    backend, or a pool fallback — it degrades to a ``worker-lost``
+    failure so every backend records the same attempt history.
     """
-    job, reader, splits = payload
-    results = []
-    for split in splits:
-        counters = Counters()
-        ctx = MapContext(job, counters, split)
-        started = _task_clock()
-        key, records = reader(split)
-        job.map_fn(key, records, ctx)
-        emitted = ctx._emitted
-        raw_emitted = len(emitted)
-        if job.combine_fn is not None and emitted:
-            emitted = _combine(job, counters, emitted)
-        elapsed = _task_clock() - started
-        counters.increment(Counter.MAP_INPUT_RECORDS, len(records))
-        counters.increment(Counter.MAP_OUTPUT_RECORDS, raw_emitted)
-        results.append(
-            (
-                f"map-{split.block_index}",
-                len(records),
-                counters.as_dict(),
-                emitted,
-                ctx._output,
-                elapsed,
-                ctx._events,
+    plan = job.config.get("faults")
+    spec = plan.lookup(wave, index, attempt) if plan is not None else None
+    if spec is not None:
+        if spec.kind == "kill":
+            if in_worker_process():
+                import os
+
+                os._exit(137)
+            error = WorkerKilled(
+                f"injected worker kill at {wave}[{index}] attempt {attempt}"
             )
+            return ("err", index, attempt, "worker-lost", error, 0.0)
+        if spec.kind == "crash":
+            error = InjectedFault(
+                f"injected crash at {wave}[{index}] attempt {attempt}"
+            )
+            return ("err", index, attempt, "crash", error, 0.0)
+    try:
+        data = body()
+    except Exception as exc:  # noqa: BLE001 - supervisor decides the fate
+        return ("err", index, attempt, "crash", _shippable_error(exc), 0.0)
+    if spec is not None:
+        if spec.kind == "hang":
+            # Inflate the CPU charge: the attempt "ran" for spec.seconds
+            # longer, which trips per-attempt timeouts and makes the
+            # task a straggler for speculation.
+            data = data[:5] + (data[5] + spec.seconds,) + data[6:]
+        elif spec.kind == "corrupt":
+            return ("ok", index, attempt, _CORRUPTED_RESULT)
+    return ("ok", index, attempt, data)
+
+
+def _shippable_error(exc: Exception) -> Exception:
+    """``exc`` if it can cross a process boundary, else a wrapper."""
+    try:
+        pickle.dumps(exc)
+        return exc
+    except Exception:
+        return RemoteTaskError(f"{type(exc).__name__}: {exc}")
+
+
+def _run_map_chunk(payload):
+    """Execute one chunk of map-task attempts; one marker per attempt."""
+    job, reader, tasks = payload
+    return [
+        _run_attempt(
+            job, "map", index, attempt,
+            lambda: _map_task_data(job, reader, split),
         )
-    return results
+        for index, attempt, split in tasks
+    ]
 
 
 def _run_reduce_chunk(payload):
-    """Execute one chunk of reduce tasks; returns one tuple per task.
-
-    Each result is ``(task_index, records_in, counters_dict, emitted,
-    output, seconds, events)``.
-    """
+    """Execute one chunk of reduce-task attempts; one marker per attempt."""
     job, tasks = payload
-    results = []
-    for task_index, items in tasks:
-        counters = Counters()
-        ctx = ReduceContext(job, counters, task_index)
-        started = _task_clock()
-        # Hadoop sorts by key before reducing; keep that contract for
-        # reducers that rely on key order.
-        for k, values in _sorted_items(items):
-            job.reduce_fn(k, values, ctx)  # type: ignore[misc]
-        elapsed = _task_clock() - started
-        records_in = sum(len(values) for _, values in items)
-        counters.increment(Counter.REDUCE_INPUT_RECORDS, records_in)
-        counters.increment(
-            Counter.REDUCE_OUTPUT_RECORDS, len(ctx._emitted) + len(ctx._output)
+    return [
+        _run_attempt(
+            job, "reduce", index, attempt,
+            lambda: _reduce_task_data(job, task_index, items),
         )
-        results.append(
-            (
-                task_index,
-                records_in,
-                counters.as_dict(),
-                ctx._emitted,
-                ctx._output,
-                elapsed,
-                ctx._events,
-            )
-        )
-    return results
+        for index, attempt, (task_index, items) in tasks
+    ]
+
+
+def _valid_task_data(data: Any) -> bool:
+    """Driver-side result validation: is this a well-formed task result?
+
+    Catches corrupted results (injected or real) before they can poison
+    the merge; an invalid result fails the attempt, which is then
+    retried like any other failure.
+    """
+    return (
+        isinstance(data, tuple)
+        and len(data) == 7
+        and isinstance(data[1], int)
+        and isinstance(data[2], dict)
+        and isinstance(data[3], list)
+        and isinstance(data[4], list)
+        and isinstance(data[5], float)
+        and isinstance(data[6], list)
+    )
 
 
 def _chunked(items: Sequence[Any], num_chunks: int) -> List[Sequence[Any]]:
@@ -285,6 +446,14 @@ class JobRunner:
     task-duration and shuffle-bytes histograms, and a
     :class:`~repro.observe.JobHistory` retains every finished job. All
     three default to off/no-op, which costs nothing per job.
+
+    Fault tolerance is controlled by ``max_attempts`` (total tries per
+    task before the job fails), ``task_timeout`` (per-attempt CPU-second
+    budget), ``speculative`` / ``slow_task_factor`` (backup attempts for
+    stragglers) and ``faults`` (a :class:`FaultPlan`, a spec string, or
+    ``None`` to defer to ``$REPRO_FAULTS``). Jobs may override each knob
+    via ``Job.config``. Fault plans are per-invocation chaos tooling and
+    are never pickled with a workspace.
     """
 
     def __init__(
@@ -296,6 +465,11 @@ class JobRunner:
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         history: Optional[JobHistory] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        task_timeout: Optional[float] = None,
+        speculative: bool = False,
+        slow_task_factor: float = DEFAULT_SLOW_TASK_FACTOR,
+        faults=None,
     ):
         self.fs = fs
         self.cluster = cluster or ClusterModel()
@@ -303,19 +477,38 @@ class JobRunner:
         self.tracer = tracer if tracer is not None else _NULL_TRACER
         self.metrics = metrics
         self.history = history
+        self.max_attempts = max(1, int(max_attempts))
+        self.task_timeout = task_timeout
+        self.speculative = bool(speculative)
+        self.slow_task_factor = float(slow_task_factor)
+        self.faults = resolve_faults(faults)
         #: Optional live progress sink (see repro.observe.progress). Holds
         #: an open stream, so it is attached per-invocation, never pickled.
         self.progress = None
         self._job_executors: Dict[int, Executor] = {}
 
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Per-invocation attachments: the progress reporter holds an open
+        # stream, and fault plans are chaos tooling — neither belongs in
+        # a persisted workspace.
+        state["progress"] = None
+        state["faults"] = None
+        return state
+
     def __setstate__(self, state):
-        # Workspaces pickled before the observability layer existed must
-        # keep loading; fill the new attributes with their defaults.
+        # Workspaces pickled before the observability / fault-tolerance
+        # layers existed must keep loading; fill in the defaults.
         self.__dict__.update(state)
         self.__dict__.setdefault("tracer", _NULL_TRACER)
         self.__dict__.setdefault("metrics", None)
         self.__dict__.setdefault("history", None)
         self.__dict__.setdefault("progress", None)
+        self.__dict__.setdefault("max_attempts", DEFAULT_MAX_ATTEMPTS)
+        self.__dict__.setdefault("task_timeout", None)
+        self.__dict__.setdefault("speculative", False)
+        self.__dict__.setdefault("slow_task_factor", DEFAULT_SLOW_TASK_FACTOR)
+        self.__dict__.setdefault("faults", None)
 
     def set_tracer(self, tracer) -> None:
         """Swap the tracer (pass ``None`` to disable tracing)."""
@@ -324,6 +517,10 @@ class JobRunner:
     def set_progress(self, reporter) -> None:
         """Attach a progress reporter (pass ``None`` to detach)."""
         self.progress = reporter
+
+    def set_faults(self, faults) -> None:
+        """Attach a fault plan (a :class:`FaultPlan`, spec string or None)."""
+        self.faults = resolve_faults(faults)
 
     @property
     def workers(self) -> int:
@@ -355,6 +552,28 @@ class JobRunner:
             cached = self._job_executors[count] = make_executor(count)
         return cached
 
+    def _policy_for(self, job: Job) -> _WavePolicy:
+        """Fault-tolerance knobs for ``job``: config overrides runner."""
+        cfg = job.config
+        faults = self.faults
+        if "faults" in cfg:
+            raw = cfg["faults"]
+            if raw is None:
+                faults = None
+            elif isinstance(raw, FaultPlan):
+                faults = raw
+            else:
+                faults = FaultPlan.parse(raw)
+        return _WavePolicy(
+            max_attempts=max(1, int(cfg.get("max_attempts", self.max_attempts))),
+            task_timeout=cfg.get("task_timeout", self.task_timeout),
+            speculative=bool(cfg.get("speculative", self.speculative)),
+            slow_task_factor=float(
+                cfg.get("slow_task_factor", self.slow_task_factor)
+            ),
+            faults=faults,
+        )
+
     # ------------------------------------------------------------------
     def run(self, job: Job) -> JobResult:
         """Run ``job`` to completion and return its result."""
@@ -381,6 +600,7 @@ class JobRunner:
                     result.reduce_tasks,
                     result.shuffle_records,
                 ),
+                input_files=list(job.input_files),
             )
         return result
 
@@ -389,7 +609,9 @@ class JobRunner:
         splitter = job.splitter or default_splitter
         reader = job.reader or default_reader
         executor = self._executor_for(job)
+        policy = self._policy_for(job)
         tracer = self.tracer
+        rebuilds_before = getattr(executor, "pool_rebuilds", 0)
 
         entries: Dict[str, Any] = {}
         for file_name in job.input_files:
@@ -409,8 +631,8 @@ class JobRunner:
             split_span.set("blocks_pruned", max(0, pruned))
 
         output: List[Any] = []
-        map_stats, intermediate = self._run_map_wave(
-            job, splits, reader, counters, output, executor
+        map_stats, intermediate, fault_summary = self._run_map_wave(
+            job, splits, reader, counters, output, executor, policy
         )
 
         reduce_stats: List[TaskStats] = []
@@ -423,9 +645,10 @@ class JobRunner:
             tracer.event(
                 "shuffle", records=shuffle_records, bytes=shuffle_bytes
             )
-            reduce_stats = self._run_reduce_wave(
-                job, intermediate, counters, output, executor
+            reduce_stats, reduce_summary = self._run_reduce_wave(
+                job, intermediate, counters, output, executor, policy
             )
+            _merge_summary(fault_summary, reduce_summary)
         else:
             # Map-only job: emitted pairs join the direct output.
             output.extend(v for _, v in intermediate)
@@ -438,6 +661,10 @@ class JobRunner:
 
         counters.increment(Counter.OUTPUT_RECORDS, len(output))
         job_span.set("output_records", len(output))
+        rebuilds = getattr(executor, "pool_rebuilds", 0) - rebuilds_before
+        if rebuilds:
+            fault_summary["pool_rebuilds"] = rebuilds
+        fault_summary = {k: v for k, v in fault_summary.items() if v}
         makespan = self.cluster.job_makespan(
             map_stats, reduce_stats, shuffle_records
         )
@@ -447,6 +674,7 @@ class JobRunner:
             map_tasks=map_stats,
             reduce_tasks=reduce_stats,
             makespan=makespan,
+            fault_summary=fault_summary,
         )
 
     def _record_metrics(self, result: JobResult) -> None:
@@ -468,6 +696,251 @@ class JobRunner:
                 SHUFFLE_BYTES_BUCKETS,
             )
         metrics.set_gauge("last_job_makespan_s", result.makespan)
+        fault = result.fault_summary
+        if fault:
+            for key, name in (
+                ("retries", "TASKS_RETRIED"),
+                ("speculative", "TASKS_SPECULATIVE"),
+                ("timeouts", "TASKS_TIMED_OUT"),
+                ("worker_lost", "TASKS_WORKER_LOST"),
+                ("corrupt", "TASKS_CORRUPTED"),
+                ("crashes", "TASK_CRASHES"),
+                ("faults_injected", "FAULTS_INJECTED"),
+                ("pool_rebuilds", "POOL_REBUILDS"),
+            ):
+                if fault.get(key):
+                    metrics.inc(name, int(fault[key]))
+            if fault.get("backoff_s"):
+                metrics.observe(
+                    "retry_backoff_seconds",
+                    fault["backoff_s"],
+                    BACKOFF_SECONDS_BUCKETS,
+                )
+
+    # ------------------------------------------------------------------
+    # The wave supervisor: retries, timeouts, validation, speculation.
+    # ------------------------------------------------------------------
+    def _execute_wave(
+        self,
+        wave: str,
+        items: Sequence[Any],
+        make_payload: Callable[[List[Tuple[int, int, Any]]], Any],
+        chunk_fn,
+        executor: Executor,
+        policy: _WavePolicy,
+        task_label: Callable[[int], str],
+    ):
+        """Run every task of one wave to a successful attempt.
+
+        Returns ``(datas, attempts, summary)``: the winning 7-tuple per
+        task (wave order), the attempt history per task, and the wave's
+        fault-activity counts. Raises the original task error once a
+        task exhausts ``max_attempts``.
+
+        Retries are batched: each round re-dispatches every task that
+        failed the previous round, with its simulated backoff charged to
+        the attempt record (and hence the makespan) rather than slept.
+        """
+        n = len(items)
+        datas: List[Any] = [None] * n
+        attempts: List[List[TaskAttempt]] = [[] for _ in range(n)]
+        backoff_due: Dict[int, float] = {}
+        summary = _new_summary()
+        plan_seed = policy.faults.seed if policy.faults is not None else 0
+        pending: List[Tuple[int, int]] = [(i, 0) for i in range(n)]
+        while pending:
+            failed: List[Tuple[int, Exception]] = []
+            tasks = [(i, attempt, items[i]) for i, attempt in pending]
+            self._count_injections(wave, pending, policy, summary)
+            for marker in self._dispatch(executor, chunk_fn, make_payload,
+                                         tasks):
+                self._absorb(marker, datas, attempts, backoff_due, failed,
+                             policy, summary)
+            pending = []
+            for i, error in failed:
+                next_attempt = len(attempts[i])
+                if next_attempt >= policy.max_attempts:
+                    raise error
+                wait = retry_backoff(task_label(i), next_attempt, plan_seed)
+                backoff_due[i] = wait
+                summary["retries"] += 1
+                summary["backoff_s"] += wait
+                pending.append((i, next_attempt))
+        if policy.speculative and n >= MIN_SPECULATION_TASKS:
+            self._speculate(wave, items, datas, attempts, make_payload,
+                            chunk_fn, executor, policy, summary)
+        return datas, attempts, summary
+
+    @staticmethod
+    def _count_injections(wave, pending, policy, summary) -> None:
+        """Count scripted faults about to fire in this dispatch round.
+
+        Counted driver-side from the plan (not from failure markers)
+        so every kind registers — including ``hang``, whose only
+        worker-side trace is an inflated CPU charge, and ``kill``,
+        whose chunk may be transparently re-dispatched by the pool.
+        """
+        if policy.faults is None:
+            return
+        for i, attempt in pending:
+            if policy.faults.lookup(wave, i, attempt) is not None:
+                summary["faults_injected"] += 1
+
+    def _dispatch(self, executor, chunk_fn, make_payload, tasks):
+        """One round of task attempts through the executor; flat markers."""
+        num_chunks = (
+            executor.workers * CHUNKS_PER_WORKER
+            if executor.workers > 1
+            else 1
+        )
+        payloads = [
+            make_payload(list(chunk)) for chunk in _chunked(tasks, num_chunks)
+        ]
+        markers = []
+        for chunk_result in executor.map_chunks(chunk_fn, payloads):
+            markers.extend(chunk_result)
+        return markers
+
+    def _absorb(
+        self, marker, datas, attempts, backoff_due, failed, policy, summary
+    ) -> None:
+        """Fold one attempt marker into the wave state."""
+        if marker[0] == "ok":
+            _, i, attempt, data = marker
+            if not _valid_task_data(data):
+                summary["corrupt"] += 1
+                error: Exception = TaskCorrupted(
+                    f"task attempt {attempt} returned an invalid result"
+                )
+                self._record_failure(
+                    i, attempt, "corrupt", error, 0.0,
+                    attempts, backoff_due, failed,
+                )
+                return
+            seconds = data[5]
+            timeout = policy.task_timeout
+            if timeout is not None and seconds > timeout:
+                summary["timeouts"] += 1
+                error = TaskTimeoutError(
+                    f"task attempt {attempt} charged {seconds:.3f}s CPU, "
+                    f"over the {timeout:.3f}s per-attempt timeout"
+                )
+                self._record_failure(
+                    i, attempt, "timeout", error, seconds,
+                    attempts, backoff_due, failed,
+                )
+                return
+            datas[i] = data
+            attempts[i].append(
+                TaskAttempt(
+                    attempt=attempt,
+                    outcome="success",
+                    seconds=seconds,
+                    backoff_s=backoff_due.pop(i, 0.0),
+                )
+            )
+        else:
+            _, i, attempt, outcome, error, seconds = marker
+            summary["worker_lost" if outcome == "worker-lost" else
+                    "crashes"] += 1
+            self._record_failure(
+                i, attempt, outcome, error, seconds,
+                attempts, backoff_due, failed,
+            )
+
+    @staticmethod
+    def _record_failure(
+        i, attempt, outcome, error, seconds, attempts, backoff_due, failed
+    ) -> None:
+        attempts[i].append(
+            TaskAttempt(
+                attempt=attempt,
+                outcome=outcome,
+                seconds=seconds,
+                backoff_s=backoff_due.pop(i, 0.0),
+                error=f"{type(error).__name__}: {error}",
+            )
+        )
+        failed.append((i, error))
+
+    def _speculate(
+        self, wave, items, datas, attempts, make_payload, chunk_fn,
+        executor, policy, summary,
+    ) -> None:
+        """Backup attempts for stragglers; the faster copy wins.
+
+        The batch runtime sees the whole wave before deciding (the
+        *simulated* cluster applies the speculation-trigger fraction —
+        see :meth:`ClusterModel.wave_span`): tasks slower than
+        ``slow_task_factor ×`` the wave median re-run once, and if the
+        backup's CPU charge beats the original, the backup's result and
+        timing replace it — the original is recorded as
+        ``speculative-lost``, mirroring Hadoop killing the slower
+        attempt.
+        """
+        n = len(items)
+        winners = [attempts[i][-1].seconds for i in range(n)]
+        median = sorted(winners)[n // 2]
+        if median <= 0:
+            return
+        threshold = policy.slow_task_factor * median
+        stragglers = [i for i in range(n) if winners[i] > threshold]
+        if not stragglers:
+            return
+        summary["speculative"] += len(stragglers)
+        tasks = [(i, len(attempts[i]), items[i]) for i in stragglers]
+        self._count_injections(
+            wave, [(i, a) for i, a, _ in tasks], policy, summary
+        )
+        for marker in self._dispatch(executor, chunk_fn, make_payload, tasks):
+            self._absorb_backup(marker, datas, attempts)
+
+    @staticmethod
+    def _absorb_backup(marker, datas, attempts) -> None:
+        """Fold one speculative-backup marker in; failures are free.
+
+        The primary attempt already succeeded, so a failed or corrupted
+        backup is recorded and ignored — speculation can never make a
+        wave fail.
+        """
+        i, attempt = marker[1], marker[2]
+        if marker[0] == "ok" and _valid_task_data(marker[3]):
+            data = marker[3]
+            seconds = data[5]
+            primary = attempts[i][-1]
+            if seconds < primary.seconds:
+                primary.outcome = "speculative-lost"
+                attempts[i].append(
+                    TaskAttempt(
+                        attempt=attempt,
+                        outcome="success",
+                        seconds=seconds,
+                        speculative=True,
+                    )
+                )
+                datas[i] = data
+            else:
+                attempts[i].append(
+                    TaskAttempt(
+                        attempt=attempt,
+                        outcome="speculative-lost",
+                        seconds=seconds,
+                        speculative=True,
+                    )
+                )
+        else:
+            outcome = marker[3] if marker[0] == "err" else "corrupt"
+            error = marker[4] if marker[0] == "err" else None
+            seconds = marker[5] if marker[0] == "err" else 0.0
+            attempts[i].append(
+                TaskAttempt(
+                    attempt=attempt,
+                    outcome=outcome,
+                    seconds=seconds,
+                    speculative=True,
+                    error=f"{type(error).__name__}: {error}" if error else "",
+                )
+            )
 
     # ------------------------------------------------------------------
     def _run_map_wave(
@@ -478,57 +951,58 @@ class JobRunner:
         counters: Counters,
         output: List[Any],
         executor: Executor,
-    ) -> Tuple[List[TaskStats], List[Tuple[Any, Any]]]:
+        policy: _WavePolicy,
+    ):
         intermediate: List[Tuple[Any, Any]] = []
         stats: List[TaskStats] = []
+        summary = _new_summary()
         counters.increment(Counter.MAP_TASKS, len(splits))
         if not splits:
-            return stats, intermediate
+            return stats, intermediate, summary
 
         tracer = self.tracer
         progress = self.progress
         if progress is not None:
             progress.wave_started(job.name, "map", len(splits))
         with tracer.span("wave:map", kind="wave", tasks=len(splits)) as wave:
-            shipped = _shipped_job(job, wave="map")
-            num_chunks = (
-                executor.workers * CHUNKS_PER_WORKER
-                if executor.workers > 1
-                else 1
+            shipped = _shipped_job(job, wave="map", faults=policy.faults)
+            datas, attempts, summary = self._execute_wave(
+                wave="map",
+                items=splits,
+                make_payload=lambda tasks: (shipped, reader, tasks),
+                chunk_fn=_run_map_chunk,
+                executor=executor,
+                policy=policy,
+                task_label=lambda i: f"map-{splits[i].block_index}",
             )
-            payloads = [
-                (shipped, reader, chunk)
-                for chunk in _chunked(splits, num_chunks)
-            ]
-            chunk_results = executor.map_chunks(_run_map_chunk, payloads)
             self._trace_dispatch(executor)
+            _annotate_wave(wave, summary)
             cursor = wave.start
-            for chunk_result in chunk_results:
-                for task_id, records_in, cdict, emitted, out, secs, events in (
-                    chunk_result
-                ):
-                    counters.merge_dict(cdict)
-                    stats.append(
-                        TaskStats(
-                            task_id=task_id,
-                            records_in=records_in,
-                            records_out=len(emitted) + len(out),
-                            seconds=secs,
-                        )
+            for i, data in enumerate(datas):
+                task_id, records_in, cdict, emitted, out, secs, events = data
+                counters.merge_dict(cdict)
+                stats.append(
+                    TaskStats(
+                        task_id=task_id,
+                        records_in=records_in,
+                        records_out=len(emitted) + len(out),
+                        seconds=secs,
+                        attempts=_final_attempts(attempts[i]),
                     )
-                    if tracer.enabled:
-                        cursor = self._trace_task(
-                            task_id, records_in, stats[-1].records_out,
-                            secs, events, cursor,
-                        )
-                    if progress is not None:
-                        progress.task_finished(
-                            "map", len(stats), len(splits),
-                            records_in, stats[-1].records_out,
-                        )
-                    intermediate.extend(emitted)
-                    output.extend(out)
-        return stats, intermediate
+                )
+                if tracer.enabled:
+                    cursor = self._trace_task(
+                        task_id, records_in, stats[-1].records_out,
+                        secs, events, cursor, stats[-1].attempts,
+                    )
+                if progress is not None:
+                    progress.task_finished(
+                        "map", len(stats), len(splits),
+                        records_in, stats[-1].records_out,
+                    )
+                intermediate.extend(emitted)
+                output.extend(out)
+        return stats, intermediate, summary
 
     def _run_reduce_wave(
         self,
@@ -537,7 +1011,8 @@ class JobRunner:
         counters: Counters,
         output: List[Any],
         executor: Executor,
-    ) -> List[TaskStats]:
+        policy: _WavePolicy,
+    ):
         num_reducers = max(1, job.num_reducers)
         buckets: List[Dict[Any, List[Any]]] = [{} for _ in range(num_reducers)]
         for k, v in intermediate:
@@ -551,72 +1026,92 @@ class JobRunner:
         ]
         counters.increment(Counter.REDUCE_TASKS, len(tasks))
         stats: List[TaskStats] = []
+        summary = _new_summary()
         if not tasks:
-            return stats
+            return stats, summary
 
         tracer = self.tracer
         progress = self.progress
         if progress is not None:
             progress.wave_started(job.name, "reduce", len(tasks))
         with tracer.span("wave:reduce", kind="wave", tasks=len(tasks)) as wave:
-            shipped = _shipped_job(job, wave="reduce")
-            num_chunks = (
-                executor.workers * CHUNKS_PER_WORKER
-                if executor.workers > 1
-                else 1
+            shipped = _shipped_job(job, wave="reduce", faults=policy.faults)
+            datas, attempts, summary = self._execute_wave(
+                wave="reduce",
+                items=tasks,
+                make_payload=lambda ts: (shipped, ts),
+                chunk_fn=_run_reduce_chunk,
+                executor=executor,
+                policy=policy,
+                task_label=lambda i: f"reduce-{tasks[i][0]}",
             )
-            payloads = [
-                (shipped, chunk) for chunk in _chunked(tasks, num_chunks)
-            ]
-            chunk_results = executor.map_chunks(_run_reduce_chunk, payloads)
             self._trace_dispatch(executor)
+            _annotate_wave(wave, summary)
             cursor = wave.start
-            for chunk_result in chunk_results:
-                for task_index, records_in, cdict, emitted, out, secs, events in (
-                    chunk_result
-                ):
-                    counters.merge_dict(cdict)
-                    stats.append(
-                        TaskStats(
-                            task_id=f"reduce-{task_index}",
-                            records_in=records_in,
-                            records_out=len(emitted) + len(out),
-                            seconds=secs,
-                        )
+            for i, data in enumerate(datas):
+                task_index, records_in, cdict, emitted, out, secs, events = data
+                counters.merge_dict(cdict)
+                stats.append(
+                    TaskStats(
+                        task_id=f"reduce-{task_index}",
+                        records_in=records_in,
+                        records_out=len(emitted) + len(out),
+                        seconds=secs,
+                        attempts=_final_attempts(attempts[i]),
                     )
-                    if tracer.enabled:
-                        cursor = self._trace_task(
-                            f"reduce-{task_index}", records_in,
-                            stats[-1].records_out, secs, events, cursor,
-                        )
-                    if progress is not None:
-                        progress.task_finished(
-                            "reduce", len(stats), len(tasks),
-                            records_in, stats[-1].records_out,
-                        )
-                    # Reduce emit() goes to the job output (no later stage).
-                    output.extend(v for _, v in emitted)
-                    output.extend(out)
-        return stats
+                )
+                if tracer.enabled:
+                    cursor = self._trace_task(
+                        f"reduce-{task_index}", records_in,
+                        stats[-1].records_out, secs, events, cursor,
+                        stats[-1].attempts,
+                    )
+                if progress is not None:
+                    progress.task_finished(
+                        "reduce", len(stats), len(tasks),
+                        records_in, stats[-1].records_out,
+                    )
+                # Reduce emit() goes to the job output (no later stage).
+                output.extend(v for _, v in emitted)
+                output.extend(out)
+        return stats, summary
 
     # ------------------------------------------------------------------
     # Trace plumbing. Task spans are laid out on a synthetic timeline —
     # cumulative CPU seconds from the wave's start, in split/bucket
     # order — so a wave reads like a schedule and serial/parallel runs
     # produce identical span sequences (timestamps are normalised away
-    # on comparison; see repro.observe.trace).
+    # on comparison; see repro.observe.trace). Attempt spans nest under
+    # their task span; speculative ones are volatile because which copy
+    # wins is timing-dependent by nature.
     # ------------------------------------------------------------------
     def _trace_task(
-        self, task_id, records_in, records_out, secs, events, cursor
+        self, task_id, records_in, records_out, secs, events, cursor,
+        attempts=(),
     ) -> float:
+        attrs = {"records_in": records_in, "records_out": records_out}
+        if attempts:
+            attrs["attempts"] = sum(
+                1 for a in attempts if not a.speculative
+            )
         span_id = self.tracer.add_span(
-            f"task:{task_id}",
-            "task",
-            cursor,
-            cursor + secs,
-            records_in=records_in,
-            records_out=records_out,
+            f"task:{task_id}", "task", cursor, cursor + secs, **attrs
         )
+        offset = cursor
+        for a in attempts:
+            start = offset + a.backoff_s
+            a_attrs = {"outcome": a.outcome}
+            if a.backoff_s:
+                a_attrs["backoff_s"] = round(a.backoff_s, 6)
+            if a.error:
+                a_attrs["error"] = a.error
+            self.tracer.add_span(
+                f"attempt:{task_id}#{a.attempt}", "attempt",
+                start, start + a.seconds,
+                parent_id=span_id, volatile=a.speculative, **a_attrs,
+            )
+            if not a.speculative:
+                offset = start + a.seconds
         for event in events:
             self.tracer.event(
                 event["name"], parent_id=span_id, **event["attrs"]
@@ -642,6 +1137,47 @@ class JobRunner:
             workers=executor.workers,
             **info,
         )
+
+
+def _new_summary() -> Dict[str, float]:
+    return {
+        "retries": 0,
+        "timeouts": 0,
+        "corrupt": 0,
+        "worker_lost": 0,
+        "crashes": 0,
+        "speculative": 0,
+        "faults_injected": 0,
+        "backoff_s": 0.0,
+    }
+
+
+def _merge_summary(into: Dict[str, float], other: Dict[str, float]) -> None:
+    for key, value in other.items():
+        into[key] = into.get(key, 0) + value
+
+
+def _annotate_wave(wave_span, summary: Dict[str, float]) -> None:
+    """Attach non-zero fault counts to the wave span.
+
+    These counts are plan-deterministic (the same faults fire on every
+    backend), so they are part of the normal — not volatile — trace.
+    """
+    for key in ("retries", "timeouts", "corrupt", "worker_lost",
+                "speculative"):
+        if summary.get(key):
+            wave_span.set(f"tasks_{key}", int(summary[key]))
+
+
+def _final_attempts(records: List[TaskAttempt]) -> List[TaskAttempt]:
+    """Attempt history worth keeping: anything beyond one clean success."""
+    if (
+        len(records) == 1
+        and records[0].outcome == "success"
+        and records[0].backoff_s == 0.0
+    ):
+        return []
+    return records
 
 
 def _sorted_items(

@@ -106,10 +106,25 @@ class Diagnosis:
         return "\n".join(lines)
 
 
+#: A partition is *retry-prone* when job history shows this many failed
+#: attempts against its map task.
+RETRY_PRONE_ATTEMPTS = 2
+
+
 def diagnose(
-    fs: Any, file_name: str, block_capacity: Optional[int] = None
+    fs: Any,
+    file_name: str,
+    block_capacity: Optional[int] = None,
+    history: Optional[Any] = None,
 ) -> Diagnosis:
-    """Diagnose the index of ``file_name`` on file system ``fs``."""
+    """Diagnose the index of ``file_name`` on file system ``fs``.
+
+    With a :class:`~repro.observe.history.JobHistory`, the doctor also
+    correlates retained attempt records against this file: partitions
+    whose map tasks keep failing or timing out get a *retry-prone*
+    finding, pointing at data (or partition sizing) that stresses the
+    fault-tolerance machinery.
+    """
     from repro.index.quality import measure_quality
 
     entry = fs.get(file_name)
@@ -227,6 +242,7 @@ def diagnose(
                 data={"replication": round(quality.replication, 4)},
             )
         )
+    findings.extend(_retry_prone_findings(file_name, history))
     return Diagnosis(
         file=file_name,
         technique=quality.technique,
@@ -234,3 +250,51 @@ def diagnose(
         quality=quality,
         findings=findings,
     )
+
+
+def _retry_prone_findings(file_name: str, history: Any) -> List[Finding]:
+    """Partitions whose map tasks keep failing, per retained job history.
+
+    Map task IDs are ``map-<block index>``, so attempt records correlate
+    directly with the diagnosed file's partitions. Only jobs that read
+    ``file_name`` count, and only failed, non-speculative attempts
+    (crash / timeout / corrupt / worker-lost) accumulate.
+    """
+    if history is None:
+        return []
+    failures: Dict[int, Dict[str, int]] = {}
+    for rec in history:
+        if file_name not in getattr(rec, "input_files", []):
+            continue
+        for task in rec.map_tasks:
+            for a in getattr(task, "attempts", None) or []:
+                if a.speculative or a.outcome == "success":
+                    continue
+                try:
+                    partition = int(task.task_id.rsplit("-", 1)[1])
+                except (IndexError, ValueError):
+                    continue
+                per = failures.setdefault(partition, {})
+                per[a.outcome] = per.get(a.outcome, 0) + 1
+    findings = []
+    for partition in sorted(failures):
+        per = failures[partition]
+        total = sum(per.values())
+        if total < RETRY_PRONE_ATTEMPTS:
+            continue
+        breakdown = ", ".join(
+            f"{count}x {outcome}" for outcome, count in sorted(per.items())
+        )
+        findings.append(
+            Finding(
+                severity="warning",
+                code="retry-prone-partition",
+                message=(
+                    f"its map task failed {total} attempt(s) across "
+                    f"retained job history ({breakdown})"
+                ),
+                partition=partition,
+                data={"failed_attempts": total, "outcomes": dict(per)},
+            )
+        )
+    return findings

@@ -315,6 +315,14 @@ def annotate_plan(
                 ),
             }
         )
+        fault = getattr(job, "fault_summary", None) or {}
+        for summary_key, actual_key in (
+            ("retries", "tasks_retried"),
+            ("speculative", "tasks_speculative"),
+            ("timeouts", "tasks_timed_out"),
+        ):
+            if fault.get(summary_key):
+                node.actual[actual_key] = int(fault[summary_key])
         if i < len(job_spans):
             node.actual["wall_s"] = job_spans[i]["dur"]
             node.actual["cpu_s"] = job_cpu.get(job_spans[i]["id"], 0.0)

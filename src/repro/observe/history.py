@@ -39,6 +39,12 @@ class JobRecord:
     reduce_tasks: List[TaskStats] = field(default_factory=list)
     #: Simulated-cost breakdown: overhead / map / shuffle / reduce / total.
     cost: Dict[str, float] = field(default_factory=dict)
+    #: Fault-tolerance activity (see JobResult.fault_summary); empty for
+    #: clean runs and for records pickled before fault tolerance existed.
+    fault_summary: Dict[str, float] = field(default_factory=dict)
+    #: The job's input files — lets the doctor map retry-prone tasks back
+    #: to the partitions of a diagnosed index.
+    input_files: List[str] = field(default_factory=list)
 
     @property
     def pruning_ratio(self) -> Optional[float]:
@@ -66,6 +72,16 @@ class JobRecord:
         )
         return hist
 
+    def tasks_with_attempts(self) -> List[TaskStats]:
+        """Tasks whose attempt history is non-trivial (retried, timed
+        out, speculated ...), across both waves. ``getattr`` keeps
+        records pickled before fault tolerance existed loading."""
+        return [
+            t
+            for t in self.map_tasks + self.reduce_tasks
+            if getattr(t, "attempts", None)
+        ]
+
 
 class JobHistory:
     """Bounded, ordered store of :class:`JobRecord` entries."""
@@ -81,6 +97,7 @@ class JobHistory:
         name: str,
         result: Any,
         cost: Optional[Dict[str, float]] = None,
+        input_files: Optional[List[str]] = None,
     ) -> JobRecord:
         """Append one finished :class:`JobResult` under ``name``."""
         rec = JobRecord(
@@ -91,6 +108,8 @@ class JobHistory:
             map_tasks=list(result.map_tasks),
             reduce_tasks=list(result.reduce_tasks),
             cost=dict(cost or {}),
+            fault_summary=dict(getattr(result, "fault_summary", {}) or {}),
+            input_files=list(input_files or []),
         )
         self._next_id += 1
         self._records.append(rec)
@@ -178,6 +197,28 @@ class JobHistory:
                 lines.append(f"    stragglers: {names}")
             else:
                 lines.append("    stragglers: none")
+
+        retried = rec.tasks_with_attempts()
+        if retried:
+            lines.append(f"  attempts ({len(retried)} task(s) with history):")
+            lines.append(
+                "    task-id          attempt  outcome           "
+                "backoff-s     seconds"
+            )
+            for t in retried:
+                for a in t.attempts:
+                    marker = " (speculative)" if a.speculative else ""
+                    lines.append(
+                        f"    {t.task_id:<16} {a.attempt:>7d}  "
+                        f"{a.outcome + marker:<17} "
+                        f"{a.backoff_s:>9.3f}  {a.seconds:>10.6f}"
+                    )
+        fault = getattr(rec, "fault_summary", None)
+        if fault:
+            parts = ", ".join(
+                f"{key}={value:g}" for key, value in sorted(fault.items())
+            )
+            lines.append(f"  fault summary: {parts}")
 
         hist = rec.duration_histogram()
         lines.append(

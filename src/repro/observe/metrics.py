@@ -30,6 +30,12 @@ SHUFFLE_BYTES_BUCKETS: Tuple[float, ...] = (
     1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20
 )
 
+#: Retry-backoff boundaries (simulated seconds): the schedule is capped
+#: exponential from ~0.5 s, so a sparse doubling grid covers it.
+BACKOFF_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0
+)
+
 
 class Histogram:
     """A fixed-boundary histogram (counts per bucket + sum + count)."""

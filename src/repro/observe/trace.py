@@ -82,6 +82,7 @@ class NullTracer:
         start: float,
         end: float,
         volatile: bool = False,
+        parent_id: Optional[int] = None,
         **attrs: Any,
     ) -> int:
         return 0
@@ -182,16 +183,23 @@ class Tracer(NullTracer):
         start: float,
         end: float,
         volatile: bool = False,
+        parent_id: Optional[int] = None,
         **attrs: Any,
     ) -> int:
-        """Record a closed span with caller-supplied times (task spans)."""
+        """Record a closed span with caller-supplied times (task spans).
+
+        ``parent_id`` overrides the currently-open span as the parent —
+        used for attempt spans, whose parent task span is itself created
+        with :meth:`add_span` and therefore never on the open stack.
+        """
         span_id = self._next_id
         self._next_id += 1
         self._records.append(
             {
                 "type": "span",
                 "id": span_id,
-                "parent": self._current_parent(),
+                "parent": parent_id if parent_id is not None
+                else self._current_parent(),
                 "name": name,
                 "kind": kind,
                 "ts": start,

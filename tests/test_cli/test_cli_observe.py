@@ -135,3 +135,75 @@ class TestHistoryCommand:
         out = capsys.readouterr().out
         assert "range-spatial(idx)" in out
         assert "sample(pts)" not in out
+
+
+class TestFaultFlags:
+    WINDOW = ("--window", "0,0,1000000,1000000")
+
+    def test_faults_flag_injects_and_retries(self, indexed_ws, capsys):
+        clean = run(indexed_ws, "rangequery", "idx", *self.WINDOW)
+        clean_out = capsys.readouterr().out
+        code = run(
+            indexed_ws,
+            "--faults", "crash:map:0,crash:map:1",
+            "rangequery", "idx", *self.WINDOW,
+        )
+        out = capsys.readouterr().out
+        assert clean == code == 0
+        # Same answer line; only the cost line (makespan) may differ.
+        assert out.splitlines()[0] == clean_out.splitlines()[0]
+        capsys.readouterr()
+        assert run(indexed_ws, "history", "--last", "1") == 0
+        report = capsys.readouterr().out
+        assert "fault summary:" in report
+        assert "crash" in report
+
+    def test_fault_plan_is_not_persisted(self, indexed_ws, capsys):
+        run(
+            indexed_ws,
+            "--faults", "crash:map:0",
+            "rangequery", "idx", *self.WINDOW,
+        )
+        capsys.readouterr()
+        # The next invocation loads the saved workspace: no plan rides in.
+        import pickle
+
+        sh = pickle.load(open(indexed_ws, "rb"))
+        assert sh.runner.faults is None
+
+    def test_bad_faults_spec_errors_out(self, indexed_ws, capsys):
+        assert run(
+            indexed_ws, "--faults", "nonsense",
+            "rangequery", "idx", *self.WINDOW,
+        ) == 1
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_bad_max_attempts_errors_out(self, indexed_ws, capsys):
+        assert run(
+            indexed_ws, "--max-attempts", "0",
+            "rangequery", "idx", *self.WINDOW,
+        ) == 1
+        assert "--max-attempts" in capsys.readouterr().err
+
+    def test_max_attempts_bounds_retries(self, indexed_ws, capsys):
+        # Every attempt of map task 0 crashes: the job must fail.
+        code = run(
+            indexed_ws,
+            "--faults", "crash:map:0:*", "--max-attempts", "2",
+            "rangequery", "idx", *self.WINDOW,
+        )
+        capsys.readouterr()
+        assert code == 1
+
+    def test_speculative_and_timeout_flags_apply(self, indexed_ws, capsys):
+        code = run(
+            indexed_ws,
+            "--faults", "hang:map:0:0:30",
+            "--task-timeout", "10", "--speculative",
+            "rangequery", "idx", *self.WINDOW,
+        )
+        assert code == 0
+        capsys.readouterr()
+        run(indexed_ws, "history", "--last", "1")
+        report = capsys.readouterr().out
+        assert "timeouts=1" in report

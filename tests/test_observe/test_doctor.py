@@ -77,3 +77,56 @@ class TestDiagnose:
         text = sh.doctor("idx").render()
         assert "partition sizes: min" in text
         assert "index doctor: idx" in text
+
+
+class TestRetryProneFindings:
+    def test_retry_prone_partition_flagged(self):
+        # crash:map:0 on first attempts: partition 0's map task fails
+        # once per query; two queries cross the >= 2 threshold.
+        sh = make_system()
+        sh.load("pts", generate_points(500, "uniform", seed=4))
+        sh.index("pts", "idx", technique="str")
+        sh.runner.set_faults("crash:map:0")
+        from repro.geometry import Rectangle
+
+        window = Rectangle(0, 0, 5e5, 5e5)
+        sh.range_query("idx", window)
+        sh.range_query("idx", window)
+        d = sh.doctor("idx")
+        flagged = [
+            f for f in d.findings if f.code == "retry-prone-partition"
+        ]
+        assert len(flagged) == 1
+        assert flagged[0].partition == 0
+        assert flagged[0].data["failed_attempts"] == 2
+        assert flagged[0].data["outcomes"] == {"crash": 2}
+        assert "failed 2 attempt(s)" in flagged[0].message
+
+    def test_one_failure_stays_quiet(self):
+        sh = make_system()
+        sh.load("pts", generate_points(500, "uniform", seed=4))
+        sh.index("pts", "idx", technique="str")
+        sh.runner.set_faults("crash:map:0")
+        from repro.geometry import Rectangle
+
+        sh.range_query("idx", Rectangle(0, 0, 5e5, 5e5))
+        d = sh.doctor("idx")
+        assert not any(
+            f.code == "retry-prone-partition" for f in d.findings
+        )
+
+    def test_other_files_history_is_ignored(self):
+        sh = make_system()
+        sh.load("pts", generate_points(500, "uniform", seed=4))
+        sh.index("pts", "idx", technique="str")
+        sh.index("pts", "idx2", technique="grid")
+        sh.runner.set_faults("crash:map:0")
+        from repro.geometry import Rectangle
+
+        window = Rectangle(0, 0, 5e5, 5e5)
+        sh.range_query("idx2", window)
+        sh.range_query("idx2", window)
+        d = sh.doctor("idx")  # idx itself never failed
+        assert not any(
+            f.code == "retry-prone-partition" for f in d.findings
+        )

@@ -196,3 +196,26 @@ class TestExplainPigeon:
         assert nodes["FILTER b"].actual["rounds"] == 1
         assert nodes["UNARYOPERATION s"].actual["output_rows"] > 0
         json.loads(e.to_json())
+
+
+class TestAnalyzeFaultActuals:
+    def test_retries_surface_in_job_actuals(self):
+        sh = make_system(technique="str")
+        sh.runner.set_faults("crash:map:0,hang:map:1:0:30")
+        sh.runner.task_timeout = 10.0
+        e = sh.analyze("range pts_idx 0,0,1000000,1000000")
+        jobs = e.plan.find("job")
+        assert jobs
+        merged = {}
+        for j in jobs:
+            for key in ("tasks_retried", "tasks_timed_out"):
+                merged[key] = merged.get(key, 0) + j.actual.get(key, 0)
+        assert merged["tasks_retried"] >= 2
+        assert merged["tasks_timed_out"] >= 1
+
+    def test_clean_runs_omit_fault_actuals(self):
+        sh = make_system(technique="str")
+        e = sh.analyze("range pts_idx 0,0,90000,90000")
+        for j in e.plan.find("job"):
+            assert "tasks_retried" not in j.actual
+            assert "tasks_speculative" not in j.actual
