@@ -28,7 +28,6 @@ report of the jobs the workspace has run.
 from __future__ import annotations
 
 import argparse
-import pickle
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -36,6 +35,11 @@ from typing import List, Optional
 from repro import SpatialHadoop
 from repro.core.result import OperationResult
 from repro.core.splitter import global_index_of
+from repro.core.workspace import (
+    WorkspaceError,
+    load_workspace,
+    save_workspace,
+)
 from repro.datagen import generate_points, generate_polygons, generate_rectangles
 from repro.geometry import Point, Rectangle
 from repro.index.build import PARTITIONERS
@@ -43,17 +47,14 @@ from repro.index.build import PARTITIONERS
 
 def _load_workspace(path: Path, num_nodes: int) -> SpatialHadoop:
     if path.exists():
-        with path.open("rb") as fh:
-            sh = pickle.load(fh)
-        if not isinstance(sh, SpatialHadoop):
-            raise SystemExit(f"{path} is not a repro workspace")
-        return sh
+        # Structured errors (corrupt / truncated / wrong type / newer
+        # format) surface as a clean message, never a pickle traceback.
+        return load_workspace(path, expected_type=SpatialHadoop)
     return SpatialHadoop(num_nodes=num_nodes, job_overhead_s=0.05)
 
 
 def _save_workspace(sh: SpatialHadoop, path: Path) -> None:
-    with path.open("wb") as fh:
-        pickle.dump(sh, fh)
+    save_workspace(sh, path)
 
 
 def _parse_window(text: str) -> Rectangle:
@@ -252,6 +253,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-capacity", type=int, default=None)
 
     p = sub.add_parser(
+        "fsck",
+        help="verify block checksums, replica health and index integrity",
+    )
+    p.add_argument(
+        "--repair", action="store_true",
+        help="re-replicate corrupt/under-replicated blocks and rebuild "
+             "damaged local indexes from surviving replicas",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text report)",
+    )
+
+    p = sub.add_parser(
         "history", help="render the job-history report for this workspace"
     )
     p.add_argument(
@@ -267,9 +282,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.nodes <= 0:
+        print("error: --nodes must be a positive integer", file=sys.stderr)
+        return 1
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 1
     path = Path(args.workspace)
     try:
         sh = _load_workspace(path, args.nodes)
+    except WorkspaceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ValueError as exc:  # e.g. a malformed REPRO_WORKERS value
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -540,6 +564,17 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
             )
             print(f"wrote {fmt} heatmap to {args.heatmap}", file=sys.stderr)
         return False
+
+    if cmd == "fsck":
+        report = sh.fsck(repair=args.repair)
+        if args.format == "json":
+            import json
+
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        # fsck always mutates history; --repair also heals the fs.
+        return True
 
     if cmd == "history":
         print(sh.history.report(last=args.last), end="")

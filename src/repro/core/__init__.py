@@ -25,14 +25,28 @@ from repro.core.splitter import (
 )
 from repro.core.reader import local_index_of, spatial_reader
 from repro.core.system import SpatialHadoop
+from repro.core.workspace import (
+    WorkspaceCorruptError,
+    WorkspaceError,
+    WorkspaceTypeError,
+    WorkspaceVersionError,
+    load_workspace,
+    save_workspace,
+)
 
 __all__ = [
     "Feature",
     "OperationResult",
     "SpatialHadoop",
+    "WorkspaceCorruptError",
+    "WorkspaceError",
+    "WorkspaceTypeError",
+    "WorkspaceVersionError",
     "every_partition",
+    "load_workspace",
     "local_index_of",
     "overlapping_filter",
+    "save_workspace",
     "spatial_reader",
     "spatial_splitter",
 ]

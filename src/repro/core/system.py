@@ -22,8 +22,10 @@ from typing import TYPE_CHECKING, Any, Iterable, List, Optional
 
 from repro.core.result import OperationResult
 from repro.geometry import Point, Rectangle
+from repro.geometry.wkt import WKTParseError, parse_wkt
 from repro.index.build import IndexBuildResult, build_index
 from repro.mapreduce import ClusterModel, FileSystem, JobRunner
+from repro.mapreduce.storage import FsckReport, run_fsck
 from repro.observe import JobHistory, MetricsRegistry, NullTracer, Tracer
 
 if TYPE_CHECKING:  # lazy imports below avoid the observe -> explain cycle
@@ -44,6 +46,7 @@ class SpatialHadoop:
         task_timeout: Optional[float] = None,
         speculative: bool = False,
         faults: Any = None,
+        replication: int = 3,
     ):
         """``workers`` picks the execution backend: 1 (default) runs tasks
         serially in-process; >1 runs each map/reduce wave across that many
@@ -54,8 +57,17 @@ class SpatialHadoop:
         ``max_attempts``, ``task_timeout``, ``speculative`` and ``faults``
         configure the fault-tolerance layer (see :class:`JobRunner`);
         ``faults`` accepts a :class:`~repro.mapreduce.FaultPlan` or a spec
-        string and defaults to ``$REPRO_FAULTS``."""
-        self.fs = FileSystem(default_block_capacity=block_capacity)
+        string and defaults to ``$REPRO_FAULTS``.
+
+        ``replication`` is the HDFS-style replica count: every block is
+        checksummed and placed as (up to) that many copies across the
+        cluster's datanodes, so reads survive ``losenode`` /
+        ``corruptblock`` faults (see :meth:`fsck`)."""
+        self.fs = FileSystem(
+            default_block_capacity=block_capacity,
+            num_datanodes=num_nodes,
+            replication=replication,
+        )
         self.cluster = ClusterModel(
             num_nodes=num_nodes, job_overhead_s=job_overhead_s
         )
@@ -170,9 +182,48 @@ class SpatialHadoop:
         name: str,
         records: Iterable[Any],
         block_capacity: Optional[int] = None,
+        on_bad_record: str = "raise",
     ) -> None:
-        """Upload records as a heap file (plain Hadoop loader)."""
-        self.fs.create_file(name, records, block_capacity=block_capacity)
+        """Upload records as a heap file (plain Hadoop loader).
+
+        String records are parsed as WKT. ``on_bad_record`` picks the
+        ingest policy for malformed text:
+
+        * ``"raise"`` (default) — the first bad record aborts the load
+          with a :class:`~repro.geometry.wkt.WKTParseError`;
+        * ``"skip"`` — bad records are dropped and counted in the
+          workspace-level ``BAD_RECORDS_SKIPPED`` metric;
+        * ``"quarantine"`` — like ``skip``, but the offending raw texts
+          are also written to a ``<name>.quarantine`` side file for
+          later inspection.
+        """
+        if on_bad_record not in ("raise", "skip", "quarantine"):
+            raise ValueError(
+                "on_bad_record must be 'raise', 'skip' or 'quarantine', "
+                f"not {on_bad_record!r}"
+            )
+        quarantined: List[str] = []
+
+        def parsed():
+            for record in records:
+                if not isinstance(record, str):
+                    yield record
+                    continue
+                try:
+                    yield parse_wkt(record)
+                except WKTParseError:
+                    if on_bad_record == "raise":
+                        raise
+                    quarantined.append(record)
+
+        self.fs.create_file(name, parsed(), block_capacity=block_capacity)
+        if quarantined:
+            self.metrics.inc("BAD_RECORDS_SKIPPED", len(quarantined))
+            if on_bad_record == "quarantine":
+                side = f"{name}.quarantine"
+                if self.fs.exists(side):
+                    self.fs.delete(side)
+                self.fs.create_file(side, quarantined)
 
     def index(
         self,
@@ -189,6 +240,22 @@ class SpatialHadoop:
     def records(self, name: str) -> List[Any]:
         """Full contents of a file (test/debug helper)."""
         return self.fs.read_records(name)
+
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Verify (and optionally repair) every file's storage health.
+
+        Walks all blocks checking payload checksums, replica placement
+        and local/global-index integrity, exactly like ``hdfs fsck``.
+        With ``repair=True``, corrupt and under-replicated blocks are
+        re-replicated from surviving healthy copies and damaged local
+        indexes are rebuilt from the block's records. The run is
+        recorded in the job-history report and the
+        ``FSCK_RUNS`` / ``BLOCKS_CORRUPT_DETECTED`` /
+        ``REPLICAS_REPAIRED`` metrics.
+        """
+        report = run_fsck(self.fs, repair=repair, metrics=self.metrics)
+        self.history.record_fsck(report.summary())
+        return report
 
     # ------------------------------------------------------------------
     # Operations layer. Each method dispatches to the Hadoop variant for

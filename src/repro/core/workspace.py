@@ -1,0 +1,168 @@
+"""Atomic, versioned, checksummed workspace persistence.
+
+A workspace file holds a pickled :class:`~repro.core.system.SpatialHadoop`
+instance — the whole simulated HDFS plus its job history and metrics. A
+bare ``pickle.dump`` over the destination is fragile in exactly the ways
+HDFS's edit log is not: a crash mid-write leaves a truncated file, a
+flipped byte produces an opaque ``UnpicklingError`` pages deep in the
+pickle machinery, and nothing says which tool or version wrote the file.
+
+Format v2 wraps the pickle payload in a small header::
+
+    REPROWS\\n | version (u8) | payload crc32 (u32 BE) | payload length (u64 BE) | payload
+
+and writes atomically: serialise to a temp file in the destination
+directory, flush + ``fsync``, then ``os.replace`` over the target — so a
+reader never observes a half-written workspace. Loading verifies magic,
+version, length and CRC before unpickling and raises a structured
+:class:`WorkspaceError` subclass (never a raw ``UnpicklingError``).
+
+Files written by earlier releases (plain pickles, no header) still load:
+anything that does not start with the magic falls back to the legacy
+path, preserving backward compatibility.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Optional, Type
+
+MAGIC = b"REPROWS\n"
+FORMAT_VERSION = 2
+#: Header after the magic: version (u8), payload CRC-32 (u32), length (u64).
+_HEADER = struct.Struct(">BIQ")
+
+
+class WorkspaceError(Exception):
+    """Base class for workspace persistence failures."""
+
+
+class WorkspaceCorruptError(WorkspaceError):
+    """The file is truncated, bit-flipped, or otherwise unreadable."""
+
+
+class WorkspaceVersionError(WorkspaceError):
+    """The file declares a format version this release cannot read."""
+
+
+class WorkspaceTypeError(WorkspaceError):
+    """The file decoded cleanly but does not contain a workspace object."""
+
+
+def save_workspace(sh: Any, path: Path) -> None:
+    """Atomically persist ``sh`` to ``path`` in format v2.
+
+    The payload is pickled to a sibling temp file, fsynced, then renamed
+    over the destination, so a crash at any point leaves either the old
+    workspace or the new one — never a torn file.
+    """
+    path = Path(path)
+    payload = pickle.dumps(sh, protocol=pickle.HIGHEST_PROTOCOL)
+    header = MAGIC + _HEADER.pack(
+        FORMAT_VERSION, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    fd = os.open(str(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(header)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(str(tmp), str(path))
+    except BaseException:
+        try:
+            os.unlink(str(tmp))
+        except OSError:
+            pass
+        raise
+
+
+def load_workspace(
+    path: Path, expected_type: Optional[Type] = None
+) -> Any:
+    """Load a workspace from ``path``, verifying header and checksum.
+
+    Accepts both format-v2 files and legacy headerless pickles. Raises
+    :class:`WorkspaceCorruptError` on truncation/bit-rot,
+    :class:`WorkspaceVersionError` on an unknown format version, and
+    :class:`WorkspaceTypeError` when the decoded object is not an
+    instance of ``expected_type``.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise WorkspaceError(f"cannot read workspace {path}: {exc}") from exc
+
+    if raw.startswith(MAGIC):
+        obj = _load_v2(path, raw)
+    else:
+        obj = _load_legacy(path, raw)
+
+    if expected_type is not None and not isinstance(obj, expected_type):
+        raise WorkspaceTypeError(
+            f"{path} is not a repro workspace "
+            f"(contains {type(obj).__name__})"
+        )
+    return obj
+
+
+def _load_v2(path: Path, raw: bytes) -> Any:
+    header_end = len(MAGIC) + _HEADER.size
+    if len(raw) < header_end:
+        raise WorkspaceCorruptError(
+            f"workspace {path} is truncated (incomplete header)"
+        )
+    version, crc, length = _HEADER.unpack(raw[len(MAGIC):header_end])
+    if version > FORMAT_VERSION:
+        raise WorkspaceVersionError(
+            f"workspace {path} uses format v{version}; this release "
+            f"reads up to v{FORMAT_VERSION}"
+        )
+    payload = raw[header_end:]
+    if len(payload) != length:
+        raise WorkspaceCorruptError(
+            f"workspace {path} is truncated: header promises {length} "
+            f"payload bytes, file has {len(payload)}"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise WorkspaceCorruptError(
+            f"workspace {path} failed its checksum — the file is "
+            "corrupt (run 'repro fsck --repair' after restoring a "
+            "good copy, or recreate the workspace)"
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise WorkspaceCorruptError(
+            f"workspace {path} passed its checksum but failed to "
+            f"decode ({type(exc).__name__}: {exc}); it was likely "
+            "written by an incompatible release"
+        ) from exc
+
+
+def _load_legacy(path: Path, raw: bytes) -> Any:
+    # Pre-v2 files are bare pickles with no integrity data; decode
+    # failures here mean truncation or corruption we cannot distinguish.
+    try:
+        return pickle.loads(raw)
+    except Exception as exc:
+        raise WorkspaceCorruptError(
+            f"workspace {path} is corrupt or truncated "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def is_workspace_file(path: Path) -> bool:
+    """Cheap sniff: does ``path`` start with the v2 magic?"""
+    try:
+        with io.open(path, "rb") as fh:
+            return fh.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False

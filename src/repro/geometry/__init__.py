@@ -23,7 +23,7 @@ from repro.geometry.segment import (
 )
 from repro.geometry.linestring import LineString
 from repro.geometry.polygon import Polygon
-from repro.geometry.wkt import parse_wkt, to_wkt
+from repro.geometry.wkt import WKTParseError, parse_wkt, to_wkt
 
 from repro.geometry.algorithms.convex_hull import convex_hull
 from repro.geometry.algorithms.closest_pair import closest_pair
@@ -43,6 +43,7 @@ __all__ = [
     "point_on_segment",
     "segments_intersect",
     "segment_intersection",
+    "WKTParseError",
     "parse_wkt",
     "to_wkt",
     "convex_hull",

@@ -3,6 +3,11 @@
 Supports the shapes the library defines: ``POINT``, ``LINESTRING``,
 ``POLYGON`` (single ring) and the library-specific ``RECT`` shorthand the
 real SpatialHadoop also uses for its rectangle text format.
+
+Malformed input raises :class:`WKTParseError` (a ``ValueError`` subclass)
+carrying the offending text and the character offset where parsing gave
+up, so ingest pipelines can report — or quarantine — bad records
+precisely instead of dying on a bare ``ValueError`` or ``IndexError``.
 """
 
 from __future__ import annotations
@@ -16,6 +21,24 @@ from repro.geometry.polygon import Polygon
 from repro.geometry.rectangle import Rectangle
 
 Shape = Union[Point, Rectangle, LineString, Polygon]
+
+
+class WKTParseError(ValueError):
+    """Malformed WKT input.
+
+    ``text`` is the full offending input; ``offset`` the character index
+    where parsing failed (0 when the overall shape tag is unrecognised).
+    """
+
+    def __init__(self, message: str, text: str = "", offset: int = 0):
+        super().__init__(message)
+        self.text = text
+        self.offset = offset
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        return f"{base} (at offset {self.offset})"
+
 
 _NUMBER = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?"
 _POINT_RE = re.compile(
@@ -34,36 +57,67 @@ _POLYGON_RE = re.compile(
 )
 
 
-def _parse_coords(body: str) -> List[Point]:
+def _parse_coords(body: str, text: str, body_offset: int) -> List[Point]:
     points = []
+    cursor = 0
     for token in body.split(","):
+        offset = body_offset + cursor
+        cursor += len(token) + 1  # the comma the split consumed
         parts = token.split()
         if len(parts) != 2:
-            raise ValueError(f"bad coordinate pair: {token!r}")
-        points.append(Point(float(parts[0]), float(parts[1])))
+            raise WKTParseError(
+                f"bad coordinate pair: {token.strip()!r}",
+                text=text,
+                offset=offset,
+            )
+        try:
+            points.append(Point(float(parts[0]), float(parts[1])))
+        except ValueError:
+            raise WKTParseError(
+                f"non-numeric coordinate in {token.strip()!r}",
+                text=text,
+                offset=offset,
+            ) from None
     return points
 
 
 def parse_wkt(text: str) -> Shape:
     """Parse a WKT string into the corresponding shape.
 
-    Raises ``ValueError`` for unsupported or malformed input.
+    Raises :class:`WKTParseError` for unsupported or malformed input.
     """
-    m = _POINT_RE.match(text)
-    if m:
-        return Point(float(m.group(1)), float(m.group(2)))
-    m = _RECT_RE.match(text)
-    if m:
-        return Rectangle(
-            float(m.group(1)), float(m.group(2)), float(m.group(3)), float(m.group(4))
+    if not isinstance(text, str):
+        raise WKTParseError(
+            f"WKT input must be a string, not {type(text).__name__}"
         )
-    m = _LINESTRING_RE.match(text)
-    if m:
-        return LineString(_parse_coords(m.group(1)))
-    m = _POLYGON_RE.match(text)
-    if m:
-        return Polygon(_parse_coords(m.group(1)))
-    raise ValueError(f"unsupported WKT: {text[:60]!r}")
+    try:
+        m = _POINT_RE.match(text)
+        if m:
+            return Point(float(m.group(1)), float(m.group(2)))
+        m = _RECT_RE.match(text)
+        if m:
+            return Rectangle(
+                float(m.group(1)),
+                float(m.group(2)),
+                float(m.group(3)),
+                float(m.group(4)),
+            )
+        m = _LINESTRING_RE.match(text)
+        if m:
+            points = _parse_coords(m.group(1), text, m.start(1))
+            return LineString(points)
+        m = _POLYGON_RE.match(text)
+        if m:
+            points = _parse_coords(m.group(1), text, m.start(1))
+            return Polygon(points)
+    except WKTParseError:
+        raise
+    except (ValueError, IndexError) as exc:
+        # Shape constructors validate their inputs (e.g. a polygon needs
+        # >= 3 vertices); surface those as parse errors too so nothing
+        # bare escapes this function.
+        raise WKTParseError(str(exc), text=text) from None
+    raise WKTParseError(f"unsupported WKT: {text[:60]!r}", text=text)
 
 
 def to_wkt(shape: Shape) -> str:

@@ -40,16 +40,27 @@ from repro.mapreduce.faults import (
     FaultSpec,
     InjectedFault,
     RandomFaults,
+    StorageFault,
     TaskCorrupted,
     TaskTimeoutError,
     WorkerKilled,
     retry_backoff,
+)
+from repro.mapreduce.storage import (
+    BlockUnavailableError,
+    FsckIssue,
+    FsckReport,
+    Replica,
+    StorageError,
+    StorageManager,
+    run_fsck,
 )
 from repro.mapreduce.job import Job, MapContext, ReduceContext
 from repro.mapreduce.runtime import JobResult, JobRunner
 
 __all__ = [
     "Block",
+    "BlockUnavailableError",
     "ClusterModel",
     "Counter",
     "Counters",
@@ -58,6 +69,8 @@ __all__ = [
     "FaultSpec",
     "FileEntry",
     "FileSystem",
+    "FsckIssue",
+    "FsckReport",
     "InjectedFault",
     "InputSplit",
     "Job",
@@ -67,7 +80,11 @@ __all__ = [
     "ParallelExecutor",
     "RandomFaults",
     "ReduceContext",
+    "Replica",
     "SerialExecutor",
+    "StorageError",
+    "StorageFault",
+    "StorageManager",
     "TaskAttempt",
     "TaskCorrupted",
     "TaskStats",
@@ -76,4 +93,5 @@ __all__ = [
     "make_executor",
     "resolve_workers",
     "retry_backoff",
+    "run_fsck",
 ]

@@ -22,6 +22,19 @@ Plans are seeded and stateless: the same plan produces the same faults on
 every run and on every backend, which is what lets the chaos tests assert
 bit-identical output against a fault-free run.
 
+Beyond task faults, plans can script *storage* faults against the
+durable storage layer (:mod:`repro.mapreduce.storage`):
+
+* ``losenode:<node>``   — datanode ``node`` dies; the namenode
+  re-replicates the blocks it held, charged to the simulated makespan,
+* ``corruptblock:<file>:<block>[:<replica>]`` — one stored copy of a
+  block starts failing its checksum; reads fail over to a healthy
+  replica.
+
+Storage faults fire at most once each, at the start of the first job
+that runs after their target exists (a ``corruptblock`` against a file
+not yet written waits for it).
+
 Plans are built programmatically, parsed from a compact spec string
 (``--faults`` / ``REPRO_FAULTS``), or both::
 
@@ -31,9 +44,13 @@ Plans are built programmatically, parsed from a compact spec string
     hang:reduce:0:0:30          # reduce task 0's first attempt +30 CPU s
     corrupt:map:*               # every map task's first result is garbage
     random:crash:0.05:42        # every attempt crashes with p=0.05, seed 42
+    losenode:3                  # datanode 3 dies (blocks re-replicate)
+    corruptblock:pts_idx:0      # replica 0 of block 0 of 'pts_idx' rots
+    corruptblock:pts_idx:2:1    # replica 1 of block 2 of 'pts_idx' rots
 
-Entries are comma-separated; fields are ``kind:wave:task[:attempt[:arg]]``
-with ``*`` (or ``-1``) as a wildcard for wave/task/attempt.
+Entries are comma-separated; task-fault fields are
+``kind:wave:task[:attempt[:arg]]`` with ``*`` (or ``-1``) as a wildcard
+for wave/task/attempt.
 """
 
 from __future__ import annotations
@@ -47,8 +64,11 @@ from typing import List, Optional, Tuple
 #: Environment variable holding a fault-plan spec (chaos CI hook).
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 
-#: Recognised fault kinds.
+#: Recognised task-attempt fault kinds.
 FAULT_KINDS = ("crash", "hang", "corrupt", "kill")
+
+#: Recognised storage fault kinds (see repro.mapreduce.storage).
+STORAGE_FAULT_KINDS = ("losenode", "corruptblock")
 
 #: CPU seconds a ``hang`` fault adds when the spec gives no explicit arg.
 DEFAULT_HANG_SECONDS = 30.0
@@ -137,6 +157,44 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class StorageFault:
+    """One scripted storage event: a datanode loss or a replica rot.
+
+    ``losenode`` uses ``node``; ``corruptblock`` uses ``file`` / ``block``
+    / ``replica``. Each storage fault fires at most once, at the start of
+    the first job that runs after its target exists.
+    """
+
+    kind: str
+    node: int = -1
+    file: str = ""
+    block: int = -1
+    replica: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORAGE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown storage fault kind {self.kind!r}; expected one "
+                f"of {', '.join(STORAGE_FAULT_KINDS)}"
+            )
+        if self.kind == "losenode" and self.node < 0:
+            raise ValueError("losenode needs a non-negative node index")
+        if self.kind == "corruptblock":
+            if not self.file:
+                raise ValueError("corruptblock needs a file name")
+            if self.block < 0 or self.replica < 0:
+                raise ValueError(
+                    "corruptblock needs non-negative block/replica indexes"
+                )
+
+    def describe(self) -> str:
+        if self.kind == "losenode":
+            return f"losenode:{self.node}"
+        spec = f"corruptblock:{self.file}:{self.block}"
+        return spec + (f":{self.replica}" if self.replica else "")
+
+
+@dataclass(frozen=True)
 class RandomFaults:
     """Seeded background fault rate: each attempt fails with ``rate``.
 
@@ -174,6 +232,7 @@ class FaultPlan:
     specs: Tuple[FaultSpec, ...] = ()
     random: Tuple[RandomFaults, ...] = ()
     seed: int = 0
+    storage: Tuple[StorageFault, ...] = ()
 
     @classmethod
     def parse(cls, text: str) -> Optional["FaultPlan"]:
@@ -184,6 +243,7 @@ class FaultPlan:
         """
         specs: List[FaultSpec] = []
         random: List[RandomFaults] = []
+        storage: List[StorageFault] = []
         seed = 0
         for raw in text.split(","):
             entry = raw.strip()
@@ -193,6 +253,36 @@ class FaultPlan:
             head = fields[0].lower()
             if head == "seed":
                 seed = _int_field(entry, fields, 1, "seed")
+                continue
+            if head == "losenode":
+                if len(fields) != 2:
+                    raise ValueError(
+                        f"bad storage fault entry {entry!r}; expected "
+                        "losenode:<node>"
+                    )
+                storage.append(
+                    StorageFault(
+                        kind="losenode",
+                        node=_int_field(entry, fields, 1, "node"),
+                    )
+                )
+                continue
+            if head == "corruptblock":
+                if len(fields) < 3 or len(fields) > 4:
+                    raise ValueError(
+                        f"bad storage fault entry {entry!r}; expected "
+                        "corruptblock:<file>:<block>[:<replica>]"
+                    )
+                storage.append(
+                    StorageFault(
+                        kind="corruptblock",
+                        file=fields[1],
+                        block=_int_field(entry, fields, 2, "block"),
+                        replica=_int_field(entry, fields, 3, "replica")
+                        if len(fields) > 3
+                        else 0,
+                    )
+                )
                 continue
             if head == "random":
                 if len(fields) < 3 or len(fields) > 4:
@@ -228,9 +318,14 @@ class FaultPlan:
                     else DEFAULT_HANG_SECONDS,
                 )
             )
-        if not specs and not random:
+        if not specs and not random and not storage:
             return None
-        return cls(specs=tuple(specs), random=tuple(random), seed=seed)
+        return cls(
+            specs=tuple(specs),
+            random=tuple(random),
+            seed=seed,
+            storage=tuple(storage),
+        )
 
     @classmethod
     def from_env(cls) -> Optional["FaultPlan"]:
@@ -262,6 +357,7 @@ class FaultPlan:
             for s in self.specs
         ]
         parts.extend(f"random:{r.kind}:{r.rate}:{r.seed}" for r in self.random)
+        parts.extend(s.describe() for s in self.storage)
         return ",".join(parts) or "<empty>"
 
 

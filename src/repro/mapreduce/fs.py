@@ -9,6 +9,12 @@ experiments can sweep "input size in blocks" deterministically.
 Blocks carry a metadata mapping. SpatialHadoop's storage layer uses it to
 attach the partition MBR (the global-index entry) and the serialised local
 index to each block.
+
+Durability mirrors HDFS: every written block is *sealed* — checksummed
+and placed as N replicas across the simulated datanodes — by the file
+system's :class:`~repro.mapreduce.storage.StorageManager`, and reads
+verify replica health, failing over past dead-node or corrupt copies
+(see :mod:`repro.mapreduce.storage`).
 """
 
 from __future__ import annotations
@@ -16,15 +22,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
+from repro.mapreduce.storage import (
+    DEFAULT_DATANODES,
+    DEFAULT_REPLICATION,
+    Replica,
+    StorageManager,
+)
+
 DEFAULT_BLOCK_CAPACITY = 10_000
 
 
 @dataclass
 class Block:
-    """One block of a file: a record list plus optional metadata."""
+    """One block of a file: a record list plus optional metadata.
+
+    ``checksum`` (payload CRC-32) and ``replicas`` (where the block's
+    copies live) are stamped by :meth:`StorageManager.seal_block` when
+    the block enters the file system; blocks from workspaces pickled
+    before the storage layer existed are adopted lazily on first read.
+    """
 
     records: List[Any]
     metadata: Dict[str, Any] = field(default_factory=dict)
+    checksum: Optional[int] = None
+    replicas: List[Replica] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -55,13 +76,37 @@ class FileEntry:
 
 
 class FileSystem:
-    """An in-memory namespace of block-structured files."""
+    """An in-memory namespace of block-structured files.
 
-    def __init__(self, default_block_capacity: int = DEFAULT_BLOCK_CAPACITY):
+    ``num_datanodes`` / ``replication`` configure the durable storage
+    layer: every block is checksummed and stored as (up to)
+    ``replication`` replicas spread round-robin over the simulated
+    datanodes, and reads verify replica health before returning data.
+    """
+
+    def __init__(
+        self,
+        default_block_capacity: int = DEFAULT_BLOCK_CAPACITY,
+        num_datanodes: int = DEFAULT_DATANODES,
+        replication: int = DEFAULT_REPLICATION,
+    ):
         if default_block_capacity <= 0:
             raise ValueError("block capacity must be positive")
         self._files: Dict[str, FileEntry] = {}
         self.default_block_capacity = default_block_capacity
+        self.storage = StorageManager(
+            num_nodes=num_datanodes, replication=replication
+        )
+
+    def __setstate__(self, state):
+        # Workspaces pickled before the durable storage layer existed
+        # must keep loading: attach a default manager and adopt (seal +
+        # place) every existing block.
+        self.__dict__.update(state)
+        if "storage" not in state:
+            self.storage = StorageManager()
+            for entry in self._files.values():
+                self.storage.seal_file(entry)
 
     # ------------------------------------------------------------------
     # Namespace operations
@@ -113,6 +158,7 @@ class FileSystem:
                 current = []
         if current:
             entry.blocks.append(Block(records=current))
+        self.storage.seal_file(entry)
         self._files[name] = entry
         return entry
 
@@ -128,14 +174,36 @@ class FileSystem:
         entry = FileEntry(
             name=name, blocks=list(blocks), metadata=dict(metadata or {})
         )
+        self.storage.seal_file(entry)
         self._files[name] = entry
         return entry
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
+    def verify_block_read(self, name: str, index: int, block: Block):
+        """Verify one block is readable; returns (failovers, corrupt).
+
+        Routes the read past dead-node and corrupt replicas to the first
+        healthy copy (HDFS read failover); raises
+        :class:`~repro.mapreduce.storage.BlockUnavailableError` when no
+        healthy replica is left.
+        """
+        return self.storage.verify_block(name, index, block)
+
+    def verify_file_read(self, name: str):
+        """Verify every block of ``name``; returns (failovers, corrupt)."""
+        failovers = 0
+        corrupt = 0
+        for index, block in enumerate(self.get(name).blocks):
+            f, c = self.verify_block_read(name, index, block)
+            failovers += f
+            corrupt += c
+        return failovers, corrupt
+
     def read_records(self, name: str) -> List[Any]:
-        """All records of a file in block order (a full scan)."""
+        """All records of a file in block order (a verified full scan)."""
+        self.verify_file_read(name)
         return list(self.get(name).records())
 
     def num_records(self, name: str) -> int:

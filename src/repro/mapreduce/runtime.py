@@ -486,6 +486,8 @@ class JobRunner:
         #: an open stream, so it is attached per-invocation, never pickled.
         self.progress = None
         self._job_executors: Dict[int, Executor] = {}
+        #: Storage faults from the plan that already fired (fire-once).
+        self._storage_fired: set = set()
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -494,6 +496,7 @@ class JobRunner:
         # a persisted workspace.
         state["progress"] = None
         state["faults"] = None
+        state["_storage_fired"] = set()
         return state
 
     def __setstate__(self, state):
@@ -509,6 +512,7 @@ class JobRunner:
         self.__dict__.setdefault("speculative", False)
         self.__dict__.setdefault("slow_task_factor", DEFAULT_SLOW_TASK_FACTOR)
         self.__dict__.setdefault("faults", None)
+        self.__dict__.setdefault("_storage_fired", set())
 
     def set_tracer(self, tracer) -> None:
         """Swap the tracer (pass ``None`` to disable tracing)."""
@@ -521,6 +525,7 @@ class JobRunner:
     def set_faults(self, faults) -> None:
         """Attach a fault plan (a :class:`FaultPlan`, spec string or None)."""
         self.faults = resolve_faults(faults)
+        self._storage_fired = set()
 
     @property
     def workers(self) -> int:
@@ -578,6 +583,7 @@ class JobRunner:
     def run(self, job: Job) -> JobResult:
         """Run ``job`` to completion and return its result."""
         tracer = self.tracer
+        repair_s = self._apply_storage_faults()
         if self.progress is not None:
             self.progress.job_started(job.name, list(job.input_files))
         with tracer.span(
@@ -587,6 +593,11 @@ class JobRunner:
             reducers=job.num_reducers,
         ) as job_span:
             result = self._run_traced(job, job_span)
+        if repair_s > 0:
+            # Re-replication after a datanode loss competes with the job
+            # for cluster I/O; charge it to this job's simulated time.
+            result.makespan += repair_s
+            result.fault_summary["storage_repair_s"] = repair_s
         if self.progress is not None:
             self.progress.job_finished(job.name, result)
         if self.metrics is not None:
@@ -629,6 +640,7 @@ class JobRunner:
             split_span.set("splits", len(splits))
             split_span.set("blocks_total", counters.get(Counter.BLOCKS_TOTAL))
             split_span.set("blocks_pruned", max(0, pruned))
+            self._verify_split_reads(splits, split_span)
 
         output: List[Any] = []
         map_stats, intermediate, fault_summary = self._run_map_wave(
@@ -676,6 +688,73 @@ class JobRunner:
             makespan=makespan,
             fault_summary=fault_summary,
         )
+
+    def _verify_split_reads(self, splits, split_span) -> None:
+        """Checksum-verify every block about to be read (HDFS read path).
+
+        A replica on a dead node or with a failed checksum is skipped and
+        the read fails over to the next healthy copy; only the
+        ``READ_FAILOVERS`` / ``BLOCKS_CORRUPT_DETECTED`` metrics and the
+        trace notice — the data handed to the map wave is identical, so
+        job output and counters stay bit-identical under storage chaos. A
+        block with no healthy replica fails the job with a
+        :class:`~repro.mapreduce.storage.BlockUnavailableError`.
+        """
+        failovers = 0
+        corrupt = 0
+        for split in splits:
+            f, c = self.fs.verify_block_read(
+                split.file, split.block_index, split.block
+            )
+            failovers += f
+            corrupt += c
+        if not failovers and not corrupt:
+            return
+        split_span.set("read_failovers", failovers)
+        if corrupt:
+            split_span.set("corrupt_replicas_detected", corrupt)
+        if self.metrics is not None:
+            self.metrics.inc("READ_FAILOVERS", failovers)
+            if corrupt:
+                self.metrics.inc("BLOCKS_CORRUPT_DETECTED", corrupt)
+
+    def _apply_storage_faults(self) -> float:
+        """Fire any pending storage faults from the plan (fire-once).
+
+        ``losenode`` fires immediately; ``corruptblock`` waits until its
+        target file (and block) exists. Returns the simulated seconds
+        the namenode's re-replication traffic cost, to be charged to the
+        job that observed the loss.
+        """
+        plan = self.faults
+        if plan is None or not getattr(plan, "storage", None):
+            return 0.0
+        storage = getattr(self.fs, "storage", None)
+        if storage is None:
+            return 0.0
+        repair_s = 0.0
+        for index, fault in enumerate(plan.storage):
+            if index in self._storage_fired:
+                continue
+            if fault.kind == "losenode":
+                self._storage_fired.add(index)
+                repaired, seconds = storage.lose_node(
+                    fault.node, self.fs,
+                    io_seconds=self.cluster.per_record_io_s,
+                )
+                repair_s += seconds
+                if self.metrics is not None:
+                    self.metrics.inc("DATANODES_LOST")
+                    if repaired:
+                        self.metrics.inc("REPLICAS_REPAIRED", repaired)
+            elif fault.kind == "corruptblock" and self.fs.exists(fault.file):
+                blocks = self.fs.get(fault.file).blocks
+                if fault.block < len(blocks):
+                    self._storage_fired.add(index)
+                    storage.corrupt_replica(
+                        blocks[fault.block], fault.replica
+                    )
+        return repair_s
 
     def _record_metrics(self, result: JobResult) -> None:
         """Fold one finished job into the metrics registry."""

@@ -243,6 +243,7 @@ def diagnose(
             )
         )
     findings.extend(_retry_prone_findings(file_name, history))
+    findings.extend(_durability_findings(fs, file_name, entry))
     return Diagnosis(
         file=file_name,
         technique=quality.technique,
@@ -250,6 +251,43 @@ def diagnose(
         quality=quality,
         findings=findings,
     )
+
+
+def _durability_findings(fs: Any, file_name: str, entry: Any) -> List[Finding]:
+    """Storage-health findings: blocks short of their replica target.
+
+    ``getattr`` keeps the doctor working against file systems pickled
+    before the durable storage layer existed (no findings, no crash).
+    """
+    storage = getattr(fs, "storage", None)
+    if storage is None:
+        return []
+    target = storage.target_replication
+    short = 0
+    worst = target
+    for block in entry.blocks:
+        healthy = len(storage.healthy_replicas(block))
+        if healthy < target:
+            short += 1
+            worst = min(worst, healthy)
+    if not short:
+        return []
+    return [
+        Finding(
+            severity="warning",
+            code="under-replicated-file",
+            message=(
+                f"{short} of {len(entry.blocks)} block(s) are below the "
+                f"replication target of {target} (worst has {worst} "
+                f"healthy replica(s)); run 'repro fsck --repair'"
+            ),
+            data={
+                "under_replicated_blocks": short,
+                "target_replication": target,
+                "min_healthy_replicas": worst,
+            },
+        )
+    ]
 
 
 def _retry_prone_findings(file_name: str, history: Any) -> List[Finding]:

@@ -90,6 +90,8 @@ class JobHistory:
         self.limit = limit
         self._records: Deque[JobRecord] = deque(maxlen=limit)
         self._next_id = 1
+        #: Summaries of fsck runs (bounded like the job records).
+        self._fsck_runs: Deque[Dict[str, Any]] = deque(maxlen=limit)
 
     # -- recording ------------------------------------------------------
     def record(
@@ -114,6 +116,20 @@ class JobHistory:
         self._next_id += 1
         self._records.append(rec)
         return rec
+
+    def record_fsck(self, summary: Dict[str, Any]) -> None:
+        """Retain one fsck run's summary for the history report.
+
+        ``getattr`` keeps histories pickled before the storage layer
+        existed working when this is called on them.
+        """
+        if not hasattr(self, "_fsck_runs"):
+            self._fsck_runs = deque(maxlen=self.limit)
+        self._fsck_runs.append(dict(summary))
+
+    @property
+    def fsck_runs(self) -> List[Dict[str, Any]]:
+        return list(getattr(self, "_fsck_runs", []))
 
     # -- access ---------------------------------------------------------
     def __len__(self) -> int:
@@ -140,17 +156,36 @@ class JobHistory:
     def report(self, last: Optional[int] = None, counters: bool = True) -> str:
         """The JobHistory text report for the ``last`` N jobs (default all)."""
         records = self.last(last)
-        if not records:
+        fsck_runs = self.fsck_runs
+        if not records and not fsck_runs:
             return "job history is empty\n"
         lines: List[str] = []
-        dropped = self.total_recorded - len(self._records)
-        lines.append(
-            f"=== job history: {len(records)} of {self.total_recorded} "
-            f"job(s){f' ({dropped} rotated out)' if dropped else ''} ==="
-        )
-        for rec in records:
-            lines.append("")
-            lines.extend(self._render_job(rec, counters))
+        if records:
+            dropped = self.total_recorded - len(self._records)
+            lines.append(
+                f"=== job history: {len(records)} of {self.total_recorded} "
+                f"job(s){f' ({dropped} rotated out)' if dropped else ''} ==="
+            )
+            for rec in records:
+                lines.append("")
+                lines.extend(self._render_job(rec, counters))
+        if fsck_runs:
+            if lines:
+                lines.append("")
+            lines.append(f"=== fsck: {len(fsck_runs)} run(s) ===")
+            for i, run in enumerate(fsck_runs, 1):
+                mode = "repair" if run.get("repair") else "check"
+                state = "healthy" if run.get("healthy") else "UNHEALTHY"
+                lines.append(
+                    f"  run #{i} ({mode}): {state} — "
+                    f"{run.get('files_checked', 0)} file(s), "
+                    f"{run.get('blocks_checked', 0)} block(s), "
+                    f"{run.get('issues', 0)} issue(s), "
+                    f"{run.get('repaired', 0)} repaired"
+                )
+                by_code = run.get("by_code") or {}
+                for code, count in sorted(by_code.items()):
+                    lines.append(f"    {code}: {count}")
         return "\n".join(lines) + "\n"
 
     def _render_job(self, rec: JobRecord, counters: bool) -> List[str]:

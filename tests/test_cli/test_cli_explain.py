@@ -120,8 +120,7 @@ class TestProgressFlag:
         capsys.readouterr()
         # The workspace must reload cleanly in a progress-free invocation.
         assert run(indexed_ws, "ls") == 0
-        import pickle
+        from repro.core.workspace import load_workspace
 
-        with open(indexed_ws, "rb") as fh:
-            sh = pickle.load(fh)
+        sh = load_workspace(indexed_ws)
         assert sh.runner.progress is None

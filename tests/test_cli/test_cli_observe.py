@@ -60,10 +60,9 @@ class TestTraceFlag:
             indexed_ws, "--trace", str(trace),
             "rangequery", "idx", "--window", "0,0,3e5,3e5",
         )
-        import pickle
+        from repro.core.workspace import load_workspace
 
-        with open(indexed_ws, "rb") as fh:
-            sh = pickle.load(fh)
+        sh = load_workspace(indexed_ws)
         assert not sh.tracer.enabled
         assert not sh.runner.tracer.enabled
 
@@ -166,9 +165,9 @@ class TestFaultFlags:
         )
         capsys.readouterr()
         # The next invocation loads the saved workspace: no plan rides in.
-        import pickle
+        from repro.core.workspace import load_workspace
 
-        sh = pickle.load(open(indexed_ws, "rb"))
+        sh = load_workspace(indexed_ws)
         assert sh.runner.faults is None
 
     def test_bad_faults_spec_errors_out(self, indexed_ws, capsys):

@@ -1,0 +1,122 @@
+"""CLI tests for fsck, storage faults, and workspace hardening."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def ws(tmp_path):
+    return str(tmp_path / "ws.pkl")
+
+
+@pytest.fixture
+def indexed_ws(ws, capsys):
+    run(ws, "generate", "pts", "--n", "800")
+    run(ws, "index", "pts", "idx", "--technique", "str")
+    capsys.readouterr()
+    return ws
+
+
+def run(ws, *argv):
+    return main(["-w", ws, *argv])
+
+
+class TestArgValidation:
+    def test_nodes_must_be_positive(self, ws, capsys):
+        assert run(ws, "--nodes", "0", "generate", "pts") == 1
+        assert "--nodes must be" in capsys.readouterr().err
+        assert run(ws, "--nodes", "-3", "ls") == 1
+
+    def test_workers_must_be_at_least_one(self, ws, capsys):
+        assert run(ws, "--workers", "0", "generate", "pts") == 1
+        assert "--workers must be" in capsys.readouterr().err
+
+
+class TestCorruptWorkspace:
+    def test_flipped_byte_reports_cleanly(self, indexed_ws, capsys, tmp_path):
+        path = tmp_path / "ws.pkl"
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert run(indexed_ws, "ls") == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "checksum" in err
+        assert "Traceback" not in err
+
+    def test_truncated_file_reports_cleanly(self, indexed_ws, capsys, tmp_path):
+        path = tmp_path / "ws.pkl"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        assert run(indexed_ws, "ls") == 1
+        err = capsys.readouterr().err
+        assert "truncated" in err
+
+    def test_foreign_pickle_reports_cleanly(self, ws, capsys, tmp_path):
+        import pickle
+
+        (tmp_path / "ws.pkl").write_bytes(pickle.dumps([1, 2, 3]))
+        assert run(ws, "ls") == 1
+        assert "not a repro workspace" in capsys.readouterr().err
+
+
+class TestFsckCommand:
+    def test_clean_workspace_is_healthy(self, indexed_ws, capsys):
+        assert run(indexed_ws, "fsck") == 0
+        out = capsys.readouterr().out
+        assert "no issues" in out
+
+    def test_detects_and_repairs_injected_corruption(self, indexed_ws, capsys):
+        assert run(
+            indexed_ws, "--faults", "corruptblock:idx:0",
+            "rangequery", "idx", "--window", "0,0,5e5,5e5",
+        ) == 0
+        capsys.readouterr()
+
+        assert run(indexed_ws, "fsck") == 0
+        out = capsys.readouterr().out
+        assert "corrupt-replica" in out
+        assert "NOT healthy" in out
+
+        assert run(indexed_ws, "fsck", "--repair") == 0
+        out = capsys.readouterr().out
+        assert "REPAIRED" in out
+
+        assert run(indexed_ws, "fsck") == 0
+        assert "no issues" in capsys.readouterr().out
+
+    def test_json_format(self, indexed_ws, capsys):
+        assert run(indexed_ws, "fsck", "--format", "json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["healthy"] is True
+        assert doc["files_checked"] == 2
+
+    def test_fsck_runs_show_in_history(self, indexed_ws, capsys):
+        run(indexed_ws, "fsck")
+        capsys.readouterr()
+        assert run(indexed_ws, "history") == 0
+        assert "fsck" in capsys.readouterr().out
+
+
+class TestStorageFaultFlags:
+    WINDOW = ("--window", "0,0,5e5,5e5")
+
+    def test_losenode_is_transparent_to_queries(self, indexed_ws, capsys):
+        assert run(indexed_ws, "rangequery", "idx", *self.WINDOW) == 0
+        want = capsys.readouterr().out.splitlines()[0]
+        assert run(
+            indexed_ws, "--faults", "losenode:2",
+            "rangequery", "idx", *self.WINDOW,
+        ) == 0
+        got = capsys.readouterr().out.splitlines()[0]
+        assert got == want
+
+    def test_bad_storage_fault_spec_errors_out(self, indexed_ws, capsys):
+        assert run(
+            indexed_ws, "--faults", "losenode:many",
+            "rangequery", "idx", *self.WINDOW,
+        ) == 1
+        assert "bad --faults spec" in capsys.readouterr().err

@@ -1,0 +1,70 @@
+"""Tests for ingest hardening: WKT records and the on_bad_record policy."""
+
+import pytest
+
+from repro import SpatialHadoop
+from repro.geometry import Point, Rectangle, WKTParseError
+
+GOOD_AND_BAD = [
+    "POINT(1 2)",
+    "POINT(x y)",
+    "RECT(0 0, 5 5)",
+    "LINESTRING(0 0, 1)",
+    "GARBAGE",
+]
+
+
+def make_sh():
+    return SpatialHadoop(num_nodes=2, block_capacity=100)
+
+
+class TestLoadParsesWKT:
+    def test_string_records_become_shapes(self):
+        sh = make_sh()
+        sh.load("f", ["POINT(1 2)", "RECT(0 0, 5 5)"])
+        records = sh.fs.read_records("f")
+        assert records == [Point(1, 2), Rectangle(0, 0, 5, 5)]
+
+    def test_shape_records_pass_through(self):
+        sh = make_sh()
+        sh.load("f", [Point(1, 2)])
+        assert sh.fs.read_records("f") == [Point(1, 2)]
+
+
+class TestOnBadRecord:
+    def test_default_raises_on_first_bad_record(self):
+        sh = make_sh()
+        with pytest.raises(WKTParseError):
+            sh.load("f", GOOD_AND_BAD)
+
+    def test_skip_drops_and_counts(self):
+        sh = make_sh()
+        sh.load("f", GOOD_AND_BAD, on_bad_record="skip")
+        assert sh.fs.num_records("f") == 2
+        snap = sh.metrics.snapshot()["counters"]
+        assert snap["BAD_RECORDS_SKIPPED"] == 3
+        assert not sh.fs.exists("f.quarantine")
+
+    def test_quarantine_writes_side_file(self):
+        sh = make_sh()
+        sh.load("f", GOOD_AND_BAD, on_bad_record="quarantine")
+        assert sh.fs.num_records("f") == 2
+        quarantined = sh.fs.read_records("f.quarantine")
+        assert quarantined == ["POINT(x y)", "LINESTRING(0 0, 1)", "GARBAGE"]
+        assert sh.metrics.snapshot()["counters"]["BAD_RECORDS_SKIPPED"] == 3
+
+    def test_clean_load_writes_no_side_file(self):
+        sh = make_sh()
+        sh.load("f", ["POINT(1 2)"], on_bad_record="quarantine")
+        assert not sh.fs.exists("f.quarantine")
+        assert "BAD_RECORDS_SKIPPED" not in sh.metrics.snapshot()["counters"]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_sh().load("f", [], on_bad_record="explode")
+
+    def test_quarantined_file_is_queryable_after_reload(self):
+        sh = make_sh()
+        sh.load("f", GOOD_AND_BAD, on_bad_record="quarantine")
+        result = sh.range_query("f", Rectangle(0, 0, 10, 10))
+        assert len(result.answer) == 2

@@ -68,3 +68,45 @@ class TestRoundTrip:
         ls = LineString([Point(0, 0), Point(1.5, 2), Point(-3, 4)])
         parsed = parse_wkt(to_wkt(ls))
         assert parsed.points == ls.points
+
+
+class TestWKTParseError:
+    def test_is_a_value_error(self):
+        from repro.geometry import WKTParseError
+
+        assert issubclass(WKTParseError, ValueError)
+        with pytest.raises(WKTParseError):
+            parse_wkt("CIRCLE (0 0, 5)")
+
+    def test_carries_text_and_offset(self):
+        from repro.geometry import WKTParseError
+
+        with pytest.raises(WKTParseError) as info:
+            parse_wkt("LINESTRING (0 0, 1 1, 2)")
+        err = info.value
+        assert err.text == "LINESTRING (0 0, 1 1, 2)"
+        # The offset points into the bad coordinate pair, not at 0.
+        assert err.text[err.offset:].strip().startswith("2")
+        assert "offset" in str(err)
+
+    def test_non_numeric_coordinate_reports_offset(self):
+        from repro.geometry import WKTParseError
+
+        with pytest.raises(WKTParseError) as info:
+            parse_wkt("LINESTRING (0 0, x y)")
+        assert info.value.offset > 0
+
+    def test_no_bare_index_error_escapes(self):
+        from repro.geometry import WKTParseError
+
+        # A polygon below the 3-vertex minimum used to leak the shape
+        # constructor's raw error; now it is a structured parse error.
+        for bad in (
+            "POLYGON ((0 0, 1 1))",
+            "LINESTRING (5 5)",
+            "POINT (nan nan)",
+            None,
+            42,
+        ):
+            with pytest.raises(WKTParseError):
+                parse_wkt(bad)

@@ -7,6 +7,8 @@ identical to a fault-free run — the chaos is visible only in the attempt
 history, the fault summaries, and the simulated makespans.
 """
 
+import os
+
 import pytest
 
 from repro import SpatialHadoop
@@ -138,3 +140,101 @@ class TestChaosParallelBackend:
         finally:
             chaotic.runner.close()
             clean.runner.close()
+
+
+#: Storage chaos: a datanode dies, and three blocks (one per layer —
+#: a heap file, an STR index, a grid index) each lose one replica to
+#: bit-rot. Reads must fail over; answers must not move.
+STORAGE_CHAOS = (
+    "losenode:1,corruptblock:pts_idx:0,corruptblock:pts:1:0,"
+    "corruptblock:l_idx:0:1"
+)
+
+
+class TestStorageChaos:
+    """Node loss and replica corruption are invisible to every operation."""
+
+    @pytest.fixture(scope="class")
+    def workspaces(self):
+        clean = build_workspace()
+        chaotic = build_workspace(faults=STORAGE_CHAOS)
+        return clean, chaotic
+
+    @pytest.mark.parametrize("name", sorted(OPERATIONS))
+    def test_operation_is_storage_fault_transparent(self, workspaces, name):
+        clean, chaotic = workspaces
+        run = OPERATIONS[name]
+        want, got = run(clean), run(chaotic)
+        assert normalize(name, got.answer) == normalize(name, want.answer)
+        assert got.counters.as_dict() == want.counters.as_dict()
+        assert got.rounds == want.rounds
+
+    def test_storage_chaos_actually_happened(self, workspaces):
+        clean, chaotic = workspaces
+        snap = chaotic.metrics.snapshot()["counters"]
+        assert snap.get("DATANODES_LOST", 0) == 1
+        assert snap.get("REPLICAS_REPAIRED", 0) >= 1
+        assert snap.get("BLOCKS_CORRUPT_DETECTED", 0) >= 3
+        assert snap.get("READ_FAILOVERS", 0) >= 3
+        # Storage faults trigger no task retries: the equivalence above
+        # is pure read-path failover, not re-execution.
+        assert snap.get("TASKS_RETRIED", 0) == 0
+        if not os.environ.get("REPRO_FAULTS"):
+            # Meaningless under the whole-process chaos hook: the
+            # "clean" workspace inherits $REPRO_FAULTS too.
+            clean_snap = clean.metrics.snapshot()["counters"]
+            assert clean_snap.get("READ_FAILOVERS", 0) == 0
+
+    def test_losenode_repair_charged_to_a_job(self, workspaces):
+        _, chaotic = workspaces
+        charged = [
+            rec for rec in chaotic.history
+            if "storage_repair_s" in rec.fault_summary
+        ]
+        assert len(charged) == 1
+        assert charged[0].fault_summary["storage_repair_s"] > 0
+
+    def test_fsck_repair_restores_full_health(self, workspaces):
+        _, chaotic = workspaces
+        before = chaotic.fsck()
+        assert before.count("corrupt-replica") >= 1
+        repaired = chaotic.fsck(repair=True)
+        assert repaired.healthy
+        after = chaotic.fsck()
+        assert after.healthy
+        assert after.count("corrupt-replica") == 0
+        assert after.count("under-replicated") == 0
+        assert after.count("missing-replica") == 0
+
+    def test_parallel_backend_matches_clean_serial(self):
+        clean = build_workspace()
+        chaotic = build_workspace(faults=STORAGE_CHAOS, workers=2)
+        try:
+            for name in ("range_query_spatial", "sjoin_distributed", "knn"):
+                run = OPERATIONS[name]
+                want, got = run(clean), run(chaotic)
+                assert normalize(name, got.answer) == normalize(
+                    name, want.answer
+                )
+                assert got.counters.as_dict() == want.counters.as_dict()
+            snap = chaotic.metrics.snapshot()["counters"]
+            assert snap.get("READ_FAILOVERS", 0) >= 1
+        finally:
+            chaotic.runner.close()
+            clean.runner.close()
+
+
+class TestCombinedChaos:
+    """Task faults and storage faults at once: the full failure model."""
+
+    def test_operations_survive_both_fault_classes(self):
+        clean = build_workspace()
+        chaotic = build_workspace(faults=CHAOS + "," + STORAGE_CHAOS)
+        for name in ("range_query_spatial", "knn", "union", "skyline"):
+            run = OPERATIONS[name]
+            want, got = run(clean), run(chaotic)
+            assert normalize(name, got.answer) == normalize(name, want.answer)
+            assert got.counters.as_dict() == want.counters.as_dict()
+        snap = chaotic.metrics.snapshot()["counters"]
+        assert snap.get("TASKS_RETRIED", 0) >= 1
+        assert snap.get("READ_FAILOVERS", 0) >= 1

@@ -130,3 +130,36 @@ class TestRetryProneFindings:
         assert not any(
             f.code == "retry-prone-partition" for f in d.findings
         )
+
+
+class TestDurabilityFindings:
+    def test_under_replicated_file_warning(self):
+        sh = make_system()
+        sh.load("pts", generate_points(500, "uniform", seed=4))
+        sh.index("pts", "idx", technique="grid")
+        block = sh.fs.get("idx").blocks[0]
+        sh.fs.storage.corrupt_replica(block, 0)
+        d = sh.doctor("idx")
+        finding = next(
+            f for f in d.findings if f.code == "under-replicated-file"
+        )
+        assert finding.severity == "warning"
+        assert finding.data["under_replicated_blocks"] == 1
+        assert "fsck --repair" in finding.message
+        assert not d.healthy
+
+    def test_healthy_storage_has_no_durability_finding(self):
+        sh = make_system()
+        sh.load("pts", generate_points(500, "uniform", seed=4))
+        sh.index("pts", "idx", technique="grid")
+        codes = {f.code for f in sh.doctor("idx").findings}
+        assert "under-replicated-file" not in codes
+
+    def test_fsck_repair_clears_the_finding(self):
+        sh = make_system()
+        sh.load("pts", generate_points(500, "uniform", seed=4))
+        sh.index("pts", "idx", technique="grid")
+        sh.fs.storage.corrupt_replica(sh.fs.get("idx").blocks[0], 0)
+        sh.fsck(repair=True)
+        codes = {f.code for f in sh.doctor("idx").findings}
+        assert "under-replicated-file" not in codes
