@@ -1,0 +1,340 @@
+"""E14: vectorized execution — scalar loops vs columnar batch kernels.
+
+Times the block-scan heavy operations of E2 (range queries), E4 (spatial
+join) and E6 (computational geometry) in three configurations:
+
+* ``scalar``      — ``REPRO_VECTORIZE=0``: the original per-record loops;
+* ``vectorized``  — ``REPRO_VECTORIZE=1``, serial: columnar batch kernels;
+* ``vector+shm``  — vectorized with two worker processes, chunk payloads
+  shipped zero-copy through ``multiprocessing.shared_memory``.
+
+All three produce bit-identical answers (asserted here, property-tested in
+``tests/``); only wall-clock may differ. Results land in ``BENCH_e14.json``
+at the repository root — the numbers quoted by README and DESIGN.md — and
+as paper-style tables via the ``report`` fixture.
+
+Also measures the attribute-lookup memoization in ``closest_pair`` by
+racing the shipped strip loop against a literal transcription of the
+pre-memoization one (satellite of this change, honest before/after).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from bench_utils import fmt_s, make_system, speedup
+from repro import SpatialHadoop
+from repro.datagen import generate_points, generate_rectangles
+from repro.geometry import Point, Rectangle
+from repro.mapreduce import shm
+
+N_POINTS = 60_000
+N_RECTS = 8_000
+N_CG = 20_000
+BLOCK_CAPACITY = 4_000
+WINDOWS = [
+    Rectangle(1e5, 1e5, 4e5, 4e5),
+    Rectangle(3e5, 3e5, 8e5, 8e5),
+    Rectangle(0.0, 0.0, 1e6, 1e6),
+]
+
+MODES: List[Tuple[str, str, int]] = [
+    ("scalar", "0", None),
+    ("vectorized", "1", None),
+    ("vector+shm", "1", 2),
+]
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_e14.json"
+_RESULTS: Dict[str, dict] = {}
+
+
+def run_mode(vectorize: str, workers, build, measure):
+    """Build a workspace and time ``measure`` under one execution mode."""
+    saved = os.environ.get("REPRO_VECTORIZE")
+    os.environ["REPRO_VECTORIZE"] = vectorize
+    try:
+        sh = make_system(block_capacity=BLOCK_CAPACITY, workers=workers)
+        try:
+            build(sh)
+            start = time.perf_counter()
+            answer = measure(sh)
+            elapsed = time.perf_counter() - start
+            return elapsed, answer
+        finally:
+            sh.runner.close()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_VECTORIZE", None)
+        else:
+            os.environ["REPRO_VECTORIZE"] = saved
+
+
+def sweep(report, title, build, measure, records):
+    rows = []
+    timings: Dict[str, float] = {}
+    answers = {}
+    for label, vectorize, workers in MODES:
+        elapsed, answer = run_mode(vectorize, workers, build, measure)
+        timings[label] = elapsed
+        answers[label] = answer
+        rows.append([
+            label,
+            fmt_s(elapsed),
+            speedup(timings["scalar"], elapsed),
+            f"{records / elapsed / 1e6:.2f}M rec/s",
+        ])
+        assert shm.live_segments() == []
+    # Identical answers across all three configurations, or the timing
+    # comparison is meaningless.
+    assert answers["vectorized"] == answers["scalar"]
+    assert answers["vector+shm"] == answers["scalar"]
+    report.add(title, ["mode", "wall", "speedup", "throughput"], rows)
+    _RESULTS[title] = {
+        "records": records,
+        "wall_s": {k: round(v, 4) for k, v in timings.items()},
+        "speedup_vs_scalar": {
+            k: round(timings["scalar"] / v, 2) for k, v in timings.items()
+        },
+    }
+    return timings
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    yield
+    if _RESULTS:
+        RESULTS_PATH.write_text(json.dumps(_RESULTS, indent=2) + "\n")
+
+
+class TestE14RangeQuery:
+    """E2's block-scan phase: closed-window point selection."""
+
+    @staticmethod
+    def build(sh: SpatialHadoop):
+        sh.load("pts", generate_points(N_POINTS, "uniform", seed=21))
+        sh.index("pts", "pts_idx", technique="str")
+
+    @staticmethod
+    def measure(sh: SpatialHadoop):
+        return [
+            sorted(sh.range_query("pts_idx", w).answer) for w in WINDOWS
+        ]
+
+    def test_range_scan(self, report):
+        timings = sweep(
+            report,
+            "E14a range query (60k points, 3 windows)",
+            self.build,
+            self.measure,
+            records=N_POINTS * len(WINDOWS),
+        )
+        assert timings["vectorized"] < timings["scalar"]
+
+
+class TestE14SpatialJoin:
+    """E4's per-partition plane-sweep feeds on vectorized candidate scans."""
+
+    @staticmethod
+    def build(sh: SpatialHadoop):
+        sh.load("l", generate_rectangles(
+            N_RECTS, "uniform", seed=22, avg_side_fraction=0.02))
+        sh.load("r", generate_rectangles(
+            N_RECTS, "uniform", seed=23, avg_side_fraction=0.02))
+        sh.index("l", "l_idx", technique="grid")
+        sh.index("r", "r_idx", technique="grid")
+
+    @staticmethod
+    def measure(sh: SpatialHadoop):
+        return sorted(sh.spatial_join("l_idx", "r_idx").answer)
+
+    def test_join_scan(self, report):
+        sweep(
+            report,
+            "E14b spatial join (8k x 8k rects, grid)",
+            self.build,
+            self.measure,
+            records=2 * N_RECTS,
+        )
+
+
+class TestE14GeometryOps:
+    """E6's CG operations: skyline + closest pair over one dataset."""
+
+    @staticmethod
+    def build(sh: SpatialHadoop):
+        sh.load("pts", generate_points(N_CG, "uniform", seed=24))
+        # Quadtree: closest pair's pruning step needs a disjoint index.
+        sh.index("pts", "pts_qidx", technique="quadtree")
+
+    @staticmethod
+    def measure(sh: SpatialHadoop):
+        return (
+            sorted(sh.skyline("pts_qidx").answer),
+            sh.closest_pair("pts_qidx").answer,
+        )
+
+    def test_cg_ops(self, report):
+        sweep(
+            report,
+            "E14c CG ops (20k points: skyline + closest pair)",
+            self.build,
+            self.measure,
+            records=2 * N_CG,
+        )
+
+
+class TestE14BlockScanKernel:
+    """The block-scan phase in isolation — what the batch kernels replace.
+
+    End-to-end operation times above carry the full MapReduce simulation
+    (splitting, shuffle, per-task accounting), which bounds their visible
+    gain. This test times just the per-block record filter — the scalar
+    comprehension the map function used to run vs the columnar kernel it
+    runs now — over every sealed block of a 200k-point file.
+    """
+
+    N = 200_000
+    REPEATS = 5
+
+    def test_scan_kernel(self, report):
+        saved = os.environ.get("REPRO_VECTORIZE")
+        os.environ["REPRO_VECTORIZE"] = "1"
+        try:
+            sh = make_system(block_capacity=BLOCK_CAPACITY)
+            sh.load("pts", generate_points(self.N, "uniform", seed=26))
+            blocks = sh.fs.get("pts").blocks
+            assert all(b.columnar is not None for b in blocks)
+
+            def scalar_scan(window):
+                hits = 0
+                for block in blocks:
+                    for p in block.records:
+                        if (window.x1 <= p.x <= window.x2
+                                and window.y1 <= p.y <= window.y2):
+                            hits += 1
+                return hits
+
+            def vector_scan(window):
+                return sum(
+                    len(block.columnar.indices_in(window))
+                    for block in blocks
+                )
+
+            start = time.perf_counter()
+            for _ in range(self.REPEATS):
+                scalar_hits = [scalar_scan(w) for w in WINDOWS]
+            scalar_s = (time.perf_counter() - start) / self.REPEATS
+
+            start = time.perf_counter()
+            for _ in range(self.REPEATS):
+                vector_hits = [vector_scan(w) for w in WINDOWS]
+            vector_s = (time.perf_counter() - start) / self.REPEATS
+
+            sh.runner.close()
+            assert vector_hits == scalar_hits
+            scanned = self.N * len(WINDOWS)
+            report.add(
+                "E14e block-scan kernel (200k points, 3 windows)",
+                ["variant", "wall", "speedup", "throughput"],
+                [
+                    ["scalar loop", fmt_s(scalar_s), "1.0x",
+                     f"{scanned / scalar_s / 1e6:.1f}M rec/s"],
+                    ["columnar kernel", fmt_s(vector_s),
+                     speedup(scalar_s, vector_s),
+                     f"{scanned / vector_s / 1e6:.1f}M rec/s"],
+                ],
+            )
+            _RESULTS["E14e block-scan kernel"] = {
+                "records_scanned": scanned,
+                "scalar_s": round(scalar_s, 4),
+                "vectorized_s": round(vector_s, 4),
+                "speedup": round(scalar_s / vector_s, 2),
+            }
+            from repro.geometry import vectorized
+
+            # The acceptance bar: >=5x vectorized, >=10x with NumPy.
+            floor = 10.0 if vectorized.mode() == "numpy" else 5.0
+            assert scalar_s / vector_s >= floor
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_VECTORIZE", None)
+            else:
+                os.environ["REPRO_VECTORIZE"] = saved
+
+
+# ----------------------------------------------------------------------
+# Satellite: closest-pair strip-loop memoization, honest before/after
+# ----------------------------------------------------------------------
+def _strip_scan_before(strip, best_sq):
+    """Literal transcription of the pre-memoization strip loop."""
+    pair = None
+    for i in range(len(strip)):
+        j = i + 1
+        while j < len(strip) and (strip[j].y - strip[i].y) ** 2 < best_sq:
+            d = strip[i].distance_sq(strip[j])
+            if d < best_sq:
+                best_sq = d
+                pair = (strip[i], strip[j])
+            j += 1
+    return best_sq, pair
+
+
+def _strip_scan_after(strip, best_sq):
+    """The shipped loop: bound method + hoisted locals."""
+    pair = None
+    distance_sq = Point.distance_sq
+    m = len(strip)
+    for i in range(m):
+        si = strip[i]
+        si_y = si.y
+        j = i + 1
+        while j < m and (strip[j].y - si_y) ** 2 < best_sq:
+            d = distance_sq(si, strip[j])
+            if d < best_sq:
+                best_sq = d
+                pair = (si, strip[j])
+            j += 1
+    return best_sq, pair
+
+
+class TestE14ClosestPairMemo:
+    def test_memoized_strip_loop(self, report):
+        import random
+
+        rng = random.Random(25)
+        # A wide flat band makes the strip scan the dominant cost.
+        strip = sorted(
+            (Point(rng.random() * 1e6, rng.random() * 10.0)
+             for _ in range(30_000)),
+            key=lambda p: (p.y, p.x),
+        )
+        best_sq = 100.0
+
+        start = time.perf_counter()
+        want = _strip_scan_before(strip, best_sq)
+        before = time.perf_counter() - start
+
+        start = time.perf_counter()
+        got = _strip_scan_after(strip, best_sq)
+        after = time.perf_counter() - start
+
+        assert got == want  # memoization must not change arithmetic
+        report.add(
+            "E14d closest-pair strip loop (30k points)",
+            ["variant", "wall", "speedup"],
+            [
+                ["attribute lookups", fmt_s(before), "1.0x"],
+                ["memoized locals", fmt_s(after), speedup(before, after)],
+            ],
+        )
+        _RESULTS["E14d closest-pair strip loop"] = {
+            "before_s": round(before, 4),
+            "after_s": round(after, 4),
+            "speedup": round(before / after, 2),
+        }

@@ -44,6 +44,10 @@ def spatial_splitter(filter_fn: Optional[FilterFn] = None):
             )
         selected = filter_fn(gindex) if filter_fn is not None else list(gindex)
         wanted = {cell.cell_id for cell in selected}
+        if not wanted:
+            # Nothing survived the filter (commonly the presence bitmap
+            # rejecting an empty region): skip the block-metadata walk.
+            return []
         return [
             InputSplit(
                 file=job.input_file,

@@ -33,12 +33,15 @@ def closest_pair(points: Iterable[Point]) -> Optional[Pair]:
 def _brute(pts: List[Point]) -> Tuple[float, Pair]:
     best_sq = float("inf")
     pair: Optional[Pair] = None
-    for i in range(len(pts)):
-        for j in range(i + 1, len(pts)):
-            d = pts[i].distance_sq(pts[j])
+    distance_sq = Point.distance_sq  # bound once: O(n^2) hot loop
+    n = len(pts)
+    for i in range(n):
+        pi = pts[i]
+        for j in range(i + 1, n):
+            d = distance_sq(pi, pts[j])
             if d < best_sq:
                 best_sq = d
-                pair = (pts[i], pts[j])
+                pair = (pi, pts[j])
     assert pair is not None
     return best_sq, pair
 
@@ -64,13 +67,17 @@ def _closest(px: List[Point], py: List[Point]) -> Tuple[float, Pair]:
         best_sq, pair = best_r, pair_r
 
     strip = [p for p in py if (p.x - mid_x) ** 2 < best_sq]
-    for i in range(len(strip)):
+    distance_sq = Point.distance_sq  # bound once: the strip loop is hot
+    m = len(strip)
+    for i in range(m):
+        si = strip[i]
+        si_y = si.y
         j = i + 1
-        while j < len(strip) and (strip[j].y - strip[i].y) ** 2 < best_sq:
-            d = strip[i].distance_sq(strip[j])
+        while j < m and (strip[j].y - si_y) ** 2 < best_sq:
+            d = distance_sq(si, strip[j])
             if d < best_sq:
                 best_sq = d
-                pair = (strip[i], strip[j])
+                pair = (si, strip[j])
             j += 1
     return best_sq, pair
 

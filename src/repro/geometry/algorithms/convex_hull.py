@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence
 
 from repro.geometry.point import Point
@@ -52,7 +53,17 @@ def convex_hull(points: Iterable[Point]) -> List[Point]:
 
 
 def point_in_convex_hull(p: Point, hull: Sequence[Point]) -> bool:
-    """Closed containment test for a CCW convex hull."""
+    """Closed containment test for a CCW convex hull.
+
+    Tolerance scales with edge length: the hull collapses vertices
+    within ``EPS`` of each other (see :func:`convex_hull`), which can
+    leave an input point up to ~``EPS`` *outside* the cleaned boundary,
+    and the cross product of that offset grows with the edge it is
+    measured against. An absolute cutoff would reject such points for
+    any edge longer than ~1.
+    """
+    from repro.geometry.common import EPS
+
     n = len(hull)
     if n == 0:
         return False
@@ -61,8 +72,13 @@ def point_in_convex_hull(p: Point, hull: Sequence[Point]) -> bool:
     if n == 2:
         from repro.geometry.segment import point_on_segment
 
-        return point_on_segment(p, hull[0], hull[1])
+        a, b = hull
+        edge = math.hypot(b.x - a.x, b.y - a.y)
+        return point_on_segment(p, a, b, eps=EPS * (2.0 + edge))
     for i in range(n):
-        if _cross(hull[i], hull[(i + 1) % n], p) < -1e-9:
+        a = hull[i]
+        b = hull[(i + 1) % n]
+        edge = math.hypot(b.x - a.x, b.y - a.y)
+        if _cross(a, b, p) < -EPS * (2.0 + edge):
             return False
     return True

@@ -21,7 +21,13 @@ def farthest_pair(points: Iterable[Point]) -> Optional[Pair]:
     if len(set(pts)) < 2:
         return None
     hull = convex_hull(pts)
-    return farthest_pair_on_hull(hull)
+    pair = farthest_pair_on_hull(hull)
+    if pair is None:
+        # Degenerate inputs (near-duplicates, collinear clusters) can
+        # collapse the hull below two vertices even though the input has
+        # two distinct points; the O(n^2) scan still has an answer.
+        return farthest_pair_bruteforce(pts)
+    return pair
 
 
 def farthest_pair_on_hull(hull: List[Point]) -> Optional[Pair]:

@@ -179,6 +179,19 @@ class Rectangle:
         dy = max(self.y1 - p.y, 0.0, p.y - self.y2)
         return math.hypot(dx, dy)
 
+    def min_distance_sq_point(self, p: Point) -> float:
+        """Squared minimum distance to ``p``.
+
+        Distance *ranking* throughout the library uses this form: unlike
+        ``math.hypot`` (correctly rounded from the exact sum of squares),
+        ``dx*dx + dy*dy`` rounds identically in scalar Python and in the
+        elementwise batch kernels, so scalar and vectorized paths order
+        candidates the same way.
+        """
+        dx = max(self.x1 - p.x, 0.0, p.x - self.x2)
+        dy = max(self.y1 - p.y, 0.0, p.y - self.y2)
+        return dx * dx + dy * dy
+
     def max_distance_point(self, p: Point) -> float:
         """Largest distance between ``p`` and any point of the rectangle."""
         dx = max(abs(p.x - self.x1), abs(p.x - self.x2))

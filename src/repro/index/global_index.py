@@ -48,6 +48,9 @@ class GlobalIndex:
     technique: str = "unknown"
     disjoint: bool = False
     _by_id: dict = field(init=False, repr=False)
+    #: sFilter-style presence bitmap: rejects query regions that touch no
+    #: cell MBR before the cell list is walked (None for empty indexes).
+    presence: object = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -55,6 +58,11 @@ class GlobalIndex:
         )
         if len(self._by_id) != len(self.cells):
             raise ValueError("duplicate cell ids in global index")
+        from repro.index.sfilter import PresenceFilter
+
+        object.__setattr__(
+            self, "presence", PresenceFilter.build(self.cells)
+        )
 
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[Cell]:
@@ -85,6 +93,13 @@ class GlobalIndex:
     # ------------------------------------------------------------------
     def overlapping(self, rect: Rectangle) -> List[Cell]:
         """Cells whose MBR intersects ``rect`` (closed semantics)."""
+        # Presence pre-filter: every cell's MBR is rasterized into the
+        # bitmap, so a negative answer is exact ([] either way) and the
+        # result cannot depend on whether the bitmap exists (legacy
+        # pickles restore without one).
+        presence = getattr(self, "presence", None)
+        if presence is not None and not presence.may_overlap(rect):
+            return []
         return [c for c in self.cells if c.mbr.intersects(rect)]
 
     def containing(self, point: Point) -> List[Cell]:

@@ -18,9 +18,13 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.geometry import Point, Rectangle
+from repro.geometry import Point, Rectangle, vectorized
 
 DEFAULT_NODE_CAPACITY = 32
+
+#: Trees smaller than this stay on the scalar paths: the batch kernels'
+#: fixed setup cost is not worth it for a handful of entries.
+_VECTOR_MIN_ENTRIES = 4
 
 
 @dataclass(frozen=True)
@@ -83,6 +87,23 @@ class RTree:
         self.node_capacity = node_capacity
         self._size = len(entries)
         self._root = self._bulk_load(list(entries)) if entries else None
+        # Vectorization caches, built lazily on first query and excluded
+        # from pickles (cheap to rebuild, and id()-keyed dicts don't
+        # survive a round-trip anyway).
+        self._flat = None
+        self._leaf_cols = {}
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_flat"] = None
+        state["_leaf_cols"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Trees pickled before the vectorized layer existed.
+        self.__dict__.setdefault("_flat", None)
+        self.__dict__.setdefault("_leaf_cols", {})
 
     @classmethod
     def from_shapes(
@@ -128,10 +149,51 @@ class RTree:
     def mbr(self) -> Optional[Rectangle]:
         return self._root.mbr if self._root else None
 
+    def _flat_cache(self):
+        """Every entry in traversal order, plus its MBR coordinate columns.
+
+        The order is exactly the order :meth:`search` emits entries in:
+        the scalar search's output is the subsequence of this order whose
+        MBRs intersect the query (pruned subtrees only remove runs, never
+        reorder survivors), so one batch mask over these columns
+        reproduces the scalar result list element for element.
+        """
+        flat = self._flat
+        if flat is None:
+            entries = list(self.all_entries())
+            n = len(entries)
+            flat = (
+                entries,
+                vectorized.column_from_iter((e.mbr.x1 for e in entries), n),
+                vectorized.column_from_iter((e.mbr.y1 for e in entries), n),
+                vectorized.column_from_iter((e.mbr.x2 for e in entries), n),
+                vectorized.column_from_iter((e.mbr.y2 for e in entries), n),
+            )
+            self._flat = flat
+        return flat
+
+    def _leaf_columns(self, node: "_Node"):
+        cols = self._leaf_cols.get(id(node))
+        if cols is None:
+            entries = node.entries
+            n = len(entries)
+            cols = tuple(
+                vectorized.column_from_iter(
+                    (getattr(e.mbr, name) for e in entries), n
+                )
+                for name in ("x1", "y1", "x2", "y2")
+            )
+            self._leaf_cols[id(node)] = cols
+        return cols
+
     def search(self, rect: Rectangle) -> List[RTreeEntry]:
         """All entries whose MBR intersects ``rect``."""
         if self._root is None:
             return []
+        if vectorized.enabled() and self._size >= _VECTOR_MIN_ENTRIES:
+            entries, x1s, y1s, x2s, y2s = self._flat_cache()
+            hits = vectorized.rects_intersect(x1s, y1s, x2s, y2s, rect)
+            return [entries[i] for i in hits]
         out: List[RTreeEntry] = []
         stack = [self._root]
         while stack:
@@ -162,34 +224,62 @@ class RTree:
         for point records and MBR-distance-based for extended shapes, which
         is the contract SpatialHadoop's kNN uses. Ties break arbitrarily.
         Returns fewer than ``k`` items when the tree is smaller than ``k``.
+
+        Candidates are *ranked* by squared distance (identical rounding
+        between the scalar and batch kernels, see
+        :mod:`repro.geometry.vectorized`); the distances in the returned
+        pairs are true distances, recomputed on the winners only.
         """
         if k <= 0:
             raise ValueError("k must be positive")
         if self._root is None:
             return []
+        use_vec = (
+            vectorized.enabled() and self._size >= _VECTOR_MIN_ENTRIES
+        )
         counter = itertools.count()  # tie-breaker: heap entries stay comparable
         heap: List[Tuple[float, int, bool, Any]] = [
-            (self._root.mbr.min_distance_point(query), next(counter), False, self._root)
+            (
+                self._root.mbr.min_distance_sq_point(query),
+                next(counter),
+                False,
+                self._root,
+            )
         ]
         result: List[Tuple[float, RTreeEntry]] = []
         while heap and len(result) < k:
-            dist, _, is_entry, item = heapq.heappop(heap)
+            _dsq, _, is_entry, item = heapq.heappop(heap)
             if is_entry:
-                result.append((dist, item))
+                result.append((item.mbr.min_distance_point(query), item))
                 continue
             node: _Node = item
             if node.is_leaf:
-                for e in node.entries:
-                    heapq.heappush(
-                        heap,
-                        (e.mbr.min_distance_point(query), next(counter), True, e),
+                if use_vec:
+                    x1s, y1s, x2s, y2s = self._leaf_columns(node)
+                    dsqs = vectorized.rect_min_distance_sq(
+                        x1s, y1s, x2s, y2s, query.x, query.y
                     )
+                    for i, e in enumerate(node.entries):
+                        heapq.heappush(
+                            heap, (float(dsqs[i]), next(counter), True, e)
+                        )
+                else:
+                    for e in node.entries:
+                        heapq.heappush(
+                            heap,
+                            (
+                                e.mbr.min_distance_sq_point(query),
+                                next(counter),
+                                True,
+                                e,
+                            ),
+                        )
             else:
                 for child in node.children:
                     heapq.heappush(
                         heap,
                         (
-                            child.mbr.min_distance_point(query),
+                            child.mbr.min_distance_sq_point(query),
                             next(counter),
                             False,
                             child,

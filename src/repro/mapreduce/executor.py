@@ -54,14 +54,76 @@ MAX_REBUILDS_PER_WAVE = 1
 #: later wave runs in-process (the environment, not the wave, is broken).
 BLACKLIST_REBUILDS = 5
 
-#: Errors meaning "result or submission failed to pickle" — the pool
-#: survives these; only the offending chunks re-run in-process.
+#: Errors that *can* mean "result or submission failed to pickle". The
+#: pool survives these; only the offending chunks re-run in-process.
+#: AttributeError / TypeError are raised by the pickle machinery for
+#: unpicklable payloads but equally by ordinary user code, so membership
+#: here is necessary, not sufficient: result-loop failures are vetted by
+#: :func:`_is_serialization_error` before being treated as pickle
+#: trouble.
 _PICKLE_ERRORS = (pickle.PicklingError, AttributeError, TypeError)
 
 #: Errors meaning "the pool itself is dead" (worker process killed, result
 #: pipe torn down). BrokenExecutor covers BrokenProcessPool.
 _BROKEN_POOL_ERRORS = (BrokenExecutor, BrokenPipeError, EOFError,
                        ConnectionResetError)
+
+#: Substrings that place an exception inside the serialization machinery
+#: rather than user code: pickle itself, multiprocessing's queue feeder
+#: and reducer, and the worker-side result send.
+_SERIALIZATION_MARKERS = (
+    "pickle", "_sendback_result", "queues.py", "reduction.py",
+)
+
+
+def _is_serialization_error(exc: BaseException) -> bool:
+    """Did ``exc`` come from (de)serializing a payload, not from user code?
+
+    ``PicklingError`` is unambiguous. For ``AttributeError`` / ``TypeError``
+    the evidence is examined: the message (``Can't pickle ...``, ``cannot
+    pickle ...``, ``Can't get attribute ...``), the chained cause — a
+    worker-side serialization failure arrives as a ``RemoteTraceback``
+    cause whose text names the pickle machinery — and the traceback's
+    frame filenames. A genuine ``TypeError`` raised by a map function
+    matches none of these and must propagate as a task failure, not
+    silently re-run in-process.
+    """
+    if isinstance(exc, pickle.PicklingError):
+        return True
+    if not isinstance(exc, (AttributeError, TypeError)):
+        return False
+    texts = [str(exc)]
+    cause = exc.__cause__ or exc.__context__
+    if cause is not None:
+        texts.append(str(cause))
+    for text in texts:
+        lowered = text.lower()
+        if "pickle" in lowered or "can't get attribute" in lowered:
+            return True
+    tb = exc.__traceback__
+    while tb is not None:
+        filename = tb.tb_frame.f_code.co_filename
+        if any(marker in filename for marker in _SERIALIZATION_MARKERS):
+            return True
+        tb = tb.tb_next
+    return False
+
+
+def _prepare_shipped(chunks: Sequence[Any]):
+    """Shared-memory rewrite of a wave's chunks, or a transparent no-op.
+
+    Returns ``(shipped, arena)``; the caller must ``arena.destroy()``
+    once every result is in. Any failure here (or shipping being
+    disabled) degrades to pickling the original chunks.
+    """
+    try:
+        from repro.mapreduce import shm
+
+        if not shm.enabled():
+            return list(chunks), None
+        return shm.prepare_chunks(chunks)
+    except Exception:
+        return list(chunks), None
 
 
 def resolve_workers(explicit: Optional[int] = None) -> int:
@@ -215,14 +277,25 @@ class ParallelExecutor(Executor):
                 **({"blacklisted": True} if self.blacklisted else {}),
             }
             return [fn(chunk) for chunk in chunks]
-        if not self._can_ship(chunks[0]):
-            self.fallbacks += 1
-            self.last_dispatch = {"chunks": len(chunks), "mode": "in-process"}
-            return [fn(chunk) for chunk in chunks]
-        return self._map_chunks_pooled(fn, chunks)
+        shipped, arena = _prepare_shipped(chunks)
+        try:
+            if not self._can_ship(shipped[0]):
+                self.fallbacks += 1
+                self.last_dispatch = {
+                    "chunks": len(chunks), "mode": "in-process"
+                }
+                return [fn(chunk) for chunk in chunks]
+            return self._map_chunks_pooled(fn, chunks, shipped, arena)
+        finally:
+            if arena is not None:
+                arena.destroy()
 
     def _map_chunks_pooled(
-        self, fn: Callable[[Any], Any], chunks: Sequence[Any]
+        self,
+        fn: Callable[[Any], Any],
+        chunks: Sequence[Any],
+        shipped: Sequence[Any],
+        arena,
     ) -> List[Any]:
         """Pool dispatch with degraded-mode recovery.
 
@@ -232,7 +305,23 @@ class ParallelExecutor(Executor):
         still-incomplete chunks are re-dispatched. A wave tolerates
         ``MAX_REBUILDS_PER_WAVE`` rebuilds before its remainder runs
         in-process.
+
+        Workers receive ``shipped[i]`` — the shared-memory rewrite when
+        an arena is active, otherwise the chunk itself — wrapped so the
+        worker releases its arena views after each chunk. Every
+        in-process path runs ``fn(chunks[i])`` on the originals, keeping
+        degraded modes identical to the serial backend.
         """
+        if arena is not None:
+            from repro.mapreduce.shm import run_and_release
+
+            submit_one = lambda pool, i: pool.submit(  # noqa: E731
+                run_and_release, fn, shipped[i]
+            )
+        else:
+            submit_one = lambda pool, i: pool.submit(  # noqa: E731
+                fn, shipped[i]
+            )
         results: List[Any] = [None] * len(chunks)
         pending = list(range(len(chunks)))
         wave_rebuilds = 0
@@ -240,7 +329,7 @@ class ParallelExecutor(Executor):
         while pending:
             pool = self._ensure_pool()
             try:
-                futures = [(i, pool.submit(fn, chunks[i])) for i in pending]
+                futures = [(i, submit_one(pool, i)) for i in pending]
             except _PICKLE_ERRORS + _BROKEN_POOL_ERRORS:
                 # Submission itself failed (rare: _can_ship probed only
                 # the first chunk, or the pool died while idle). Run the
@@ -257,7 +346,12 @@ class ParallelExecutor(Executor):
                     results[i] = future.result()
                 except _BROKEN_POOL_ERRORS:
                     broken.append(i)
-                except _PICKLE_ERRORS:
+                except _PICKLE_ERRORS as exc:
+                    if not _is_serialization_error(exc):
+                        # A genuine user-code error that merely shares a
+                        # type with pickle failures: it is the task's
+                        # outcome, not a dispatch problem.
+                        raise
                     unpicklable.append(i)
             if unpicklable:
                 # A task's *return value* would not cross the pipe; the

@@ -40,12 +40,21 @@ class Block:
     copies live) are stamped by :meth:`StorageManager.seal_block` when
     the block enters the file system; blocks from workspaces pickled
     before the storage layer existed are adopted lazily on first read.
+
+    ``columnar`` is the optional vectorized-execution payload (see
+    :mod:`repro.mapreduce.columnar`): the record coordinates transposed
+    into flat float64 columns, attached at seal time when the records
+    are homogeneously points or rectangles. The checksum covers the
+    columnar bytes directly for such blocks. Access it through
+    ``getattr(block, "columnar", None)`` — blocks unpickled from older
+    workspaces lack the attribute entirely.
     """
 
     records: List[Any]
     metadata: Dict[str, Any] = field(default_factory=dict)
     checksum: Optional[int] = None
     replicas: List[Replica] = field(default_factory=list)
+    columnar: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self.records)

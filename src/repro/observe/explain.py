@@ -165,6 +165,16 @@ def build_plan(sh: Any, query: Query) -> PlanNode:
     from repro import operations as ops
 
     runner = sh.runner
+    plan = _dispatch_plan(ops, runner, query)
+    # Execution-mode stamp: which kernel path the blocks will take
+    # ("off" = scalar, "numpy"/"array" = batch kernels by backend).
+    from repro.geometry import vectorized
+
+    plan.detail["vectorized"] = vectorized.mode()
+    return plan
+
+
+def _dispatch_plan(ops, runner: Any, query: Query) -> PlanNode:
     if query.op == "range":
         return ops.plan_range_query(runner, query.file, query.window)
     if query.op == "count":

@@ -19,28 +19,36 @@ from repro.core.result import OperationResult
 from repro.core.reader import local_index_of, spatial_reader
 from repro.core.splitter import global_index_of, spatial_splitter
 from repro.geometry import Point, Rectangle
+from repro.geometry import vectorized
 from repro.index.partitioners.base import shape_mbr
 from repro.mapreduce import Counter, Job, JobRunner
+from repro.mapreduce.columnar import payload_of
 from repro.observe.plan import PlanNode, estimate_job_cost
 
 #: kNN answers are (distance, record) pairs sorted by distance.
 Neighbors = List[Tuple[float, object]]
 
 
-def _local_topk(records, query: Point, k: int) -> Neighbors:
-    """Top-k of a record list by MBR distance (exact for points)."""
-    heap: List[Tuple[float, int]] = []  # max-heap by negated distance
-    best: dict = {}
-    for i, record in enumerate(records):
-        d = shape_mbr(record).min_distance_point(query)
-        if len(heap) < k:
-            heapq.heappush(heap, (-d, i))
-            best[i] = record
-        elif d < -heap[0][0]:
-            _, evicted = heapq.heappushpop(heap, (-d, i))
-            del best[evicted]
-            best[i] = record
-    return sorted((-nd, best[i]) for nd, i in heap)
+def _local_topk(records, query: Point, k: int, payload=None) -> Neighbors:
+    """Top-k of a record list by MBR distance (exact for points).
+
+    Candidates are ranked by ``(squared distance, record index)`` —
+    squared distances round identically in the scalar loop and the batch
+    kernels, and the index tie-break makes the selected set independent
+    of execution mode. The distances in the returned pairs are true
+    distances, recomputed with ``math.hypot`` on the winners only.
+    """
+    if payload is not None:
+        top = vectorized.topk_by_distance(payload.distance_sq_to(query), k)
+    else:
+        mbr_of = shape_mbr  # bound to locals: this loop dominates kNN scans
+        dsq_of = Rectangle.min_distance_sq_point
+        dsq = [dsq_of(mbr_of(r), query) for r in records]
+        top = heapq.nsmallest(k, range(len(records)), key=lambda i: (dsq[i], i))
+    return [
+        (shape_mbr(records[i]).min_distance_point(query), records[i])
+        for i in top
+    ]
 
 
 def _merge_topk(partials: List[Neighbors], k: int) -> Neighbors:
@@ -53,7 +61,8 @@ def _merge_topk(partials: List[Neighbors], k: int) -> Neighbors:
 
 def _knn_scan_map(_key, records, ctx):
     """Per-block local top-k (module-level: picklable)."""
-    top = _local_topk(records, ctx.config["query"], ctx.config["k"])
+    payload = payload_of(ctx.split.block, len(records))
+    top = _local_topk(records, ctx.config["query"], ctx.config["k"], payload)
     for pair in top:
         ctx.emit(1, pair)
 
@@ -73,7 +82,10 @@ def _knn_indexed_map(_cell, records, ctx):
             for d, e in local.knn(ctx.config["query"], ctx.config["k"])
         ]
     else:
-        top = _local_topk(records, ctx.config["query"], ctx.config["k"])
+        payload = payload_of(ctx.split.block, len(records))
+        top = _local_topk(
+            records, ctx.config["query"], ctx.config["k"], payload
+        )
     for pair in top:
         ctx.write_output(pair)
 

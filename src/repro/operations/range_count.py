@@ -15,6 +15,7 @@ from repro.core.splitter import global_index_of, spatial_splitter
 from repro.geometry import Rectangle
 from repro.index.partitioners.base import shape_mbr
 from repro.mapreduce import Counter, Job, JobRunner
+from repro.mapreduce.columnar import payload_of
 from repro.observe.plan import PlanNode, estimate_job_cost
 from repro.operations.range_query import _matches, _owned_by_cell, estimated_matches
 
@@ -22,6 +23,10 @@ from repro.operations.range_query import _matches, _owned_by_cell, estimated_mat
 def _count_scan_map(_key, records, ctx):
     """Per-block matching-record count (module-level: picklable)."""
     q = ctx.config["query"]
+    payload = payload_of(ctx.split.block, len(records))
+    if payload is not None:
+        ctx.emit(1, len(payload.indices_in(q)))
+        return
     ctx.emit(1, sum(1 for r in records if _matches(r, q)))
 
 
@@ -37,6 +42,15 @@ def _count_indexed_map(cell, records, ctx):
     if local is not None:
         candidates = [e.record for e in local.search(q)]
     else:
+        payload = payload_of(ctx.split.block, len(records))
+        if payload is not None:
+            indices = (
+                payload.indices_owned_in(q, cell)
+                if ctx.config["dedup"]
+                else payload.indices_in(q)
+            )
+            ctx.emit(1, len(indices))
+            return
         candidates = [r for r in records if _matches(r, q)]
     count = 0
     for record in candidates:

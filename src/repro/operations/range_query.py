@@ -15,6 +15,7 @@ from repro.core.splitter import global_index_of, overlapping_filter, spatial_spl
 from repro.geometry import Point, Rectangle
 from repro.index.partitioners.base import shape_mbr
 from repro.mapreduce import Counter, Job, JobRunner
+from repro.mapreduce.columnar import payload_of
 from repro.observe.plan import PlanNode, estimate_job_cost
 
 
@@ -45,6 +46,14 @@ def _owned_by_cell(record_mbr: Rectangle, cell: Rectangle, query: Rectangle) -> 
 def _scan_map(_key, records, ctx):
     """Map task of the full-scan range query (module-level: picklable)."""
     q = ctx.config["query"]
+    payload = payload_of(ctx.split.block, len(records))
+    if payload is not None:
+        # One batch mask over the block's columnar payload; the index
+        # list is in record order, so output order matches the scalar
+        # loop exactly.
+        for i in payload.indices_in(q):
+            ctx.write_output(records[i])
+        return
     for record in records:
         if _matches(record, q):
             ctx.write_output(record)
@@ -57,6 +66,16 @@ def _indexed_map(cell, records, ctx):
     if local is not None:
         candidates = [e.record for e in local.search(q)]
     else:
+        payload = payload_of(ctx.split.block, len(records))
+        if payload is not None:
+            indices = (
+                payload.indices_owned_in(q, cell)
+                if ctx.config["dedup"]
+                else payload.indices_in(q)
+            )
+            for i in indices:
+                ctx.write_output(records[i])
+            return
         candidates = [r for r in records if _matches(r, q)]
     for record in candidates:
         if not _matches(record, q):

@@ -21,7 +21,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.core.result import OperationResult
 from repro.core.splitter import global_index_of
-from repro.geometry import Point, Rectangle
+from repro.geometry import Point, Rectangle, vectorized
 from repro.index.partitioners.base import shape_mbr
 from repro.index.partitioners.grid import GridPartitioner
 from repro.mapreduce import Block, Job, JobRunner
@@ -29,24 +29,41 @@ from repro.mapreduce.types import InputSplit
 from repro.observe.plan import PlanNode, estimate_job_cost
 
 
+#: Below this per-side size the windowed sweep's array setup costs more
+#: than the scalar inner loops it replaces.
+_SWEEP_MIN_RECORDS = 8
+
+
 def plane_sweep_join(left: List[Any], right: List[Any]) -> List[Tuple[Any, Any]]:
     """All (l, r) pairs with intersecting MBRs, by x-sweep.
 
     Classic forward plane sweep over the records of one partition pair;
-    O(n log n + k) for typical inputs.
+    O(n log n + k) for typical inputs. With NumPy available the inner
+    loops are replaced by ``searchsorted`` windows plus one intersection
+    mask per sweep step — same pairs, same emit order.
     """
     ls = sorted(left, key=lambda r: shape_mbr(r).x1)
     rs = sorted(right, key=lambda r: shape_mbr(r).x1)
+    lm = [shape_mbr(r) for r in ls]
+    rm = [shape_mbr(r) for r in rs]
+    if (
+        vectorized.enabled()
+        and vectorized.has_numpy()
+        and len(ls) >= _SWEEP_MIN_RECORDS
+        and len(rs) >= _SWEEP_MIN_RECORDS
+    ):
+        return _plane_sweep_windowed(ls, rs, lm, rm)
     out: List[Tuple[Any, Any]] = []
     i = j = 0
-    while i < len(ls) and j < len(rs):
-        l_mbr = shape_mbr(ls[i])
-        r_mbr = shape_mbr(rs[j])
+    nl, nr = len(ls), len(rs)
+    while i < nl and j < nr:
+        l_mbr = lm[i]
+        r_mbr = rm[j]
         if l_mbr.x1 <= r_mbr.x1:
             # Sweep ls[i] against right records starting at j.
             jj = j
-            while jj < len(rs):
-                other = shape_mbr(rs[jj])
+            while jj < nr:
+                other = rm[jj]
                 if other.x1 > l_mbr.x2:
                     break
                 if l_mbr.intersects(other):
@@ -55,13 +72,67 @@ def plane_sweep_join(left: List[Any], right: List[Any]) -> List[Tuple[Any, Any]]
             i += 1
         else:
             ii = i
-            while ii < len(ls):
-                other = shape_mbr(ls[ii])
+            while ii < nl:
+                other = lm[ii]
                 if other.x1 > r_mbr.x2:
                     break
                 if other.intersects(r_mbr):
                     out.append((ls[ii], rs[j]))
                 ii += 1
+            j += 1
+    return out
+
+
+def _plane_sweep_windowed(ls, rs, lm, rm) -> List[Tuple[Any, Any]]:
+    """NumPy replay of the scalar sweep.
+
+    The scalar inner loop scans forward from the sweep frontier and
+    breaks at the first record whose ``x1`` passes the active record's
+    ``x2`` — on an x1-sorted side that stop position is exactly
+    ``searchsorted(x1s, x2, side="right")`` (ties included, like the
+    scalar ``>`` break). One closed-intersection mask over the window
+    then emits the same pairs in the same ascending order.
+    """
+    import numpy as np
+
+    nl, nr = len(ls), len(rs)
+    lx1 = np.fromiter((m.x1 for m in lm), np.float64, nl)
+    ly1 = np.fromiter((m.y1 for m in lm), np.float64, nl)
+    lx2 = np.fromiter((m.x2 for m in lm), np.float64, nl)
+    ly2 = np.fromiter((m.y2 for m in lm), np.float64, nl)
+    rx1 = np.fromiter((m.x1 for m in rm), np.float64, nr)
+    ry1 = np.fromiter((m.y1 for m in rm), np.float64, nr)
+    rx2 = np.fromiter((m.x2 for m in rm), np.float64, nr)
+    ry2 = np.fromiter((m.y2 for m in rm), np.float64, nr)
+    out: List[Tuple[Any, Any]] = []
+    append = out.append
+    i = j = 0
+    while i < nl and j < nr:
+        if lx1[i] <= rx1[j]:
+            hi = int(np.searchsorted(rx1, lx2[i], side="right"))
+            if hi > j:
+                w = slice(j, hi)
+                mask = (
+                    (rx2[w] >= lx1[i])
+                    & (ry1[w] <= ly2[i])
+                    & (ry2[w] >= ly1[i])
+                )
+                l_rec = ls[i]
+                for t in np.flatnonzero(mask).tolist():
+                    append((l_rec, rs[j + t]))
+            i += 1
+        else:
+            hi = int(np.searchsorted(lx1, rx2[j], side="right"))
+            if hi > i:
+                w = slice(i, hi)
+                mask = (
+                    (lx2[w] >= rx1[j])
+                    & (ly1[w] <= ry2[j])
+                    & (ly2[w] >= ry1[j])
+                )
+                r_rec = rs[j]
+                for t in np.flatnonzero(mask).tolist():
+                    append((ls[i + t], r_rec))
             j += 1
     return out
 

@@ -1,0 +1,94 @@
+"""REPRO_VECTORIZE=0 and =1 must be indistinguishable from the answers.
+
+Every operation of the suite runs through both execution modes — the
+scalar loops and the columnar batch kernels — and the answers, counters
+and MapReduce round counts must match bit for bit, serial and across
+worker processes (where the columnar payloads additionally travel via
+shared memory), clean and under the scripted chaos plan. The only
+permitted difference is wall-clock.
+"""
+
+import os
+
+import pytest
+
+from repro.mapreduce import shm
+from tests.test_integration.test_chaos import (
+    CHAOS,
+    OPERATIONS,
+    build_workspace,
+    normalize,
+)
+
+
+def run_suite(vectorize, **kwargs):
+    """Build a workspace and run every operation under one mode.
+
+    The env flip wraps the *build* too: sealing, indexing and querying
+    must all agree with themselves within a mode, and with the other
+    mode's answers across modes.
+    """
+    saved = os.environ.get("REPRO_VECTORIZE")
+    os.environ["REPRO_VECTORIZE"] = vectorize
+    try:
+        sh = build_workspace(**kwargs)
+        try:
+            out = {}
+            for name, run in OPERATIONS.items():
+                result = run(sh)
+                out[name] = (
+                    normalize(name, result.answer),
+                    result.counters.as_dict(),
+                    result.rounds,
+                )
+            return out
+        finally:
+            sh.runner.close()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_VECTORIZE", None)
+        else:
+            os.environ["REPRO_VECTORIZE"] = saved
+
+
+class TestVectorizeEquivalence:
+    @pytest.fixture(scope="class")
+    def scalar_baseline(self):
+        return run_suite("0")
+
+    def assert_identical(self, want, got):
+        for name in sorted(OPERATIONS):
+            assert got[name][0] == want[name][0], name
+            assert got[name][1] == want[name][1], name
+            assert got[name][2] == want[name][2], name
+
+    def test_serial_vectorized_matches_scalar(self, scalar_baseline):
+        self.assert_identical(scalar_baseline, run_suite("1"))
+        assert shm.live_segments() == []
+
+    def test_parallel_shm_matches_scalar_serial(self, scalar_baseline):
+        self.assert_identical(scalar_baseline, run_suite("1", workers=2))
+        assert shm.live_segments() == []
+
+    def test_chaos_parallel_shm_matches_scalar_serial(self, scalar_baseline):
+        self.assert_identical(
+            scalar_baseline, run_suite("1", workers=2, faults=CHAOS)
+        )
+        assert shm.live_segments() == []
+
+
+class TestExplainShowsMode:
+    QUERY = "range pts_idx 200000,200000,600000,600000"
+
+    @pytest.mark.parametrize("mode,expected", [("1", ("numpy", "array")),
+                                               ("0", ("off",))])
+    def test_plan_carries_vectorized_attribute(self, monkeypatch,
+                                               mode, expected):
+        monkeypatch.setenv("REPRO_VECTORIZE", mode)
+        sh = build_workspace()
+        try:
+            explanation = sh.explain(self.QUERY)
+            assert explanation.plan.detail["vectorized"] in expected
+            assert "vectorized" in explanation.plan.render()
+        finally:
+            sh.runner.close()

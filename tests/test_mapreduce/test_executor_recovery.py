@@ -210,3 +210,62 @@ class TestSerialContract:
         assert ex.map_chunks(lambda c: c + 1, [1, 2, 3]) == [2, 3, 4]
         assert ex.last_dispatch == {"chunks": 3, "mode": "in-process"}
         ex.close()  # no-op, must exist
+
+
+def raise_type_error(chunk):
+    # A genuine user bug, raised inside the worker: must surface as-is.
+    return chunk["id"] + "not-a-number"
+
+
+class TestSerializationClassifier:
+    """Genuine user errors must not be mistaken for pickle failures.
+
+    ``TypeError`` and ``AttributeError`` are in ``_PICKLE_ERRORS`` because
+    the pickle machinery raises them for unpicklable results — but user
+    map functions raise them too. Only the former may trigger the
+    in-process fallback.
+    """
+
+    def test_user_type_error_propagates(self, tmp_path, executor):
+        chunks, _ = make_chunks(3, tmp_path)
+        with pytest.raises(TypeError, match="not-a-number|unsupported"):
+            executor.map_chunks(raise_type_error, chunks)
+        assert executor.fallbacks == 0
+
+    def test_unpicklable_result_still_falls_back(self, tmp_path, executor):
+        chunks, _ = make_chunks(3, tmp_path, action_for={1: "unpicklable"})
+        results = executor.map_chunks(run_chunk, chunks)
+        assert callable(results[1]) and results[1]() == 1
+        assert executor.fallbacks == 1
+
+    def test_classifier_unit_cases(self):
+        import pickle as _pickle
+
+        from repro.mapreduce.executor import _is_serialization_error
+
+        assert _is_serialization_error(_pickle.PicklingError("boom"))
+        assert _is_serialization_error(
+            TypeError("cannot pickle '_thread.lock' object")
+        )
+        assert _is_serialization_error(
+            AttributeError(
+                "Can't get attribute 'f' on <module '__main__'>"
+            )
+        )
+        assert not _is_serialization_error(
+            TypeError("unsupported operand type(s) for +: 'int' and 'str'")
+        )
+        assert not _is_serialization_error(
+            AttributeError("'NoneType' object has no attribute 'x'")
+        )
+        assert not _is_serialization_error(ValueError("pickle me not"))
+
+    def test_chained_pickle_cause_is_detected(self):
+        from repro.mapreduce.executor import _is_serialization_error
+
+        exc = TypeError("opaque wrapper")
+        exc.__cause__ = pickle_cause = Exception(
+            "cannot pickle 'generator' object"
+        )
+        del pickle_cause
+        assert _is_serialization_error(exc)
