@@ -15,6 +15,10 @@ HDFS between invocations, so a session looks like::
     python -m repro -w ws.pkl explain "range pts_idx 0,0,1e5,1e5"
     python -m repro -w ws.pkl explain --analyze "knn pts_idx 5e5,5e5 10"
     python -m repro -w ws.pkl doctor pts_idx --heatmap pts.svg
+    python -m repro -w ws.pkl metrics --format prom
+    python -m repro -w ws.pkl --profile rangequery pts_idx --window 0,0,1e5,1e5
+    python -m repro -w ws.pkl profile --flamegraph phases.svg
+    python -m repro sentinel --baseline BENCH_e14.json
 
 Every query command prints the answer summary plus the cost line the
 benchmarks use (blocks read, records shuffled, simulated makespan);
@@ -23,6 +27,13 @@ flag records a structured span trace of the invocation (JSON-lines,
 plus a Chrome ``trace_event`` file for chrome://tracing / Perfetto),
 and the ``history`` subcommand renders the Hadoop-JobHistory-style
 report of the jobs the workspace has run.
+
+The telemetry pipeline rides on three more pieces: ``--telemetry FILE``
+appends wave-boundary metric scrapes (normalized JSONL, bit-identical
+between serial and ``--workers N`` runs), ``metrics`` exports the
+workspace metrics as Prometheus/OpenMetrics text, ``--profile`` +
+``profile`` break job time into per-task phases (flamegraph-ready) and
+``sentinel`` gates CI on perf drift against a ``BENCH_*.json`` baseline.
 """
 
 from __future__ import annotations
@@ -145,6 +156,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--progress", action="store_true",
         help="stream live wave/task progress of every job to stderr",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="FILE",
+        help="export the workspace's wave-boundary metric scrapes as "
+             "normalized JSONL to FILE at the end of this invocation "
+             "(bit-identical between serial and --workers N runs)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile per-task phases (shm attach, columnar decode, "
+             "kernels, R-tree probes ...) for this invocation's jobs; "
+             "see the 'profile' subcommand",
     )
     parser.add_argument(
         "-v", "--verbose", action="store_true",
@@ -273,6 +296,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "--last", type=int, default=None, metavar="N",
         help="only the N most recent jobs (default: all retained)",
     )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text report)",
+    )
+
+    p = sub.add_parser(
+        "metrics",
+        help="export the workspace metrics registry",
+    )
+    p.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="'prom' = Prometheus/OpenMetrics text exposition "
+             "(default), 'json' = raw snapshot",
+    )
+
+    p = sub.add_parser(
+        "profile",
+        help="aggregate phase profiles of profiled jobs in the history",
+    )
+    p.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the N most recent jobs (default: all retained)",
+    )
+    p.add_argument(
+        "--flamegraph", default=None, metavar="FILE",
+        help="also write a flamegraph (.svg, or .txt for raw "
+             "collapsed stacks)",
+    )
+
+    p = sub.add_parser(
+        "sentinel",
+        help="compare a benchmark snapshot against a baseline; exits "
+             "non-zero on perf regressions (the CI gate)",
+    )
+    p.add_argument(
+        "--baseline", required=True, metavar="FILE",
+        help="baseline BENCH_*.json file",
+    )
+    p.add_argument(
+        "--current", default=None, metavar="FILE",
+        help="snapshot to check (default: the baseline itself, a "
+             "trivially clean wiring check)",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=None, metavar="PCT",
+        help="symmetric drift tolerance in percent (default: 20)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text report)",
+    )
 
     p = sub.add_parser("rm", help="delete a file")
     p.add_argument("file")
@@ -321,7 +395,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     tracer = sh.enable_tracing() if args.trace else None
     if args.progress:
         sh.enable_progress()
+    if args.profile:
+        sh.enable_profiling()
+    telemetry = sh.telemetry() if args.telemetry else None
     jobs_before = sh.history.total_recorded
+    scrapes_before = len(telemetry) if telemetry is not None else 0
     mutated = False
 
     try:
@@ -339,6 +417,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         # The reporter holds an open stderr handle; like a live tracer it
         # is per-invocation only and must never reach the pickle below.
         sh.disable_progress()
+        if args.profile:
+            # Like --workers, a per-invocation choice: the saved
+            # workspace replays unprofiled (env/explicit API re-enable).
+            sh.runner.profile = None
+        if telemetry is not None:
+            written = telemetry.export_jsonl(args.telemetry)
+            new = len(telemetry) - scrapes_before
+            print(
+                f"[telemetry] {written} scrape(s) ({new} new) -> "
+                f"{args.telemetry}",
+                file=sys.stderr,
+            )
         if tracer is not None:
             trace_path = Path(args.trace)
             tracer.export_jsonl(trace_path)
@@ -357,7 +447,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # the job history — persist that too so `repro history` accumulates.
     if mutated or sh.history.total_recorded > jobs_before:
         _save_workspace(sh, path)
-    return 0
+    # Gate commands (sentinel) report their verdict via the exit code.
+    return getattr(args, "exit_code", 0)
 
 
 def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
@@ -577,7 +668,68 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
         return True
 
     if cmd == "history":
-        print(sh.history.report(last=args.last), end="")
+        if args.format == "json":
+            import json
+
+            print(json.dumps(sh.history.to_dict(last=args.last), indent=2))
+        else:
+            print(sh.history.report(last=args.last), end="")
+        return False
+
+    if cmd == "metrics":
+        if args.format == "json":
+            import json
+
+            print(json.dumps(sh.metrics.snapshot(), indent=2))
+        else:
+            print(sh.openmetrics(), end="")
+        return False
+
+    if cmd == "profile":
+        from repro.observe import profile as profile_mod
+
+        merged: dict = {}
+        profiled = 0
+        for rec in sh.history.last(args.last):
+            phases = getattr(rec, "phase_profile", None)
+            if phases:
+                profile_mod.merge_profiles(merged, phases)
+                profiled += 1
+        print(
+            f"phase profile over {profiled} profiled job(s) "
+            f"(of {len(sh.history.last(args.last))} in range):"
+        )
+        print(profile_mod.render_report(merged).rstrip())
+        if args.flamegraph:
+            from repro.viz import write_flamegraph
+
+            if not merged:
+                raise ValueError(
+                    "no profiled jobs in range — run queries with "
+                    "--profile (or REPRO_PROFILE=1) first"
+                )
+            write_flamegraph(
+                profile_mod.collapse(merged), args.flamegraph
+            )
+            print(f"wrote flamegraph to {args.flamegraph}", file=sys.stderr)
+        return False
+
+    if cmd == "sentinel":
+        from repro.observe import sentinel as sentinel_mod
+
+        kwargs = {}
+        if args.tolerance is not None:
+            kwargs["tolerance_pct"] = args.tolerance
+        report = sentinel_mod.compare_files(
+            args.baseline, args.current, **kwargs
+        )
+        if args.format == "json":
+            import json
+
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        args.exit_code = report.exit_code
         return False
 
     if cmd == "rm":

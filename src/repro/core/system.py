@@ -29,7 +29,7 @@ from repro.mapreduce.storage import FsckReport, run_fsck
 from repro.observe import JobHistory, MetricsRegistry, NullTracer, Tracer
 
 if TYPE_CHECKING:  # lazy imports below avoid the observe -> explain cycle
-    from repro.observe import Diagnosis, ProgressReporter
+    from repro.observe import Diagnosis, ProgressReporter, TelemetryLog
     from repro.observe.explain import Explanation
 
 
@@ -128,6 +128,53 @@ class SpatialHadoop:
     def history_report(self, last: Optional[int] = None) -> str:
         """The Hadoop-JobHistory-style text report of retained jobs."""
         return self.history.report(last=last)
+
+    def telemetry(self) -> "TelemetryLog":
+        """The wave-boundary scrape log, attaching one if none exists.
+
+        Once attached, the runner snapshots the metrics registry (plus
+        the running job's counters) at every job start, wave boundary and
+        job end. The log is plain data and pickles with the workspace, so
+        scrapes accumulate across CLI invocations until
+        :meth:`TelemetryLog.clear` or export.
+        """
+        from repro.observe import TelemetryLog
+
+        if getattr(self.runner, "telemetry", None) is None:
+            self.runner.telemetry = TelemetryLog()
+        return self.runner.telemetry
+
+    def openmetrics(self, prefix: str = "repro_") -> str:
+        """Current metrics in OpenMetrics/Prometheus text exposition.
+
+        Labels every sample with the execution backend (``workers``) and
+        whether the vectorized kernels are active, so scrapes from
+        different backends stay distinguishable in one store.
+        """
+        from repro.geometry import vectorized
+        from repro.observe import render_openmetrics
+
+        return render_openmetrics(
+            self.metrics.snapshot(),
+            prefix=prefix,
+            labels={
+                "workers": str(self.runner.workers),
+                "vectorized": vectorized.mode(),
+            },
+        )
+
+    def enable_profiling(self) -> None:
+        """Turn per-phase task profiling on for subsequent jobs.
+
+        Adds a phase breakdown (split-fetch, shm-attach, columnar decode,
+        kernel, R-tree probe, shuffle-serialize, commit ...) to every
+        ``JobResult``, the history report and ANALYZE actuals. Costs a
+        few timer reads per task phase; off by default.
+        """
+        self.runner.profile = True
+
+    def disable_profiling(self) -> None:
+        self.runner.profile = False
 
     def enable_progress(self, stream: Any = None) -> "ProgressReporter":
         """Stream live wave/task progress to ``stream`` (default stderr).

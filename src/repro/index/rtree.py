@@ -26,6 +26,18 @@ DEFAULT_NODE_CAPACITY = 32
 #: fixed setup cost is not worth it for a handful of entries.
 _VECTOR_MIN_ENTRIES = 4
 
+_profiler = None
+
+
+def _phase(name: str):
+    """Profiler phase scope, lazily bound (cycle: observe -> mapreduce)."""
+    global _profiler
+    if _profiler is None:
+        from repro.observe import profile
+
+        _profiler = profile
+    return _profiler.phase(name)
+
 
 @dataclass(frozen=True)
 class RTreeEntry:
@@ -190,21 +202,24 @@ class RTree:
         """All entries whose MBR intersects ``rect``."""
         if self._root is None:
             return []
-        if vectorized.enabled() and self._size >= _VECTOR_MIN_ENTRIES:
-            entries, x1s, y1s, x2s, y2s = self._flat_cache()
-            hits = vectorized.rects_intersect(x1s, y1s, x2s, y2s, rect)
-            return [entries[i] for i in hits]
-        out: List[RTreeEntry] = []
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if not node.mbr.intersects(rect):
-                continue
-            if node.is_leaf:
-                out.extend(e for e in node.entries if e.mbr.intersects(rect))
-            else:
-                stack.extend(node.children)
-        return out
+        with _phase("rtree-probe"):
+            if vectorized.enabled() and self._size >= _VECTOR_MIN_ENTRIES:
+                entries, x1s, y1s, x2s, y2s = self._flat_cache()
+                hits = vectorized.rects_intersect(x1s, y1s, x2s, y2s, rect)
+                return [entries[i] for i in hits]
+            out: List[RTreeEntry] = []
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                if not node.mbr.intersects(rect):
+                    continue
+                if node.is_leaf:
+                    out.extend(
+                        e for e in node.entries if e.mbr.intersects(rect)
+                    )
+                else:
+                    stack.extend(node.children)
+            return out
 
     def all_entries(self) -> Iterator[RTreeEntry]:
         if self._root is None:

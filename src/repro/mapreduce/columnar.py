@@ -46,6 +46,24 @@ _FLOAT_SIZE = 8
 
 _column_from_iter = vectorized.column_from_iter
 
+_profiler = None
+
+
+def _phase(name: str):
+    """Profiler phase scope, lazily bound.
+
+    ``repro.observe.profile`` cannot be imported at module top: this
+    module is reached from ``repro.mapreduce.__init__``, and the observe
+    package initializer imports back into mapreduce. The profiler scope
+    is a no-op unless a profiled task is in flight.
+    """
+    global _profiler
+    if _profiler is None:
+        from repro.observe import profile
+
+        _profiler = profile
+    return _profiler.phase(name)
+
 
 class ColumnarPayload:
     """Flat float64 columns for one block's records.
@@ -189,42 +207,49 @@ class ColumnarPayload:
         yield plain-float records (``np.float64`` attributes would leak
         into answers and print differently than the scalar path).
         """
-        if self.kind == "point":
-            xs, ys = self.columns
+        with _phase("columnar-decode"):
+            if self.kind == "point":
+                xs, ys = self.columns
+                return [
+                    Point(float(xs[i]), float(ys[i]))
+                    for i in range(self.count)
+                ]
+            x1s, y1s, x2s, y2s = self.columns
             return [
-                Point(float(xs[i]), float(ys[i])) for i in range(self.count)
+                Rectangle(
+                    float(x1s[i]), float(y1s[i]), float(x2s[i]), float(y2s[i])
+                )
+                for i in range(self.count)
             ]
-        x1s, y1s, x2s, y2s = self.columns
-        return [
-            Rectangle(
-                float(x1s[i]), float(y1s[i]), float(x2s[i]), float(y2s[i])
-            )
-            for i in range(self.count)
-        ]
 
     # ------------------------------------------------------------------
     # Kernel dispatch
     # ------------------------------------------------------------------
     def indices_in(self, rect: Rectangle) -> List[int]:
         """Record indices whose shape MBR intersects ``rect``, in order."""
-        if self.kind == "point":
-            xs, ys = self.columns
-            return vectorized.points_in_rect(xs, ys, rect)
-        return vectorized.rects_intersect(*self.columns, rect)
+        with _phase("kernel"):
+            if self.kind == "point":
+                xs, ys = self.columns
+                return vectorized.points_in_rect(xs, ys, rect)
+            return vectorized.rects_intersect(*self.columns, rect)
 
     def indices_owned_in(self, rect: Rectangle, cell: Rectangle) -> List[int]:
         """Like :meth:`indices_in` plus reference-point dedup vs ``cell``."""
-        if self.kind == "point":
-            xs, ys = self.columns
-            return vectorized.points_in_rect_owned(xs, ys, rect, cell)
-        return vectorized.rects_intersect_owned(*self.columns, rect, cell)
+        with _phase("kernel"):
+            if self.kind == "point":
+                xs, ys = self.columns
+                return vectorized.points_in_rect_owned(xs, ys, rect, cell)
+            return vectorized.rects_intersect_owned(*self.columns, rect, cell)
 
     def distance_sq_to(self, query: Point):
         """Squared distance from every record's MBR to ``query``."""
-        if self.kind == "point":
-            xs, ys = self.columns
-            return vectorized.point_distance_sq(xs, ys, query.x, query.y)
-        return vectorized.rect_min_distance_sq(*self.columns, query.x, query.y)
+        with _phase("kernel"):
+            if self.kind == "point":
+                xs, ys = self.columns
+                return vectorized.point_distance_sq(xs, ys, query.x, query.y)
+            return vectorized.rect_min_distance_sq(
+                *self.columns, query.x, query.y
+            )
 
 
 def payload_of(block, expected_count: Optional[int] = None):

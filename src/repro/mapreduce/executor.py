@@ -37,6 +37,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import BrokenExecutor
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Sequence
 
 #: Environment variable consulted when no explicit worker count is given.
@@ -277,7 +278,9 @@ class ParallelExecutor(Executor):
                 **({"blacklisted": True} if self.blacklisted else {}),
             }
             return [fn(chunk) for chunk in chunks]
+        prepare_t0 = perf_counter()
         shipped, arena = _prepare_shipped(chunks)
+        prepare_s = perf_counter() - prepare_t0
         try:
             if not self._can_ship(shipped[0]):
                 self.fallbacks += 1
@@ -285,7 +288,9 @@ class ParallelExecutor(Executor):
                     "chunks": len(chunks), "mode": "in-process"
                 }
                 return [fn(chunk) for chunk in chunks]
-            return self._map_chunks_pooled(fn, chunks, shipped, arena)
+            return self._map_chunks_pooled(
+                fn, chunks, shipped, arena, prepare_s
+            )
         finally:
             if arena is not None:
                 arena.destroy()
@@ -296,6 +301,7 @@ class ParallelExecutor(Executor):
         chunks: Sequence[Any],
         shipped: Sequence[Any],
         arena,
+        prepare_s: float = 0.0,
     ) -> List[Any]:
         """Pool dispatch with degraded-mode recovery.
 
@@ -326,10 +332,13 @@ class ParallelExecutor(Executor):
         pending = list(range(len(chunks)))
         wave_rebuilds = 0
         recovered = False
+        submit_s = prepare_s
         while pending:
             pool = self._ensure_pool()
             try:
+                submit_t0 = perf_counter()
                 futures = [(i, submit_one(pool, i)) for i in pending]
+                submit_s += perf_counter() - submit_t0
             except _PICKLE_ERRORS + _BROKEN_POOL_ERRORS:
                 # Submission itself failed (rare: _can_ship probed only
                 # the first chunk, or the pool died while idle). Run the
@@ -376,9 +385,13 @@ class ParallelExecutor(Executor):
                     results[i] = fn(chunks[i])
                 break
             pending = broken
+        # Chunk-preparation + submission time: the driver-side cost of
+        # getting this wave onto the workers (shm packing, pickling
+        # hand-off). Surfaced so the profiler can attribute it.
         self.last_dispatch = {
             "chunks": len(chunks),
             "mode": "pool",
+            "submit_s": round(submit_s, 6),
             **({"recovered": True} if recovered else {}),
         }
         return results

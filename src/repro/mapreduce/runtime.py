@@ -32,6 +32,7 @@ import pickle
 import sys
 import time
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.mapreduce.cluster import ClusterModel, TaskAttempt, TaskStats
@@ -69,6 +70,7 @@ from repro.observe.metrics import (
     TASK_DURATION_BUCKETS,
     MetricsRegistry,
 )
+from repro.observe import profile as _profiler
 from repro.observe.trace import NullTracer
 
 #: Per-task clock: CPU seconds of the calling process. Worker processes
@@ -168,6 +170,11 @@ class JobResult:
     #: never part of the output/counters determinism contract
     #: (``pool_rebuilds`` in particular is backend-dependent).
     fault_summary: Dict[str, float] = field(default_factory=dict)
+    #: Phase-time attribution (``{"map/kernel": {"s": .., "n": ..}}``),
+    #: populated only when the job ran with profiling on. Wall-clock —
+    #: like ``fault_summary``, diagnostics outside the determinism
+    #: contract.
+    phase_profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def blocks_read(self) -> int:
@@ -192,13 +199,14 @@ class JobResult:
 
 @dataclass
 class _WavePolicy:
-    """Resolved fault-tolerance knobs for one job's waves."""
+    """Resolved fault-tolerance and profiling knobs for one job's waves."""
 
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
     task_timeout: Optional[float] = None
     speculative: bool = False
     slow_task_factor: float = DEFAULT_SLOW_TASK_FACTOR
     faults: Optional[FaultPlan] = None
+    profile: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -210,8 +218,8 @@ class _WavePolicy:
 # task yields a *marker*:
 #
 #   ("ok",  wave_index, attempt, data)                      — data is the
-#       usual 7-tuple (task_id, records_in, counters_dict, emitted,
-#       output, seconds, events);
+#       usual 8-tuple (task_id, records_in, counters_dict, emitted,
+#       output, seconds, events, phases);
 #   ("err", wave_index, attempt, outcome, error, seconds)   — the attempt
 #       failed; ``error`` is the exception (wrapped if unpicklable).
 #
@@ -223,21 +231,28 @@ def _noop_map(_key: Any, _records: Any, _ctx: Any) -> None:  # pragma: no cover
 
 
 def _shipped_job(
-    job: Job, wave: str, faults: Optional[FaultPlan] = None
+    job: Job, wave: str, faults: Optional[FaultPlan] = None,
+    profile: bool = False,
 ) -> Job:
     """A copy of ``job`` stripped to what one wave's tasks actually need.
 
     Driver-only hooks (splitter, reader, commit, partitioner) never run
     inside a task, so dropping them keeps per-chunk pickling small and —
     more importantly — lets a job with an unpicklable driver hook still
-    run its waves in parallel. The resolved fault plan rides along in the
-    config so worker processes consult the same script as the driver.
+    run its waves in parallel. The resolved fault plan and the profiling
+    decision ride along in the config so worker processes consult the
+    same script as the driver.
     """
     config = job.config
-    if faults is not None or config.get("faults") is not None:
+    if (
+        faults is not None
+        or config.get("faults") is not None
+        or profile != bool(config.get("profile", False))
+    ):
         config = {k: v for k, v in config.items() if k != "faults"}
         if faults is not None:
             config["faults"] = faults
+        config["profile"] = profile
     return replace(
         job,
         splitter=None,
@@ -274,17 +289,18 @@ def _combine(
 
 
 def _map_task_data(job: Job, reader, split: InputSplit):
-    """Execute one map task; returns its 7-tuple result."""
+    """Execute one map task; returns its 8-tuple result."""
     counters = Counters()
     ctx = MapContext(job, counters, split)
-    started = _task_clock()
-    key, records = reader(split)
-    job.map_fn(key, records, ctx)
-    emitted = ctx._emitted
-    raw_emitted = len(emitted)
-    if job.combine_fn is not None and emitted:
-        emitted = _combine(job, counters, emitted)
-    elapsed = _task_clock() - started
+    with _profiler.task_scope(job.config.get("profile", False)) as phases:
+        started = _task_clock()
+        key, records = reader(split)
+        job.map_fn(key, records, ctx)
+        emitted = ctx._emitted
+        raw_emitted = len(emitted)
+        if job.combine_fn is not None and emitted:
+            emitted = _combine(job, counters, emitted)
+        elapsed = _task_clock() - started
     counters.increment(Counter.MAP_INPUT_RECORDS, len(records))
     counters.increment(Counter.MAP_OUTPUT_RECORDS, raw_emitted)
     return (
@@ -295,19 +311,21 @@ def _map_task_data(job: Job, reader, split: InputSplit):
         ctx._output,
         elapsed,
         ctx._events,
+        dict(phases),
     )
 
 
 def _reduce_task_data(job: Job, task_index: int, items):
-    """Execute one reduce task; returns its 7-tuple result."""
+    """Execute one reduce task; returns its 8-tuple result."""
     counters = Counters()
     ctx = ReduceContext(job, counters, task_index)
-    started = _task_clock()
-    # Hadoop sorts by key before reducing; keep that contract for
-    # reducers that rely on key order.
-    for k, values in _sorted_items(items):
-        job.reduce_fn(k, values, ctx)  # type: ignore[misc]
-    elapsed = _task_clock() - started
+    with _profiler.task_scope(job.config.get("profile", False)) as phases:
+        started = _task_clock()
+        # Hadoop sorts by key before reducing; keep that contract for
+        # reducers that rely on key order.
+        for k, values in _sorted_items(items):
+            job.reduce_fn(k, values, ctx)  # type: ignore[misc]
+        elapsed = _task_clock() - started
     records_in = sum(len(values) for _, values in items)
     counters.increment(Counter.REDUCE_INPUT_RECORDS, records_in)
     counters.increment(
@@ -321,6 +339,7 @@ def _reduce_task_data(job: Job, task_index: int, items):
         ctx._output,
         elapsed,
         ctx._events,
+        dict(phases),
     )
 
 
@@ -406,13 +425,14 @@ def _valid_task_data(data: Any) -> bool:
     """
     return (
         isinstance(data, tuple)
-        and len(data) == 7
+        and len(data) == 8
         and isinstance(data[1], int)
         and isinstance(data[2], dict)
         and isinstance(data[3], list)
         and isinstance(data[4], list)
         and isinstance(data[5], float)
         and isinstance(data[6], list)
+        and isinstance(data[7], dict)
     )
 
 
@@ -470,6 +490,7 @@ class JobRunner:
         speculative: bool = False,
         slow_task_factor: float = DEFAULT_SLOW_TASK_FACTOR,
         faults=None,
+        profile: Optional[bool] = None,
     ):
         self.fs = fs
         self.cluster = cluster or ClusterModel()
@@ -482,6 +503,13 @@ class JobRunner:
         self.speculative = bool(speculative)
         self.slow_task_factor = float(slow_task_factor)
         self.faults = resolve_faults(faults)
+        #: Profiling default: True/False forces it; None defers to
+        #: ``$REPRO_PROFILE`` (read per job, so tests can flip it).
+        self.profile = profile
+        #: Optional telemetry scrape log (see repro.observe.telemetry).
+        #: Plain data — unlike the tracer/progress hooks it *is* pickled,
+        #: so the time-series accumulates across workspace invocations.
+        self.telemetry = None
         #: Optional live progress sink (see repro.observe.progress). Holds
         #: an open stream, so it is attached per-invocation, never pickled.
         self.progress = None
@@ -513,6 +541,8 @@ class JobRunner:
         self.__dict__.setdefault("slow_task_factor", DEFAULT_SLOW_TASK_FACTOR)
         self.__dict__.setdefault("faults", None)
         self.__dict__.setdefault("_storage_fired", set())
+        self.__dict__.setdefault("profile", None)
+        self.__dict__.setdefault("telemetry", None)
 
     def set_tracer(self, tracer) -> None:
         """Swap the tracer (pass ``None`` to disable tracing)."""
@@ -569,6 +599,9 @@ class JobRunner:
                 faults = raw
             else:
                 faults = FaultPlan.parse(raw)
+        profile = cfg.get("profile")
+        if profile is None:
+            profile = _profiler.resolve(self.profile)
         return _WavePolicy(
             max_attempts=max(1, int(cfg.get("max_attempts", self.max_attempts))),
             task_timeout=cfg.get("task_timeout", self.task_timeout),
@@ -577,6 +610,7 @@ class JobRunner:
                 cfg.get("slow_task_factor", self.slow_task_factor)
             ),
             faults=faults,
+            profile=bool(profile),
         )
 
     # ------------------------------------------------------------------
@@ -584,6 +618,8 @@ class JobRunner:
         """Run ``job`` to completion and return its result."""
         tracer = self.tracer
         repair_s = self._apply_storage_faults()
+        if self.telemetry is not None:
+            self.telemetry.scrape("job-start", self.metrics, job=job.name)
         if self.progress is not None:
             self.progress.job_started(job.name, list(job.input_files))
         with tracer.span(
@@ -613,6 +649,11 @@ class JobRunner:
                 ),
                 input_files=list(job.input_files),
             )
+        if self.telemetry is not None:
+            self.telemetry.scrape(
+                "job-end", self.metrics, job=job.name,
+                counters=result.counters.as_dict(),
+            )
         return result
 
     def _run_traced(self, job: Job, job_span) -> JobResult:
@@ -622,7 +663,10 @@ class JobRunner:
         executor = self._executor_for(job)
         policy = self._policy_for(job)
         tracer = self.tracer
+        telemetry = self.telemetry
         rebuilds_before = getattr(executor, "pool_rebuilds", 0)
+        #: Phase attribution for the whole job, filled when profiling.
+        profile: Dict[str, Dict[str, float]] = {}
 
         entries: Dict[str, Any] = {}
         for file_name in job.input_files:
@@ -632,6 +676,7 @@ class JobRunner:
             counters.increment(Counter.BLOCKS_TOTAL, entry.num_blocks)
 
         with tracer.span("split", kind="phase") as split_span:
+            split_t0 = perf_counter() if policy.profile else 0.0
             splits = splitter(self.fs, job)
             counters.increment(Counter.BLOCKS_READ, len(splits))
             pruned = counters.get(Counter.BLOCKS_TOTAL) - len(splits)
@@ -641,35 +686,65 @@ class JobRunner:
             split_span.set("blocks_total", counters.get(Counter.BLOCKS_TOTAL))
             split_span.set("blocks_pruned", max(0, pruned))
             self._verify_split_reads(splits, split_span)
+            if policy.profile:
+                _profiler.merge_into(
+                    profile,
+                    {"split-fetch": [perf_counter() - split_t0, 1]},
+                    "driver",
+                )
 
         output: List[Any] = []
         map_stats, intermediate, fault_summary = self._run_map_wave(
-            job, splits, reader, counters, output, executor, policy
+            job, splits, reader, counters, output, executor, policy, profile
         )
+        if telemetry is not None:
+            telemetry.scrape(
+                "wave:map", self.metrics, job=job.name,
+                counters=counters.as_dict(),
+            )
 
         reduce_stats: List[TaskStats] = []
         shuffle_records = 0
         if job.reduce_fn is not None:
             shuffle_records = len(intermediate)
+            shuffle_t0 = perf_counter() if policy.profile else 0.0
             shuffle_bytes = _RecordSizer().total(intermediate)
+            if policy.profile:
+                _profiler.merge_into(
+                    profile,
+                    {"shuffle-serialize": [perf_counter() - shuffle_t0, 1]},
+                    "driver",
+                )
             counters.increment(Counter.SHUFFLE_RECORDS, shuffle_records)
             counters.increment(Counter.SHUFFLE_BYTES, shuffle_bytes)
             tracer.event(
                 "shuffle", records=shuffle_records, bytes=shuffle_bytes
             )
             reduce_stats, reduce_summary = self._run_reduce_wave(
-                job, intermediate, counters, output, executor, policy
+                job, intermediate, counters, output, executor, policy, profile
             )
             _merge_summary(fault_summary, reduce_summary)
+            if telemetry is not None:
+                telemetry.scrape(
+                    "wave:reduce", self.metrics, job=job.name,
+                    counters=counters.as_dict(),
+                )
         else:
             # Map-only job: emitted pairs join the direct output.
             output.extend(v for _, v in intermediate)
 
         if job.commit_fn is not None:
             with tracer.span("commit", kind="phase") as commit_span:
+                commit_t0 = perf_counter() if policy.profile else 0.0
                 commit_ctx = CommitContext(job, counters, output)
                 job.commit_fn(commit_ctx)
                 commit_span.set("output_records", len(output))
+                if policy.profile:
+                    _profiler.merge_into(
+                        profile,
+                        {"commit": [perf_counter() - commit_t0, 1]},
+                        "driver",
+                    )
 
         counters.increment(Counter.OUTPUT_RECORDS, len(output))
         job_span.set("output_records", len(output))
@@ -687,6 +762,7 @@ class JobRunner:
             reduce_tasks=reduce_stats,
             makespan=makespan,
             fault_summary=fault_summary,
+            phase_profile=profile,
         )
 
     def _verify_split_reads(self, splits, split_span) -> None:
@@ -775,6 +851,13 @@ class JobRunner:
                 SHUFFLE_BYTES_BUCKETS,
             )
         metrics.set_gauge("last_job_makespan_s", result.makespan)
+        # Cumulative per-phase wall seconds. ``profile_`` names are
+        # volatile by convention (see repro.observe.telemetry): scrape
+        # logs segregate them, keeping the normalized series
+        # backend-independent.
+        for key, entry in result.phase_profile.items():
+            name = "profile_" + key.replace("/", "_").replace("-", "_") + "_s"
+            metrics.add_gauge(name, entry["s"])
         fault = result.fault_summary
         if fault:
             for key, name in (
@@ -1031,6 +1114,7 @@ class JobRunner:
         output: List[Any],
         executor: Executor,
         policy: _WavePolicy,
+        profile: Optional[Dict[str, Dict[str, float]]] = None,
     ):
         intermediate: List[Tuple[Any, Any]] = []
         stats: List[TaskStats] = []
@@ -1044,7 +1128,9 @@ class JobRunner:
         if progress is not None:
             progress.wave_started(job.name, "map", len(splits))
         with tracer.span("wave:map", kind="wave", tasks=len(splits)) as wave:
-            shipped = _shipped_job(job, wave="map", faults=policy.faults)
+            shipped = _shipped_job(
+                job, wave="map", faults=policy.faults, profile=policy.profile
+            )
             datas, attempts, summary = self._execute_wave(
                 wave="map",
                 items=splits,
@@ -1055,11 +1141,14 @@ class JobRunner:
                 task_label=lambda i: f"map-{splits[i].block_index}",
             )
             self._trace_dispatch(executor)
+            self._charge_dispatch(executor, policy, profile)
             _annotate_wave(wave, summary)
             cursor = wave.start
             for i, data in enumerate(datas):
-                task_id, records_in, cdict, emitted, out, secs, events = data
+                task_id, records_in, cdict, emitted, out, secs, events = data[:7]
                 counters.merge_dict(cdict)
+                if policy.profile and profile is not None and data[7]:
+                    _profiler.merge_into(profile, data[7], "map")
                 stats.append(
                     TaskStats(
                         task_id=task_id,
@@ -1091,6 +1180,7 @@ class JobRunner:
         output: List[Any],
         executor: Executor,
         policy: _WavePolicy,
+        profile: Optional[Dict[str, Dict[str, float]]] = None,
     ):
         num_reducers = max(1, job.num_reducers)
         buckets: List[Dict[Any, List[Any]]] = [{} for _ in range(num_reducers)]
@@ -1114,7 +1204,10 @@ class JobRunner:
         if progress is not None:
             progress.wave_started(job.name, "reduce", len(tasks))
         with tracer.span("wave:reduce", kind="wave", tasks=len(tasks)) as wave:
-            shipped = _shipped_job(job, wave="reduce", faults=policy.faults)
+            shipped = _shipped_job(
+                job, wave="reduce", faults=policy.faults,
+                profile=policy.profile,
+            )
             datas, attempts, summary = self._execute_wave(
                 wave="reduce",
                 items=tasks,
@@ -1125,11 +1218,14 @@ class JobRunner:
                 task_label=lambda i: f"reduce-{tasks[i][0]}",
             )
             self._trace_dispatch(executor)
+            self._charge_dispatch(executor, policy, profile)
             _annotate_wave(wave, summary)
             cursor = wave.start
             for i, data in enumerate(datas):
-                task_index, records_in, cdict, emitted, out, secs, events = data
+                task_index, records_in, cdict, emitted, out, secs, events = data[:7]
                 counters.merge_dict(cdict)
+                if policy.profile and profile is not None and data[7]:
+                    _profiler.merge_into(profile, data[7], "reduce")
                 stats.append(
                     TaskStats(
                         task_id=f"reduce-{task_index}",
@@ -1216,6 +1312,23 @@ class JobRunner:
             workers=executor.workers,
             **info,
         )
+
+    @staticmethod
+    def _charge_dispatch(executor: Executor, policy, profile) -> None:
+        """Charge the wave's chunk-serialization time to the profile.
+
+        The parallel executor measures how long it spent pickling and
+        submitting chunks (``submit_s`` in its dispatch diagnostics);
+        that *is* the driver's shuffle-serialize cost. Serial dispatch
+        has no serialization, so nothing is charged.
+        """
+        if not policy.profile or profile is None:
+            return
+        submit_s = (executor.last_dispatch or {}).get("submit_s")
+        if submit_s:
+            _profiler.merge_into(
+                profile, {"shuffle-serialize": [submit_s, 1]}, "driver"
+            )
 
 
 def _new_summary() -> Dict[str, float]:

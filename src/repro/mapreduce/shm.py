@@ -127,6 +127,8 @@ def _attach(name: str) -> shared_memory.SharedMemory:
     if seg is None:
         from multiprocessing import resource_tracker
 
+        from repro.observe import profile
+
         original = resource_tracker.register
 
         def _skip_shared_memory(rname, rtype):
@@ -134,10 +136,11 @@ def _attach(name: str) -> shared_memory.SharedMemory:
                 original(rname, rtype)
 
         resource_tracker.register = _skip_shared_memory
-        try:
-            seg = shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original
+        with profile.phase("shm-attach"):
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
         _ATTACHED[name] = seg
     return seg
 

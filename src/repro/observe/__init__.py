@@ -10,6 +10,13 @@ MapReduce substrate, index building, the operations, Pigeon and the CLI:
   gauges and fixed-bucket histograms.
 * :class:`JobHistory` — the Hadoop-JobHistory-style per-job store and
   text report.
+* :class:`TelemetryLog` / :func:`render_openmetrics` — wave-boundary
+  metric scrapes and Prometheus/OpenMetrics text exposition.
+* :mod:`repro.observe.profile` — the per-phase task profiler (imported
+  as a module; it is stdlib-only so instrumented hot paths can bind it
+  lazily without import cycles).
+* :func:`compare_snapshots` — the perf-regression sentinel comparing a
+  run's metrics against a stored baseline.
 
 Tracing is off by default (a shared :class:`NullTracer`) and costs
 nothing until enabled.
@@ -42,6 +49,21 @@ from repro.observe.plan import (
     estimate_job_cost,
 )
 from repro.observe.progress import UPDATES_PER_WAVE, ProgressReporter
+from repro.observe.sentinel import (
+    DEFAULT_TOLERANCE_PCT,
+    SentinelReport,
+    compare_files,
+    compare_snapshots,
+)
+from repro.observe.telemetry import (
+    TELEMETRY_VERSION,
+    ExpositionError,
+    TelemetryLog,
+    parse_exposition,
+    read_scrapes,
+    render_openmetrics,
+    sanitize_metric_name,
+)
 from repro.observe.trace import (
     TRACE_VERSION,
     NullTracer,
@@ -60,7 +82,9 @@ NULL_TRACER = NullTracer()
 
 __all__ = [
     "DEFAULT_HISTORY_LIMIT",
+    "DEFAULT_TOLERANCE_PCT",
     "Diagnosis",
+    "ExpositionError",
     "Finding",
     "Histogram",
     "JobHistory",
@@ -75,14 +99,23 @@ __all__ = [
     "SHUFFLE_BYTES_BUCKETS",
     "SKEW_FACTOR",
     "STRAGGLER_FACTOR",
+    "SentinelReport",
     "TASK_DURATION_BUCKETS",
+    "TELEMETRY_VERSION",
     "TRACE_VERSION",
+    "TelemetryLog",
     "Tracer",
     "UNDERFILL_FRACTION",
     "UPDATES_PER_WAVE",
     "attach_error",
+    "compare_files",
+    "compare_snapshots",
     "diagnose",
     "estimate_job_cost",
     "normalize_events",
+    "parse_exposition",
     "read_jsonl",
+    "read_scrapes",
+    "render_openmetrics",
+    "sanitize_metric_name",
 ]

@@ -336,6 +336,14 @@ def annotate_plan(
         if i < len(job_spans):
             node.actual["wall_s"] = job_spans[i]["dur"]
             node.actual["cpu_s"] = job_cpu.get(job_spans[i]["id"], 0.0)
+        # Profiled phase breakdown; the "_s" suffix keeps the timing out
+        # of normalized() output like every other wall-clock actual.
+        phases = getattr(job, "phase_profile", None) or {}
+        if phases:
+            node.actual["phases_s"] = {
+                key: round(entry["s"], 6)
+                for key, entry in sorted(phases.items())
+            }
         for key in ("blocks_read", "records_read", "shuffle_records"):
             attach_error(node, key)
     for node in job_nodes[len(jobs):]:

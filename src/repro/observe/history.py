@@ -14,10 +14,11 @@ subcommand can inspect runs from earlier invocations.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Deque, Dict, Iterator, List, Optional
 
 from repro.mapreduce.cluster import TaskStats
+from repro.observe import profile as _profile
 from repro.observe.metrics import TASK_DURATION_BUCKETS, Histogram
 
 #: Tasks slower than this multiple of their wave's median are stragglers.
@@ -45,6 +46,10 @@ class JobRecord:
     #: The job's input files — lets the doctor map retry-prone tasks back
     #: to the partitions of a diagnosed index.
     input_files: List[str] = field(default_factory=list)
+    #: Per-phase wall-time attribution (``{"map/kernel": {"s":..,"n":..}}``)
+    #: — populated only for jobs run with profiling on; empty otherwise
+    #: (and for records pickled before the profiler existed).
+    phase_profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def pruning_ratio(self) -> Optional[float]:
@@ -82,6 +87,26 @@ class JobRecord:
             if getattr(t, "attempts", None)
         ]
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe view of the record (for ``history --format json``)."""
+        return {
+            "job_id": self.job_id,
+            "name": self.name,
+            "makespan": self.makespan,
+            "counters": dict(sorted(self.counters.items())),
+            "map_tasks": [asdict(t) for t in self.map_tasks],
+            "reduce_tasks": [asdict(t) for t in self.reduce_tasks],
+            "cost": dict(self.cost),
+            "fault_summary": dict(getattr(self, "fault_summary", {}) or {}),
+            "input_files": list(self.input_files),
+            "phase_profile": {
+                key: dict(entry)
+                for key, entry in sorted(
+                    (getattr(self, "phase_profile", {}) or {}).items()
+                )
+            },
+        }
+
 
 class JobHistory:
     """Bounded, ordered store of :class:`JobRecord` entries."""
@@ -112,6 +137,7 @@ class JobHistory:
             cost=dict(cost or {}),
             fault_summary=dict(getattr(result, "fault_summary", {}) or {}),
             input_files=list(input_files or []),
+            phase_profile=dict(getattr(result, "phase_profile", {}) or {}),
         )
         self._next_id += 1
         self._records.append(rec)
@@ -151,6 +177,15 @@ class JobHistory:
 
     def clear(self) -> None:
         self._records.clear()
+
+    def to_dict(self, last: Optional[int] = None) -> Dict[str, Any]:
+        """JSON-safe view of the store (``history --format json``)."""
+        return {
+            "total_recorded": self.total_recorded,
+            "retained": len(self._records),
+            "jobs": [rec.to_dict() for rec in self.last(last)],
+            "fsck_runs": self.fsck_runs,
+        }
 
     # -- rendering ------------------------------------------------------
     def report(self, last: Optional[int] = None, counters: bool = True) -> str:
@@ -254,6 +289,11 @@ class JobHistory:
                 f"{key}={value:g}" for key, value in sorted(fault.items())
             )
             lines.append(f"  fault summary: {parts}")
+
+        phases = getattr(rec, "phase_profile", None)
+        if phases:
+            lines.append("  phase breakdown (profiled):")
+            lines.append(_profile.render_report(phases, indent="    ").rstrip())
 
         hist = rec.duration_histogram()
         lines.append(

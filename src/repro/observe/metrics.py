@@ -16,8 +16,31 @@ histograms mergeable across jobs, backends and processes.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Legal metric names, per the Prometheus/OpenMetrics data model. Names
+#: are validated at registration time (``inc`` / ``set_gauge`` /
+#: ``histogram``) so the text exposition can never emit an unparseable
+#: page. The exporter additionally sanitizes (for registries unpickled
+#: from workspaces written before validation existed).
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def valid_metric_name(name: str) -> bool:
+    """True when ``name`` is legal in the exposition format."""
+    return isinstance(name, str) and METRIC_NAME_RE.match(name) is not None
+
+
+def _check_name(name: str) -> str:
+    if not valid_metric_name(name):
+        raise ValueError(
+            f"illegal metric name {name!r}: must match "
+            f"[a-zA-Z_:][a-zA-Z0-9_:]* (dots and dashes are not allowed; "
+            f"use underscores)"
+        )
+    return name
 
 #: Task-duration boundaries (seconds): simulated tasks are sub-second on
 #: laptop-scale inputs, so the grid is dense at the small end.
@@ -126,6 +149,8 @@ class MetricsRegistry:
     def inc(self, name: str, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter increments must be non-negative: {amount}")
+        if name not in self._counters:
+            _check_name(name)
         self._counters[name] = self._counters.get(name, 0) + amount
 
     def counter(self, name: str) -> int:
@@ -139,7 +164,15 @@ class MetricsRegistry:
 
     # -- gauges ---------------------------------------------------------
     def set_gauge(self, name: str, value: float) -> None:
+        if name not in self._gauges:
+            _check_name(name)
         self._gauges[name] = value
+
+    def add_gauge(self, name: str, delta: float) -> float:
+        """Add ``delta`` to a gauge (created at 0.0), returning it."""
+        value = self._gauges.get(name, 0.0) + delta
+        self.set_gauge(name, value)
+        return value
 
     def gauge(self, name: str, default: float = 0.0) -> float:
         return self._gauges.get(name, default)
@@ -159,6 +192,7 @@ class MetricsRegistry:
                 raise KeyError(
                     f"histogram {name!r} does not exist; pass its buckets"
                 )
+            _check_name(name)
             hist = self._histograms[name] = Histogram(name, buckets)
         elif buckets is not None and tuple(float(b) for b in buckets) != hist.buckets:
             raise ValueError(
@@ -184,10 +218,24 @@ class MetricsRegistry:
         }
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry into this one (gauges: theirs win)."""
+        """Fold another registry into this one.
+
+        Counters add and histograms fold bucket-wise — both are
+        commutative, so the merged value never depends on merge order.
+        Gauges take the **maximum** of the two sides (watermark
+        semantics): every gauge the engine sets — last makespan, explain
+        estimates — is a high-water reading whose max is meaningful,
+        whereas "theirs win" (the old policy) silently made the merged
+        value depend on which worker registry happened to arrive last.
+        A gauge present on only one side keeps its value.
+        """
         for name, value in other._counters.items():
             self.inc(name, value)
-        self._gauges.update(other._gauges)
+        for name, value in other._gauges.items():
+            if name in self._gauges:
+                self._gauges[name] = max(self._gauges[name], value)
+            else:
+                self.set_gauge(name, value)
         for name, hist in other._histograms.items():
             self.histogram(name, hist.buckets).merge(hist)
 

@@ -1,0 +1,256 @@
+"""The perf-regression sentinel: diff benchmark snapshots against a baseline.
+
+``BENCH_*.json`` files are nested trees of named experiments whose
+leaves are numbers — wall seconds, speedups, record counts. The
+sentinel walks a *current* snapshot against a *baseline* tree, compares
+every numeric leaf they share, and classifies each drift:
+
+* **time-like** leaves (path mentions ``wall_s``, ``*_s``, ``seconds``)
+  regress when the current value is *higher* than baseline;
+* **rate-like** leaves (``speedup``, ``throughput``, ``rec_per_s``)
+  regress when the current value is *lower*;
+* everything else (``records``, counter snapshots…) is
+  **informational** — drift is reported but never fails the gate.
+
+Drift beyond the tolerance becomes a ``perf-regression`` finding
+(severity ``warning``) or ``perf-improvement`` (severity ``info``),
+reusing the doctor's :class:`~repro.observe.doctor.Finding` shape so CI
+consumes one findings format everywhere. ``repro sentinel`` exits
+non-zero iff any regression survives, which is the CI gate.
+
+Tolerances are deliberately generous by default (20%): benchmark
+numbers from shared CI runners are noisy, and the sentinel's job is to
+catch the 2× cliffs a bad commit causes, not 3% jitter. Per-metric
+overrides (``tolerances={"e2/wall_s": 50.0}``, longest-prefix match on
+the leaf path) handle known-noisy series.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.observe.doctor import Finding
+
+#: Default symmetric drift tolerance, percent.
+DEFAULT_TOLERANCE_PCT = 20.0
+
+#: Path components marking a leaf time-like (lower is better).
+_TIME_MARKERS = ("wall_s", "seconds", "makespan")
+_TIME_SUFFIXES = ("_s",)
+
+#: Path components marking a leaf rate-like (higher is better).
+_RATE_MARKERS = ("speedup", "throughput", "rec_per_s", "per_sec", "ops")
+
+
+def classify(path: Tuple[str, ...]) -> str:
+    """``"time"``, ``"rate"`` or ``"info"`` for one leaf path."""
+    for part in path:
+        low = part.lower()
+        if any(m in low for m in _RATE_MARKERS):
+            return "rate"
+    for part in path:
+        low = part.lower()
+        if any(m in low for m in _TIME_MARKERS) or any(
+            low.endswith(s) for s in _TIME_SUFFIXES
+        ):
+            return "time"
+    return "info"
+
+
+def _leaves(
+    tree: Any, prefix: Tuple[str, ...] = ()
+) -> Dict[Tuple[str, ...], float]:
+    out: Dict[Tuple[str, ...], float] = {}
+    if isinstance(tree, Mapping):
+        for key in tree:
+            out.update(_leaves(tree[key], prefix + (str(key),)))
+    elif isinstance(tree, bool):
+        pass
+    elif isinstance(tree, (int, float)):
+        out[prefix] = float(tree)
+    return out
+
+
+@dataclass
+class SentinelReport:
+    """The sentinel's verdict: findings plus the pass/fail gate."""
+
+    baseline: str
+    current: str
+    tolerance_pct: float
+    findings: List[Finding] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if f.code == "perf-regression"]
+
+    @property
+    def improvements(self) -> List[Finding]:
+        return [f for f in self.findings if f.code == "perf-improvement"]
+
+    @property
+    def healthy(self) -> bool:
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.healthy else 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline,
+            "current": self.current,
+            "tolerance_pct": self.tolerance_pct,
+            "compared": self.compared,
+            "healthy": self.healthy,
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"perf sentinel: {self.current} vs baseline {self.baseline}",
+            f"  {self.compared} metric(s) compared, "
+            f"tolerance {self.tolerance_pct:g}%",
+        ]
+        if not self.findings:
+            lines.append("  no findings: within tolerance of the baseline")
+        for f in self.findings:
+            lines.append(f"  {f.severity.upper()}: {f.message}")
+        lines.append(
+            "  verdict: "
+            + ("PASS" if self.healthy else f"FAIL ({len(self.regressions)} regression(s))")
+        )
+        return "\n".join(lines)
+
+
+def _tolerance_for(
+    path_str: str,
+    default_pct: float,
+    overrides: Optional[Mapping[str, float]],
+) -> float:
+    if overrides:
+        best = None
+        for prefix, pct in overrides.items():
+            if path_str.startswith(prefix) and (
+                best is None or len(prefix) > len(best[0])
+            ):
+                best = (prefix, pct)
+        if best is not None:
+            return float(best[1])
+    return default_pct
+
+
+def compare_snapshots(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+    tolerances: Optional[Mapping[str, float]] = None,
+    baseline_name: str = "<baseline>",
+    current_name: str = "<current>",
+) -> SentinelReport:
+    """Diff two benchmark trees into a :class:`SentinelReport`.
+
+    Leaves present on only one side produce informational findings
+    (``metric-missing`` / ``metric-new``); shared numeric leaves are
+    compared directionally per :func:`classify`.
+    """
+    report = SentinelReport(
+        baseline=baseline_name, current=current_name,
+        tolerance_pct=tolerance_pct,
+    )
+    base = _leaves(baseline)
+    cur = _leaves(current)
+
+    for path in sorted(base.keys() | cur.keys()):
+        path_str = "/".join(path)
+        if path not in cur:
+            report.findings.append(Finding(
+                severity="info", code="metric-missing",
+                message=f"{path_str}: in baseline but not in current run",
+                data={"baseline": base[path]},
+            ))
+            continue
+        if path not in base:
+            report.findings.append(Finding(
+                severity="info", code="metric-new",
+                message=f"{path_str}: new metric, no baseline",
+                data={"current": cur[path]},
+            ))
+            continue
+
+        report.compared += 1
+        b, c = base[path], cur[path]
+        if b == c:
+            continue
+        if b == 0.0:
+            delta_pct = float("inf") if c else 0.0
+        else:
+            delta_pct = 100.0 * (c - b) / abs(b)
+        kind = classify(path)
+        tol = _tolerance_for(path_str, tolerance_pct, tolerances)
+        data = {
+            "baseline": b, "current": c,
+            "delta_pct": round(delta_pct, 3), "kind": kind,
+            "tolerance_pct": tol,
+        }
+        if kind == "info":
+            if abs(delta_pct) > tol:
+                report.findings.append(Finding(
+                    severity="info", code="metric-drift",
+                    message=(
+                        f"{path_str}: {b:g} -> {c:g} "
+                        f"({delta_pct:+.1f}%, informational)"
+                    ),
+                    data=data,
+                ))
+            continue
+        # For "time" leaves higher is worse; for "rate" lower is worse.
+        worse = delta_pct > tol if kind == "time" else delta_pct < -tol
+        better = delta_pct < -tol if kind == "time" else delta_pct > tol
+        if worse:
+            report.findings.append(Finding(
+                severity="warning", code="perf-regression",
+                message=(
+                    f"{path_str}: {b:g} -> {c:g} ({delta_pct:+.1f}%, "
+                    f"tolerance {tol:g}%)"
+                ),
+                data=data,
+            ))
+        elif better:
+            report.findings.append(Finding(
+                severity="info", code="perf-improvement",
+                message=f"{path_str}: {b:g} -> {c:g} ({delta_pct:+.1f}%)",
+                data=data,
+            ))
+    return report
+
+
+def compare_files(
+    baseline_path: str,
+    current_path: Optional[str] = None,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> SentinelReport:
+    """Diff two ``BENCH_*.json`` files (current defaults to the baseline).
+
+    A missing ``current`` compares the baseline against itself — a
+    trivially clean run that CI uses as the wiring sanity check.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    if current_path is None:
+        current, current_name = baseline, baseline_path
+    else:
+        with open(current_path) as fh:
+            current = json.load(fh)
+        current_name = current_path
+    return compare_snapshots(
+        baseline, current,
+        tolerance_pct=tolerance_pct, tolerances=tolerances,
+        baseline_name=baseline_path, current_name=current_name,
+    )

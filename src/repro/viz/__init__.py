@@ -8,6 +8,11 @@ written as PGM (portable graymap) or rendered as ASCII art.
 """
 
 from repro.viz.canvas import Canvas
+from repro.viz.flamegraph import (
+    flamegraph_svg,
+    parse_collapsed,
+    write_flamegraph,
+)
 from repro.viz.heatmap import heatmap_svg, partition_heatmap, write_heatmap
 from repro.viz.plot import plot
 from repro.viz.pyramid import TilePyramid, plot_pyramid, tile_rect
@@ -15,10 +20,12 @@ from repro.viz.pyramid import TilePyramid, plot_pyramid, tile_rect
 __all__ = [
     "Canvas",
     "TilePyramid",
+    "flamegraph_svg",
     "heatmap_svg",
+    "parse_collapsed",
     "partition_heatmap",
     "plot",
     "plot_pyramid",
     "tile_rect",
-    "write_heatmap",
+    "write_flamegraph",
 ]

@@ -1,0 +1,143 @@
+"""Flamegraphs from collapsed-stack phase profiles.
+
+The profiler (:mod:`repro.observe.profile`) aggregates per-task phase
+timings into collapsed-stack lines — ``job;map;kernel 1234`` — the same
+interchange format Brendan Gregg's ``flamegraph.pl`` consumes. This
+module renders those lines as a standalone, dependency-free SVG: one
+``<rect>`` per frame, width proportional to the frame's inclusive
+weight, children stacked above their parent, exact numbers in
+``<title>`` tooltips. Colors are a deterministic warm ramp hashed from
+the frame name (CRC-32, no randomness), so two renders of the same
+profile are byte-identical.
+"""
+
+from __future__ import annotations
+
+import html
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Pixel height of one frame row.
+FRAME_HEIGHT = 18
+
+#: Frames narrower than this many pixels draw without a text label.
+MIN_LABEL_WIDTH = 30
+
+
+class _Frame:
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.children: Dict[str, "_Frame"] = {}
+
+    def child(self, name: str) -> "_Frame":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = _Frame(name)
+        return node
+
+    @property
+    def depth(self) -> int:
+        return 1 + max((c.depth for c in self.children.values()), default=0)
+
+
+def parse_collapsed(lines: Iterable[str]) -> _Frame:
+    """Build the frame trie from collapsed-stack lines.
+
+    Each line is ``frame;frame;frame <integer weight>``; weights are
+    *inclusive* — a parent's weight is bumped by every line passing
+    through it. Blank lines are skipped; malformed lines raise.
+    """
+    root = _Frame("all")
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        stack, _, weight_str = line.rpartition(" ")
+        if not stack or not weight_str.lstrip("-").isdigit():
+            raise ValueError(f"malformed collapsed-stack line: {raw!r}")
+        weight = int(weight_str)
+        root.value += weight
+        node = root
+        for part in stack.split(";"):
+            node = node.child(part)
+            node.value += weight
+    return root
+
+
+def _color(name: str) -> str:
+    """Deterministic warm color for a frame name."""
+    h = zlib.crc32(name.encode("utf-8"))
+    r = 205 + (h & 0x3F) % 50
+    g = 60 + ((h >> 8) & 0xFF) % 120
+    b = 30 + ((h >> 16) & 0x3F)
+    return f"rgb({r},{g},{b})"
+
+
+def flamegraph_svg(
+    lines: Iterable[str],
+    width: int = 960,
+    title: str = "phase profile",
+    unit: str = "us",
+) -> str:
+    """Render collapsed-stack lines as a standalone SVG flamegraph."""
+    root = parse_collapsed(lines)
+    depth = root.depth
+    height = (depth + 2) * FRAME_HEIGHT + 24
+    total = root.value or 1
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="#fdf6e3"/>',
+        f'<text x="{width / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="14">{html.escape(title)}</text>',
+    ]
+
+    def emit(node: _Frame, x: float, level: int) -> None:
+        w = width * node.value / total
+        # SVG y axis points down; the flame grows up from the bottom.
+        y = height - (level + 1) * FRAME_HEIGHT - 4
+        pct = 100.0 * node.value / total
+        label = html.escape(node.name)
+        parts.append(
+            f'<g><rect x="{x:.2f}" y="{y}" width="{max(w, 0.5):.2f}" '
+            f'height="{FRAME_HEIGHT - 1}" fill="{_color(node.name)}" '
+            f'stroke="#fdf6e3" stroke-width="0.5">'
+            f"<title>{label}: {node.value} {unit} ({pct:.1f}%)</title>"
+            f"</rect>"
+        )
+        if w >= MIN_LABEL_WIDTH:
+            shown = node.name[: max(1, int(w / 7))]
+            parts.append(
+                f'<text x="{x + 3:.2f}" y="{y + FRAME_HEIGHT - 6}" '
+                f'fill="#1a1a1a">{html.escape(shown)}</text>'
+            )
+        parts.append("</g>")
+        cx = x
+        for name in sorted(node.children):
+            child = node.children[name]
+            emit(child, cx, level + 1)
+            cx += width * child.value / total
+
+    emit(root, 0.0, 0)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_flamegraph(
+    lines: Iterable[str],
+    path: str,
+    width: int = 960,
+    title: str = "phase profile",
+) -> None:
+    """Write a flamegraph SVG (or raw collapsed stacks for ``.txt``)."""
+    lines = list(lines)
+    if path.endswith(".txt"):
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        return
+    with open(path, "w") as fh:
+        fh.write(flamegraph_svg(lines, width=width, title=title))

@@ -91,6 +91,19 @@ class TestHistogramBuckets:
         assert "> 2" in text
         assert "##########" in text  # the fullest bucket spans the width
 
+    def test_render_narrow_width(self):
+        # A degenerate width must still emit one bar-slot per bucket
+        # row, never a zero-length bar for the fullest bucket.
+        h = Histogram("h", (1.0, 2.0))
+        h.observe(0.5)
+        text = h.render(width=1)
+        assert "#" in text
+        assert "<= 1" in text
+
+    def test_render_empty_has_no_bars(self):
+        text = Histogram("h", (1.0, 2.0)).render(width=10)
+        assert "#" not in text
+
     def test_default_bucket_grids_are_valid(self):
         Histogram("d", TASK_DURATION_BUCKETS)
         Histogram("b", SHUFFLE_BYTES_BUCKETS)
@@ -162,5 +175,36 @@ class TestMetricsRegistry:
         b.observe("h", 2.0, buckets=(1.0,))
         a.merge(b)
         assert a.counter("C") == 3
-        assert a.gauge("g") == 9.0  # theirs win
+        assert a.gauge("g") == 9.0  # max wins (watermark semantics)
         assert a.histogram("h").count == 2
+
+    def test_registry_merge_gauges_order_independent(self):
+        # The old "theirs win" policy made merged gauges depend on merge
+        # order; the watermark policy is commutative.
+        def merged(first: float, second: float) -> float:
+            a, b = MetricsRegistry(), MetricsRegistry()
+            a.set_gauge("g", first)
+            b.set_gauge("g", second)
+            a.merge(b)
+            return a.gauge("g")
+
+        assert merged(1.0, 9.0) == merged(9.0, 1.0) == 9.0
+
+    def test_metric_names_validated_at_registration(self):
+        m = MetricsRegistry()
+        for bad in ("with.dot", "with-dash", "9leading", "sp ace", ""):
+            with pytest.raises(ValueError):
+                m.inc(bad)
+            with pytest.raises(ValueError):
+                m.set_gauge(bad, 1.0)
+            with pytest.raises(ValueError):
+                m.observe(bad, 0.5, buckets=(1.0,))
+        # The OpenMetrics charset (incl. colons and underscores) passes.
+        m.inc("good_name:subsystem_total")
+        m.inc("_leading_underscore")
+
+    def test_add_gauge_accumulates(self):
+        m = MetricsRegistry()
+        assert m.add_gauge("g", 1.5) == 1.5
+        assert m.add_gauge("g", 2.0) == 3.5
+        assert m.gauge("g") == 3.5

@@ -1,0 +1,127 @@
+"""Tests for the perf-regression sentinel."""
+
+import json
+
+from repro.observe.sentinel import (
+    SentinelReport,
+    classify,
+    compare_files,
+    compare_snapshots,
+)
+
+
+class TestClassify:
+    def test_time_like(self):
+        assert classify(("e2", "wall_s")) == "time"
+        assert classify(("seconds",)) == "time"
+        assert classify(("job", "makespan")) == "time"
+        assert classify(("scalar_s",)) == "time"
+
+    def test_rate_like_wins_over_time_suffix(self):
+        assert classify(("speedup",)) == "rate"
+        assert classify(("rec_per_s",)) == "rate"  # despite the _s suffix
+        assert classify(("throughput",)) == "rate"
+
+    def test_info(self):
+        assert classify(("records_scanned",)) == "info"
+        assert classify(("e4", "counters", "BLOCKS_READ")) == "info"
+
+
+class TestCompareSnapshots:
+    def test_identical_trees_pass(self):
+        tree = {"e2": {"wall_s": 1.0, "speedup": 2.0, "records": 100}}
+        report = compare_snapshots(tree, tree)
+        assert report.healthy
+        assert report.exit_code == 0
+        assert report.compared == 3
+        assert report.findings == []
+
+    def test_slower_time_regresses(self):
+        report = compare_snapshots(
+            {"e2": {"wall_s": 1.0}}, {"e2": {"wall_s": 2.0}}
+        )
+        assert not report.healthy
+        assert report.exit_code == 1
+        assert report.regressions[0].code == "perf-regression"
+        assert "e2/wall_s" in report.regressions[0].message
+
+    def test_faster_time_improves(self):
+        report = compare_snapshots(
+            {"e2": {"wall_s": 2.0}}, {"e2": {"wall_s": 1.0}}
+        )
+        assert report.healthy
+        assert report.improvements[0].code == "perf-improvement"
+
+    def test_lower_rate_regresses_higher_improves(self):
+        worse = compare_snapshots({"speedup": 4.0}, {"speedup": 1.0})
+        assert not worse.healthy
+        better = compare_snapshots({"speedup": 1.0}, {"speedup": 4.0})
+        assert better.healthy and better.improvements
+
+    def test_info_drift_never_fails_the_gate(self):
+        report = compare_snapshots({"records": 100}, {"records": 500})
+        assert report.healthy
+        assert report.findings[0].code == "metric-drift"
+
+    def test_within_tolerance_is_silent(self):
+        report = compare_snapshots(
+            {"wall_s": 1.0}, {"wall_s": 1.1}, tolerance_pct=20.0
+        )
+        assert report.findings == []
+
+    def test_per_metric_tolerance_longest_prefix(self):
+        base = {"e2": {"wall_s": 1.0}, "e4": {"wall_s": 1.0}}
+        cur = {"e2": {"wall_s": 1.5}, "e4": {"wall_s": 1.5}}
+        report = compare_snapshots(
+            base, cur, tolerance_pct=20.0, tolerances={"e2": 100.0}
+        )
+        assert len(report.regressions) == 1
+        assert "e4/wall_s" in report.regressions[0].message
+
+    def test_missing_and_new_metrics_are_informational(self):
+        report = compare_snapshots({"old_s": 1.0}, {"new_s": 1.0})
+        codes = sorted(f.code for f in report.findings)
+        assert codes == ["metric-missing", "metric-new"]
+        assert report.healthy
+
+    def test_zero_baseline_regression(self):
+        report = compare_snapshots({"wall_s": 0.0}, {"wall_s": 1.0})
+        assert not report.healthy
+
+    def test_to_dict_and_render(self):
+        report = compare_snapshots(
+            {"wall_s": 1.0}, {"wall_s": 5.0},
+            baseline_name="base.json", current_name="cur.json",
+        )
+        doc = report.to_dict()
+        assert doc["healthy"] is False
+        assert doc["regressions"] == 1
+        text = report.render()
+        assert "FAIL (1 regression(s))" in text
+        clean = SentinelReport("a", "b", 20.0)
+        assert "PASS" in clean.render()
+
+
+class TestCompareFiles:
+    def test_self_comparison_is_trivially_clean(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"e2": {"wall_s": 1.0}}))
+        report = compare_files(str(path))
+        assert report.healthy
+        assert report.current == str(path)
+
+    def test_two_files_compared(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps({"wall_s": 1.0}))
+        cur.write_text(json.dumps({"wall_s": 9.0}))
+        report = compare_files(str(base), str(cur))
+        assert report.exit_code == 1
+
+    def test_real_repo_baselines_self_compare_clean(self):
+        import glob
+
+        paths = glob.glob("BENCH_*.json")
+        assert paths, "repo must carry benchmark baselines"
+        for path in paths:
+            assert compare_files(path).healthy

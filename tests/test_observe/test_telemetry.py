@@ -1,0 +1,181 @@
+"""Tests for OpenMetrics exposition and the wave-boundary scrape log."""
+
+import json
+
+import pytest
+
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.telemetry import (
+    ExpositionError,
+    TelemetryLog,
+    is_volatile,
+    parse_exposition,
+    read_scrapes,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+
+
+def registry():
+    m = MetricsRegistry()
+    m.inc("JOBS_TOTAL", 3)
+    m.inc("BLOCKS_READ", 7)
+    m.set_gauge("last_job_makespan_s", 0.25)
+    m.set_gauge("fill_ratio", 0.5)
+    m.observe("shuffle_bytes", 100.0, buckets=(64.0, 1024.0))
+    m.observe("shuffle_bytes", 2000.0)
+    return m
+
+
+class TestSanitize:
+    def test_bad_characters_become_underscores(self):
+        assert sanitize_metric_name("a.b-c d") == "a_b_c_d"
+
+    def test_bad_first_character_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_valid_names_untouched(self):
+        assert sanitize_metric_name("good_name:x") == "good_name:x"
+
+
+class TestRenderOpenmetrics:
+    def test_counters_get_total_suffix_and_type_lines(self):
+        text = render_openmetrics(registry().snapshot())
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "repro_jobs_total 3" in text
+        assert "repro_blocks_read_total 7" in text
+        assert text.endswith("# EOF\n")
+
+    def test_gauges_and_histograms(self):
+        text = render_openmetrics(registry().snapshot())
+        assert "# TYPE repro_fill_ratio gauge" in text
+        assert "# TYPE repro_shuffle_bytes histogram" in text
+        # Cumulative buckets: 0 <= 64, 1 <= 1024, 2 total (+Inf).
+        assert 'repro_shuffle_bytes_bucket{le="64"} 0' in text
+        assert 'repro_shuffle_bytes_bucket{le="1024"} 1' in text
+        assert 'repro_shuffle_bytes_bucket{le="+Inf"} 2' in text
+        assert "repro_shuffle_bytes_count 2" in text
+
+    def test_labels_rendered_sorted_and_escaped(self):
+        text = render_openmetrics(
+            {"counters": {"C": 1}, "gauges": {}, "histograms": {}},
+            labels={"b": 'say "hi"', "a": "x"},
+        )
+        assert 'repro_c_total{a="x",b="say \\"hi\\""} 1' in text
+
+    def test_roundtrips_through_the_strict_parser(self):
+        text = render_openmetrics(
+            registry().snapshot(), labels={"workers": "2"}
+        )
+        families = parse_exposition(text)
+        assert families["repro_jobs_total"]["type"] == "counter"
+        assert families["repro_jobs_total"]["samples"] == [
+            ({"workers": "2"}, 3.0)
+        ]
+        assert families["repro_shuffle_bytes_bucket"]["type"] == "histogram"
+
+
+class TestParseExposition:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ExpositionError, match="EOF"):
+            parse_exposition("m_total 1\n")
+
+    def test_content_after_eof_rejected(self):
+        with pytest.raises(ExpositionError, match="after"):
+            parse_exposition("# EOF\nm_total 1\n")
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ExpositionError, match="malformed sample"):
+            parse_exposition("not a sample !!\n# EOF\n")
+
+    def test_illegal_type_name_rejected(self):
+        with pytest.raises(ExpositionError, match="illegal"):
+            parse_exposition("# TYPE bad.name counter\n# EOF\n")
+
+    def test_non_cumulative_histogram_rejected(self):
+        page = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="1"} 5',
+            'h_bucket{le="+Inf"} 3',
+            "h_sum 1",
+            "h_count 3",
+            "# EOF",
+        ]) + "\n"
+        with pytest.raises(ExpositionError, match="cumulative"):
+            parse_exposition(page)
+
+    def test_histogram_missing_inf_bucket_rejected(self):
+        page = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="1"} 1',
+            "h_sum 1",
+            "h_count 1",
+            "# EOF",
+        ]) + "\n"
+        with pytest.raises(ExpositionError, match="Inf"):
+            parse_exposition(page)
+
+    def test_count_inf_mismatch_rejected(self):
+        page = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="+Inf"} 2',
+            "h_sum 1",
+            "h_count 3",
+            "# EOF",
+        ]) + "\n"
+        with pytest.raises(ExpositionError, match="_count"):
+            parse_exposition(page)
+
+
+class TestVolatility:
+    def test_timing_series_classified_volatile(self):
+        assert is_volatile("last_job_makespan_s")
+        assert is_volatile("task_duration_seconds")
+        assert is_volatile("profile_map_kernel_s")
+        assert not is_volatile("JOBS_TOTAL")
+        assert not is_volatile("fill_ratio")
+
+
+class TestTelemetryLog:
+    def test_scrape_segregates_volatile_series(self):
+        log = TelemetryLog()
+        rec = log.scrape("job-start", metrics=registry(), job="j1")
+        assert rec["seq"] == 0
+        assert rec["job"] == "j1"
+        assert "last_job_makespan_s" not in rec["gauges"]
+        assert rec["volatile"]["gauges"]["last_job_makespan_s"] == 0.25
+        assert rec["counters"]["JOBS_TOTAL"] == 3
+
+    def test_normalized_export_drops_volatile(self, tmp_path):
+        log = TelemetryLog()
+        log.scrape("job-start", metrics=registry())
+        log.scrape("job-end", metrics=registry(), counters={"B": 2, "A": 1})
+        path = tmp_path / "scrapes.jsonl"
+        assert log.export_jsonl(str(path)) == 2
+        records = read_scrapes(str(path))
+        assert len(records) == 2
+        assert all("volatile" not in r for r in records)
+        assert records[1]["job_counters"] == {"A": 1, "B": 2}
+
+    def test_raw_export_keeps_volatile(self, tmp_path):
+        log = TelemetryLog()
+        log.scrape("manual", metrics=registry())
+        path = tmp_path / "raw.jsonl"
+        log.export_jsonl(str(path), normalize=False)
+        assert "volatile" in read_scrapes(str(path))[0]
+
+    def test_export_is_key_sorted_and_stable(self, tmp_path):
+        log = TelemetryLog()
+        log.scrape("manual", metrics=registry())
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        log.export_jsonl(str(a))
+        log.export_jsonl(str(b))
+        assert a.read_bytes() == b.read_bytes()
+        json.loads(a.read_text())  # single line, valid JSON
+
+    def test_clear_resets_sequence(self):
+        log = TelemetryLog()
+        log.scrape("manual")
+        log.clear()
+        assert len(log) == 0
+        assert log.scrape("manual")["seq"] == 0

@@ -1,0 +1,56 @@
+"""Tests for the collapsed-stack parser and SVG flamegraph renderer."""
+
+import pytest
+
+from repro.viz.flamegraph import (
+    flamegraph_svg,
+    parse_collapsed,
+    write_flamegraph,
+)
+
+LINES = [
+    "job;map;kernel 3000",
+    "job;map;self 1000",
+    "job;driver;split-fetch 500",
+]
+
+
+class TestParseCollapsed:
+    def test_builds_trie_with_inclusive_weights(self):
+        root = parse_collapsed(LINES)
+        job = root.children["job"]
+        assert job.value == 4500
+        assert job.children["map"].value == 4000
+        assert job.children["map"].children["kernel"].value == 3000
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_collapsed(["no-weight-here"])
+        with pytest.raises(ValueError):
+            parse_collapsed(["stack notanumber"])
+
+
+class TestFlamegraphSvg:
+    def test_empty_profile_renders_placeholder(self):
+        svg = flamegraph_svg([])
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_frames_and_tooltips(self):
+        svg = flamegraph_svg(LINES, title="test profile")
+        assert "test profile" in svg
+        assert svg.count("<rect") >= 5  # background + 5 frames
+        assert "kernel" in svg
+        # Tooltips carry value and share.
+        assert "<title>" in svg and "%" in svg
+
+    def test_deterministic(self):
+        assert flamegraph_svg(LINES) == flamegraph_svg(LINES)
+
+    def test_write_svg_and_txt(self, tmp_path):
+        svg_path = tmp_path / "out.svg"
+        write_flamegraph(LINES, str(svg_path))
+        assert svg_path.read_text().startswith("<svg")
+        txt_path = tmp_path / "out.txt"
+        write_flamegraph(LINES, str(txt_path))
+        assert txt_path.read_text().splitlines() == LINES
