@@ -173,6 +173,66 @@ class TestE15SpatialJoinOverhead:
         assert overhead < ASSERT_OVERHEAD_PCT
 
 
+class TestE15EventLogOverhead:
+    """The flight recorder's event log: free when disarmed, cheap at
+    ``debug`` — the chattiest level — on the E2 range-query workload."""
+
+    @staticmethod
+    def build(sh: SpatialHadoop):
+        sh.load("pts", generate_points(N_POINTS, "uniform", seed=15))
+        sh.index("pts", "pts_idx", technique="str")
+
+    @staticmethod
+    def measure(sh: SpatialHadoop):
+        return [
+            sorted(sh.range_query("pts_idx", w).answer) for w in WINDOWS
+        ]
+
+    def test_overhead_within_budget(self, report):
+        from repro.observe.log import EventLog
+
+        sh = make_system(block_capacity=BLOCK_CAPACITY)
+        try:
+            self.build(sh)
+            baseline = self.measure(sh)  # warm-up + reference answer
+            log = EventLog(level="debug")
+            times: Dict[bool, list] = {False: [], True: []}
+            order = [False, True]
+            for _ in range(REPS):
+                order = order[::-1]
+                for armed in order:
+                    sh.runner.eventlog = log if armed else None
+                    start = time.perf_counter()
+                    answer = self.measure(sh)
+                    times[armed].append(time.perf_counter() - start)
+                    assert answer == baseline, (
+                        "logging must not change answers"
+                    )
+            sh.runner.eventlog = None
+            off_s = statistics.median(times[False])
+            on_s = statistics.median(times[True])
+            overhead_pct = 100.0 * (on_s - off_s) / off_s
+            assert len(log), "armed runs must have recorded events"
+            report.add(
+                "E15d event-log overhead: range query (50k points)",
+                ["event log", "wall", "overhead"],
+                [
+                    ["off", fmt_s(off_s), "-"],
+                    ["debug", fmt_s(on_s), f"{overhead_pct:+.1f}%"],
+                ],
+            )
+            _RESULTS["E15d event-log overhead: range query (50k points)"] = {
+                "wall_off_s": round(off_s, 4),
+                "wall_on_s": round(on_s, 4),
+                "overhead_pct": round(overhead_pct, 2),
+                "budget_pct": MAX_OVERHEAD_PCT,
+                "events_recorded": len(log),
+            }
+            assert overhead_pct < ASSERT_OVERHEAD_PCT
+        finally:
+            sh.runner.close()
+
+
 class TestE15ScrapeCost:
     """The telemetry log itself: cost per scrape, determinism intact."""
 

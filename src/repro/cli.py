@@ -34,6 +34,14 @@ between serial and ``--workers N`` runs), ``metrics`` exports the
 workspace metrics as Prometheus/OpenMetrics text, ``--profile`` +
 ``profile`` break job time into per-task phases (flamegraph-ready) and
 ``sentinel`` gates CI on perf drift against a ``BENCH_*.json`` baseline.
+
+The flight recorder closes the loop: ``--log-level LEVEL`` arms a
+structured event log that persists with the workspace (``repro logs``
+queries it), ``bundle export/import/inspect`` freezes a whole run's
+observability record into one checksummed file, ``diff A B`` attributes
+the wall-time and counter deltas between two bundles down to the
+culprit job/wave/phase, and ``report`` renders a bundle as a
+self-contained HTML ops dashboard.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from typing import List, Optional
 
 from repro import SpatialHadoop
 from repro.core.result import OperationResult
+from repro.observe.bundle import BundleError
 from repro.core.splitter import global_index_of
 from repro.core.workspace import (
     WorkspaceError,
@@ -162,6 +171,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="export the workspace's wave-boundary metric scrapes as "
              "normalized JSONL to FILE at the end of this invocation "
              "(bit-identical between serial and --workers N runs)",
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=("debug", "info", "warn", "error"),
+        help="arm the structured event log at LEVEL for this invocation; "
+             "the log persists with the workspace (query it with the "
+             "'logs' subcommand)",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -348,6 +364,92 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format (default: text report)",
     )
 
+    p = sub.add_parser(
+        "logs",
+        help="query the workspace's structured event log "
+             "(arm it with --log-level)",
+    )
+    p.add_argument(
+        "--grep", default=None, metavar="TEXT",
+        help="case-insensitive substring match over the rendered line",
+    )
+    p.add_argument(
+        "--level", default=None, choices=("debug", "info", "warn", "error"),
+        help="minimum severity to show",
+    )
+    p.add_argument("--component", default=None, help="exact component match")
+    p.add_argument("--task", default=None, help="exact task-id match")
+    p.add_argument("--job", default=None, help="exact job-name match")
+    p.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the N most recent matching events",
+    )
+    p.add_argument(
+        "--normalize", action="store_true",
+        help="print the backend-independent view (volatile events "
+             "dropped, timestamps replaced by ordinals); ignores the "
+             "filter flags",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text lines)",
+    )
+
+    p = sub.add_parser(
+        "bundle",
+        help="export/import/inspect a single-file run bundle capturing "
+             "this workspace's whole observability record",
+    )
+    p.add_argument("action", choices=("export", "import", "inspect"))
+    p.add_argument("file", help="bundle file path")
+    p.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="run name stamped into an exported bundle "
+             "(default: the workspace file's stem)",
+    )
+
+    p = sub.add_parser(
+        "diff",
+        help="compare two run bundles and attribute the deltas to the "
+             "culprit job/wave/task/phase; exits non-zero on any "
+             "out-of-tolerance delta",
+    )
+    p.add_argument("a", help="baseline bundle")
+    p.add_argument("b", help="candidate bundle")
+    p.add_argument(
+        "--tolerance", type=float, default=None, metavar="PCT",
+        help="relative tolerance for timing deltas in percent "
+             "(default: 1)",
+    )
+    p.add_argument(
+        "--abs-floor", type=float, default=None, metavar="SECONDS",
+        help="timing deltas below this many seconds are never culprits "
+             "(default: 0.001)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text culprit table)",
+    )
+
+    p = sub.add_parser(
+        "report",
+        help="render the workspace (or a bundle) as a self-contained "
+             "HTML ops dashboard",
+    )
+    p.add_argument(
+        "--out", default="repro_report.html", metavar="FILE",
+        help="output HTML file (default: repro_report.html)",
+    )
+    p.add_argument(
+        "--bundle", default=None, metavar="FILE",
+        help="render this bundle instead of the live workspace",
+    )
+    p.add_argument(
+        "--vs", default=None, metavar="FILE",
+        help="also include a run-diff section against this baseline "
+             "bundle",
+    )
+
     p = sub.add_parser("rm", help="delete a file")
     p.add_argument("file")
 
@@ -393,6 +495,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: bad --faults spec: {exc}", file=sys.stderr)
         return 1
     tracer = sh.enable_tracing() if args.trace else None
+    if args.log_level:
+        # Arming (or re-levelling) the flight recorder is a workspace
+        # change: the event log pickles with the workspace so later
+        # invocations keep recording without the flag.
+        sh.eventlog(level=args.log_level)
     if args.progress:
         sh.enable_progress()
     if args.profile:
@@ -404,7 +511,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         mutated = _dispatch(sh, args)
-    except (FileNotFoundError, FileExistsError, ValueError) as exc:
+    except (FileNotFoundError, FileExistsError, ValueError, BundleError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except RuntimeError as exc:
@@ -445,7 +552,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # Query commands don't mutate the file system, but they do append to
     # the job history — persist that too so `repro history` accumulates.
-    if mutated or sh.history.total_recorded > jobs_before:
+    # Arming the event log also persists (the log rides the workspace).
+    if mutated or sh.history.total_recorded > jobs_before or args.log_level:
         _save_workspace(sh, path)
     # Gate commands (sentinel) report their verdict via the exit code.
     return getattr(args, "exit_code", 0)
@@ -730,6 +838,103 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
         else:
             print(report.render())
         args.exit_code = report.exit_code
+        return False
+
+    if cmd == "logs":
+        from repro.observe.log import render_report
+
+        log = getattr(sh.runner, "eventlog", None)
+        if log is None:
+            print(
+                "event log is not armed for this workspace — run any "
+                "command with --log-level first (e.g. --log-level info)"
+            )
+            return False
+        if args.normalize:
+            records = log.normalized_records()
+            if args.last is not None:
+                records = records[-args.last:]
+        else:
+            records = log.query(
+                level=args.level,
+                component=args.component,
+                task=args.task,
+                job=args.job,
+                grep=args.grep,
+                last=args.last,
+            )
+        if args.format == "json":
+            import json
+
+            print(json.dumps(records, indent=2, default=str))
+        else:
+            print(render_report(records, dropped=log.dropped))
+        return False
+
+    if cmd == "bundle":
+        from repro.observe import bundle as bundle_mod
+
+        if args.action == "export":
+            name = args.name or Path(args.workspace).stem
+            doc = bundle_mod.collect_bundle(sh, name=name)
+            size = bundle_mod.write_bundle(doc, args.file)
+            print(
+                f"exported run bundle '{name}' -> {args.file} "
+                f"({size} bytes)"
+            )
+            return False
+        if args.action == "inspect":
+            doc = bundle_mod.read_bundle(args.file)
+            print(bundle_mod.inspect_bundle(doc, args.file))
+            return False
+        # import: replace this workspace's history/telemetry/event log.
+        doc = bundle_mod.read_bundle(args.file)
+        restored = bundle_mod.import_bundle(sh, doc)
+        print(
+            f"imported {args.file}: {restored['jobs']} job(s), "
+            f"{restored['fsck_runs']} fsck run(s), "
+            f"{restored['scrapes']} scrape(s), "
+            f"{restored['events']} event(s)"
+        )
+        return True
+
+    if cmd == "diff":
+        from repro.observe import diff as diff_mod
+
+        kwargs = {}
+        if args.tolerance is not None:
+            kwargs["tolerance_pct"] = args.tolerance
+        if args.abs_floor is not None:
+            kwargs["abs_floor_s"] = args.abs_floor
+        report = diff_mod.diff_bundles(args.a, args.b, **kwargs)
+        if args.format == "json":
+            print(report.to_json())
+        else:
+            print(report.render(), end="")
+        args.exit_code = report.exit_code
+        return False
+
+    if cmd == "report":
+        from repro.observe import bundle as bundle_mod
+        from repro.observe import diff as diff_mod
+        from repro.viz import write_dashboard
+
+        if args.bundle:
+            doc = bundle_mod.read_bundle(args.bundle)
+            label = str(args.bundle)
+        else:
+            doc = bundle_mod.collect_bundle(
+                sh, name=Path(args.workspace).stem
+            )
+            label = "current workspace"
+        diff_doc = None
+        if args.vs:
+            baseline = bundle_mod.read_bundle(args.vs)
+            diff_doc = diff_mod.diff_docs(
+                baseline, doc, label_a=str(args.vs), label_b=label
+            ).to_dict()
+        write_dashboard(doc, args.out, diff=diff_doc)
+        print(f"wrote ops dashboard for {label} -> {args.out}")
         return False
 
     if cmd == "rm":

@@ -31,6 +31,7 @@ from repro.observe import JobHistory, MetricsRegistry, NullTracer, Tracer
 if TYPE_CHECKING:  # lazy imports below avoid the observe -> explain cycle
     from repro.observe import Diagnosis, ProgressReporter, TelemetryLog
     from repro.observe.explain import Explanation
+    from repro.observe.log import EventLog
 
 
 class SpatialHadoop:
@@ -143,6 +144,36 @@ class SpatialHadoop:
         if getattr(self.runner, "telemetry", None) is None:
             self.runner.telemetry = TelemetryLog()
         return self.runner.telemetry
+
+    def eventlog(self, level: Optional[str] = None) -> "EventLog":
+        """The structured event log, attaching one if none exists.
+
+        Once attached, the runner (and the facade's load/index/fsck
+        paths) append leveled, structured records — the flight recorder.
+        Like the telemetry log it is plain data and pickles with the
+        workspace, ring-buffer bounded, so the record survives across
+        CLI invocations. ``level`` (debug/info/warn/error) adjusts the
+        threshold of an existing log too.
+        """
+        from repro.observe.log import EventLog
+
+        log = getattr(self.runner, "eventlog", None)
+        if log is None:
+            log = self.runner.eventlog = EventLog(level=level or "info")
+        elif level is not None:
+            log.level = level
+        return log
+
+    def disable_eventlog(self) -> None:
+        """Detach the event log (subsequent jobs emit nothing)."""
+        self.runner.eventlog = None
+
+    def _log_event(self, level: str, component: str, event: str,
+                   **attrs: Any) -> None:
+        """Facade-side emission; free when no log is attached."""
+        log = getattr(self.runner, "eventlog", None)
+        if log is not None:
+            log.emit(level, component, event, **attrs)
 
     def openmetrics(self, prefix: str = "repro_") -> str:
         """Current metrics in OpenMetrics/Prometheus text exposition.
@@ -271,6 +302,12 @@ class SpatialHadoop:
                 if self.fs.exists(side):
                     self.fs.delete(side)
                 self.fs.create_file(side, quarantined)
+        entry = self.fs.get(name)
+        self._log_event(
+            "warn" if quarantined else "info", "fs", "file-loaded",
+            file=name, records=entry.num_records, blocks=entry.num_blocks,
+            bad_records=len(quarantined),
+        )
 
     def index(
         self,
@@ -280,9 +317,15 @@ class SpatialHadoop:
         **kwargs: Any,
     ) -> IndexBuildResult:
         """Build a spatial index over ``input_file`` (see :func:`build_index`)."""
-        return build_index(
+        result = build_index(
             self.runner, input_file, output_file, technique, **kwargs
         )
+        self._log_event(
+            "info", "index", "index-built",
+            file=output_file, technique=technique,
+            cells=len(result.global_index.cells),
+        )
+        return result
 
     def records(self, name: str) -> List[Any]:
         """Full contents of a file (test/debug helper)."""
@@ -302,6 +345,11 @@ class SpatialHadoop:
         """
         report = run_fsck(self.fs, repair=repair, metrics=self.metrics)
         self.history.record_fsck(report.summary())
+        self._log_event(
+            "info" if report.healthy else "warn", "storage",
+            "fsck-completed", healthy=report.healthy,
+            issues=len(report.issues), repaired=report.repaired_count,
+        )
         return report
 
     # ------------------------------------------------------------------

@@ -54,24 +54,21 @@ class WorkspaceTypeError(WorkspaceError):
     """The file decoded cleanly but does not contain a workspace object."""
 
 
-def save_workspace(sh: Any, path: Path) -> None:
-    """Atomically persist ``sh`` to ``path`` in format v2.
+def atomic_write(path: Path, *chunks: bytes) -> None:
+    """Write ``chunks`` to ``path`` atomically (temp + fsync + rename).
 
-    The payload is pickled to a sibling temp file, fsynced, then renamed
-    over the destination, so a crash at any point leaves either the old
-    workspace or the new one — never a torn file.
+    The bytes land in a sibling temp file first, are flushed and
+    ``fsync``-ed, then renamed over the destination — so a crash at any
+    point leaves either the old file or the new one, never a torn one.
+    Shared by workspace persistence and run-bundle export.
     """
     path = Path(path)
-    payload = pickle.dumps(sh, protocol=pickle.HIGHEST_PROTOCOL)
-    header = MAGIC + _HEADER.pack(
-        FORMAT_VERSION, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
-    )
     tmp = path.with_name(path.name + ".tmp")
     fd = os.open(str(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
     try:
         with os.fdopen(fd, "wb") as fh:
-            fh.write(header)
-            fh.write(payload)
+            for chunk in chunks:
+                fh.write(chunk)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(str(tmp), str(path))
@@ -81,6 +78,16 @@ def save_workspace(sh: Any, path: Path) -> None:
         except OSError:
             pass
         raise
+
+
+def save_workspace(sh: Any, path: Path) -> None:
+    """Atomically persist ``sh`` to ``path`` in format v2."""
+    path = Path(path)
+    payload = pickle.dumps(sh, protocol=pickle.HIGHEST_PROTOCOL)
+    header = MAGIC + _HEADER.pack(
+        FORMAT_VERSION, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+    )
+    atomic_write(path, header, payload)
 
 
 def load_workspace(

@@ -72,6 +72,12 @@ def default_partitioner(key: Any, num_reducers: int) -> int:
     return zlib.crc32(_stable_key_bytes(key)) % num_reducers
 
 
+#: Severity order for ``ctx.log``. Kept as a local table (mirroring
+#: ``repro.observe.log.LEVELS``) so task bodies shipped to worker
+#: processes never import the observability package.
+_LOG_SEVERITY = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+
 @dataclass
 class Job:
     """Configuration of one MapReduce job.
@@ -141,6 +147,23 @@ class _EmitterContext:
         tracing is disabled the driver simply drops them.
         """
         self._events.append({"name": name, "attrs": attrs})
+
+    def log(self, level: str, event: str, **attrs: Any) -> None:
+        """Emit a structured event-log record from inside a task.
+
+        Like :meth:`trace_event`, records are collected as plain dicts
+        and shipped back with the task result; the driver folds them
+        into its :class:`~repro.observe.log.EventLog` in split/bucket
+        order, scoped to this task. The driver's log threshold rides in
+        ``job.config["log_level"]`` (numeric), so a disabled or
+        filtered-out log costs two dict lookups and nothing else —
+        ``attrs`` must stay deterministic (record counts, not clocks)
+        because shipped records are part of the normalized log.
+        """
+        threshold = self.job.config.get("log_level")
+        if threshold is None or _LOG_SEVERITY.get(level, 0) < threshold:
+            return
+        self._events.append({"name": event, "attrs": attrs, "log": level})
 
     def write_output(self, record: Any) -> None:
         """Write a record directly to the final job output.

@@ -207,6 +207,8 @@ class _WavePolicy:
     slow_task_factor: float = DEFAULT_SLOW_TASK_FACTOR
     faults: Optional[FaultPlan] = None
     profile: bool = False
+    #: Numeric event-log threshold shipped to tasks (None = log off).
+    log_level: Optional[int] = None
 
 
 # ----------------------------------------------------------------------
@@ -232,27 +234,31 @@ def _noop_map(_key: Any, _records: Any, _ctx: Any) -> None:  # pragma: no cover
 
 def _shipped_job(
     job: Job, wave: str, faults: Optional[FaultPlan] = None,
-    profile: bool = False,
+    profile: bool = False, log_level: Optional[int] = None,
 ) -> Job:
     """A copy of ``job`` stripped to what one wave's tasks actually need.
 
     Driver-only hooks (splitter, reader, commit, partitioner) never run
     inside a task, so dropping them keeps per-chunk pickling small and —
     more importantly — lets a job with an unpicklable driver hook still
-    run its waves in parallel. The resolved fault plan and the profiling
-    decision ride along in the config so worker processes consult the
-    same script as the driver.
+    run its waves in parallel. The resolved fault plan, the profiling
+    decision and the event-log threshold ride along in the config so
+    worker processes consult the same script as the driver.
     """
     config = job.config
     if (
         faults is not None
         or config.get("faults") is not None
         or profile != bool(config.get("profile", False))
+        or log_level != config.get("log_level")
     ):
         config = {k: v for k, v in config.items() if k != "faults"}
         if faults is not None:
             config["faults"] = faults
         config["profile"] = profile
+        config.pop("log_level", None)
+        if log_level is not None:
+            config["log_level"] = log_level
     return replace(
         job,
         splitter=None,
@@ -510,6 +516,10 @@ class JobRunner:
         #: Plain data — unlike the tracer/progress hooks it *is* pickled,
         #: so the time-series accumulates across workspace invocations.
         self.telemetry = None
+        #: Optional structured event log (see repro.observe.log). Plain
+        #: data, ring-buffer bounded, pickled like the telemetry log so
+        #: the flight recorder survives across workspace invocations.
+        self.eventlog = None
         #: Optional live progress sink (see repro.observe.progress). Holds
         #: an open stream, so it is attached per-invocation, never pickled.
         self.progress = None
@@ -543,6 +553,7 @@ class JobRunner:
         self.__dict__.setdefault("_storage_fired", set())
         self.__dict__.setdefault("profile", None)
         self.__dict__.setdefault("telemetry", None)
+        self.__dict__.setdefault("eventlog", None)
 
     def set_tracer(self, tracer) -> None:
         """Swap the tracer (pass ``None`` to disable tracing)."""
@@ -602,6 +613,7 @@ class JobRunner:
         profile = cfg.get("profile")
         if profile is None:
             profile = _profiler.resolve(self.profile)
+        log = self.eventlog
         return _WavePolicy(
             max_attempts=max(1, int(cfg.get("max_attempts", self.max_attempts))),
             task_timeout=cfg.get("task_timeout", self.task_timeout),
@@ -611,17 +623,24 @@ class JobRunner:
             ),
             faults=faults,
             profile=bool(profile),
+            log_level=log.threshold if log is not None else None,
         )
 
     # ------------------------------------------------------------------
     def run(self, job: Job) -> JobResult:
         """Run ``job`` to completion and return its result."""
         tracer = self.tracer
+        log = self.eventlog
         repair_s = self._apply_storage_faults()
         if self.telemetry is not None:
             self.telemetry.scrape("job-start", self.metrics, job=job.name)
         if self.progress is not None:
             self.progress.job_started(job.name, list(job.input_files))
+        if log is not None:
+            log.emit(
+                "info", "runtime", "job-started", job=job.name,
+                files=",".join(job.input_files), reducers=job.num_reducers,
+            )
         with tracer.span(
             f"job:{job.name}",
             kind="job",
@@ -634,6 +653,17 @@ class JobRunner:
             # for cluster I/O; charge it to this job's simulated time.
             result.makespan += repair_s
             result.fault_summary["storage_repair_s"] = repair_s
+        if log is not None:
+            log.emit(
+                "info", "runtime", "job-finished", job=job.name,
+                output_records=len(result.output),
+                tasks=len(result.map_tasks) + len(result.reduce_tasks),
+            )
+            # The makespan derives from measured CPU seconds: volatile.
+            log.emit(
+                "debug", "runtime", "job-timing", job=job.name,
+                volatile=True, makespan_s=round(result.makespan, 6),
+            )
         if self.progress is not None:
             self.progress.job_finished(job.name, result)
         if self.metrics is not None:
@@ -685,7 +715,7 @@ class JobRunner:
             split_span.set("splits", len(splits))
             split_span.set("blocks_total", counters.get(Counter.BLOCKS_TOTAL))
             split_span.set("blocks_pruned", max(0, pruned))
-            self._verify_split_reads(splits, split_span)
+            self._verify_split_reads(splits, split_span, job.name)
             if policy.profile:
                 _profiler.merge_into(
                     profile,
@@ -751,6 +781,12 @@ class JobRunner:
         rebuilds = getattr(executor, "pool_rebuilds", 0) - rebuilds_before
         if rebuilds:
             fault_summary["pool_rebuilds"] = rebuilds
+            if self.eventlog is not None:
+                # Pool health is backend-dependent by nature: volatile.
+                self.eventlog.emit(
+                    "warn", "executor", "pool-rebuilt", job=job.name,
+                    volatile=True, rebuilds=rebuilds,
+                )
         fault_summary = {k: v for k, v in fault_summary.items() if v}
         makespan = self.cluster.job_makespan(
             map_stats, reduce_stats, shuffle_records
@@ -765,7 +801,7 @@ class JobRunner:
             phase_profile=profile,
         )
 
-    def _verify_split_reads(self, splits, split_span) -> None:
+    def _verify_split_reads(self, splits, split_span, job_name=None) -> None:
         """Checksum-verify every block about to be read (HDFS read path).
 
         A replica on a dead node or with a failed checksum is skipped and
@@ -789,6 +825,13 @@ class JobRunner:
         split_span.set("read_failovers", failovers)
         if corrupt:
             split_span.set("corrupt_replicas_detected", corrupt)
+        if self.eventlog is not None:
+            # Which replicas are unhealthy is plan-deterministic, so
+            # failover counts are part of the normalized log.
+            self.eventlog.emit(
+                "warn", "storage", "read-failover", job=job_name,
+                failovers=failovers, corrupt=corrupt,
+            )
         if self.metrics is not None:
             self.metrics.inc("READ_FAILOVERS", failovers)
             if corrupt:
@@ -819,6 +862,11 @@ class JobRunner:
                     io_seconds=self.cluster.per_record_io_s,
                 )
                 repair_s += seconds
+                if self.eventlog is not None:
+                    self.eventlog.emit(
+                        "warn", "storage", "datanode-lost",
+                        node=fault.node, replicas_repaired=repaired,
+                    )
                 if self.metrics is not None:
                     self.metrics.inc("DATANODES_LOST")
                     if repaired:
@@ -1125,11 +1173,13 @@ class JobRunner:
 
         tracer = self.tracer
         progress = self.progress
+        log = self.eventlog
         if progress is not None:
             progress.wave_started(job.name, "map", len(splits))
         with tracer.span("wave:map", kind="wave", tasks=len(splits)) as wave:
             shipped = _shipped_job(
-                job, wave="map", faults=policy.faults, profile=policy.profile
+                job, wave="map", faults=policy.faults,
+                profile=policy.profile, log_level=policy.log_level,
             )
             datas, attempts, summary = self._execute_wave(
                 wave="map",
@@ -1158,10 +1208,16 @@ class JobRunner:
                         attempts=_final_attempts(attempts[i]),
                     )
                 )
+                span_id = None
                 if tracer.enabled:
-                    cursor = self._trace_task(
+                    cursor, span_id = self._trace_task(
                         task_id, records_in, stats[-1].records_out,
                         secs, events, cursor, stats[-1].attempts,
+                    )
+                if log is not None and events:
+                    log.absorb(
+                        events, job=job.name, wave="map",
+                        task=task_id, span=span_id,
                     )
                 if progress is not None:
                     progress.task_finished(
@@ -1170,6 +1226,7 @@ class JobRunner:
                     )
                 intermediate.extend(emitted)
                 output.extend(out)
+            self._log_wave(job.name, "map", len(stats), summary)
         return stats, intermediate, summary
 
     def _run_reduce_wave(
@@ -1201,12 +1258,13 @@ class JobRunner:
 
         tracer = self.tracer
         progress = self.progress
+        log = self.eventlog
         if progress is not None:
             progress.wave_started(job.name, "reduce", len(tasks))
         with tracer.span("wave:reduce", kind="wave", tasks=len(tasks)) as wave:
             shipped = _shipped_job(
                 job, wave="reduce", faults=policy.faults,
-                profile=policy.profile,
+                profile=policy.profile, log_level=policy.log_level,
             )
             datas, attempts, summary = self._execute_wave(
                 wave="reduce",
@@ -1235,11 +1293,17 @@ class JobRunner:
                         attempts=_final_attempts(attempts[i]),
                     )
                 )
+                span_id = None
                 if tracer.enabled:
-                    cursor = self._trace_task(
+                    cursor, span_id = self._trace_task(
                         f"reduce-{task_index}", records_in,
                         stats[-1].records_out, secs, events, cursor,
                         stats[-1].attempts,
+                    )
+                if log is not None and events:
+                    log.absorb(
+                        events, job=job.name, wave="reduce",
+                        task=f"reduce-{task_index}", span=span_id,
                     )
                 if progress is not None:
                     progress.task_finished(
@@ -1249,6 +1313,7 @@ class JobRunner:
                 # Reduce emit() goes to the job output (no later stage).
                 output.extend(v for _, v in emitted)
                 output.extend(out)
+            self._log_wave(job.name, "reduce", len(stats), summary)
         return stats, summary
 
     # ------------------------------------------------------------------
@@ -1263,7 +1328,7 @@ class JobRunner:
     def _trace_task(
         self, task_id, records_in, records_out, secs, events, cursor,
         attempts=(),
-    ) -> float:
+    ) -> Tuple[float, int]:
         attrs = {"records_in": records_in, "records_out": records_out}
         if attempts:
             attrs["attempts"] = sum(
@@ -1288,10 +1353,46 @@ class JobRunner:
             if not a.speculative:
                 offset = start + a.seconds
         for event in events:
+            if "log" in event:  # ctx.log records: the event log's, not ours
+                continue
             self.tracer.event(
                 event["name"], parent_id=span_id, **event["attrs"]
             )
-        return cursor + secs
+        return cursor + secs, span_id
+
+    def _log_wave(self, job_name, wave, tasks, summary) -> None:
+        """Wave-boundary event-log records (after task logs absorbed).
+
+        Retry/timeout/corruption counts are plan-deterministic — the
+        same faults fire on every backend — so they join the normalized
+        log; speculation outcomes depend on measured CPU and stay
+        volatile.
+        """
+        log = self.eventlog
+        if log is None:
+            return
+        log.emit(
+            "info", "runtime", "wave-finished",
+            job=job_name, wave=wave, tasks=tasks,
+            span=self.tracer.current_span_id(),
+        )
+        faults = {
+            key: int(summary[key])
+            for key in ("retries", "timeouts", "corrupt", "worker_lost",
+                        "faults_injected")
+            if summary.get(key)
+        }
+        if faults:
+            log.emit(
+                "warn", "runtime", "wave-faults",
+                job=job_name, wave=wave, **faults,
+            )
+        if summary.get("speculative"):
+            log.emit(
+                "warn", "runtime", "wave-speculation",
+                job=job_name, wave=wave, volatile=True,
+                backups=int(summary["speculative"]),
+            )
 
     def _trace_dispatch(self, executor: Executor) -> None:
         """Record how the wave was dispatched, as volatile diagnostics.

@@ -36,6 +36,24 @@ from repro.observe.history import (
     JobHistory,
     JobRecord,
 )
+from repro.observe.bundle import (
+    BUNDLE_VERSION,
+    BundleError,
+    collect_bundle,
+    import_bundle,
+    inspect_bundle,
+    read_bundle,
+    write_bundle,
+)
+from repro.observe.diff import (
+    DiffReport,
+    diff_bundles,
+    diff_docs,
+)
+from repro.observe.log import (
+    LOG_VERSION,
+    EventLog,
+)
 from repro.observe.metrics import (
     SHUFFLE_BYTES_BUCKETS,
     TASK_DURATION_BUCKETS,
@@ -81,14 +99,19 @@ from repro.observe.trace import (
 NULL_TRACER = NullTracer()
 
 __all__ = [
+    "BUNDLE_VERSION",
+    "BundleError",
     "DEFAULT_HISTORY_LIMIT",
     "DEFAULT_TOLERANCE_PCT",
     "Diagnosis",
+    "DiffReport",
+    "EventLog",
     "ExpositionError",
     "Finding",
     "Histogram",
     "JobHistory",
     "JobRecord",
+    "LOG_VERSION",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
@@ -108,11 +131,18 @@ __all__ = [
     "UNDERFILL_FRACTION",
     "UPDATES_PER_WAVE",
     "attach_error",
+    "collect_bundle",
     "compare_files",
     "compare_snapshots",
     "diagnose",
+    "diff_bundles",
+    "diff_docs",
     "estimate_job_cost",
+    "import_bundle",
+    "inspect_bundle",
     "normalize_events",
+    "read_bundle",
+    "write_bundle",
     "parse_exposition",
     "read_jsonl",
     "read_scrapes",

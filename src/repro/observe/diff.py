@@ -1,0 +1,365 @@
+"""Run-diff regression attribution: *which phase made run B slower?*
+
+The perf sentinel (:mod:`repro.observe.sentinel`) says **that** a run
+regressed against its baseline; this module says **where**. Given two
+run bundles (or their decoded docs) it walks the observability record
+top-down — job makespans, the simulated cost breakdown per wave, the
+profiler's per-phase wall time, per-task stats, job counters, partition
+record counts — computes every paired delta, and ranks the survivors
+into one culprit table: time deltas first, largest first.
+
+Pairing is structural, not positional: jobs pair by ``(name,
+occurrence-index)`` so re-running the same workload lines up even when
+unrelated jobs interleave; tasks pair by task id; partitions pair by
+``file/cell-id``. Anything unpaired is reported, not silently dropped.
+
+Tolerance is two-sided — a relative band (percent of the larger side)
+**and** an absolute floor — so float noise in timings never shows up,
+while diffing a run against itself is exactly empty. Counter and
+record-count deltas are exact: those numbers are deterministic, so any
+drift is a real behaviour change, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Timing deltas inside this relative band are noise, not culprits.
+DEFAULT_TOLERANCE_PCT = 1.0
+#: ... and deltas smaller than this many seconds are never culprits.
+DEFAULT_ABS_FLOOR_S = 0.001
+
+#: The simulated cost components, in report order.
+_COST_COMPONENTS = ("overhead", "map", "shuffle", "reduce")
+
+
+@dataclass
+class DiffReport:
+    """Ranked attribution of the differences between two runs."""
+
+    label_a: str
+    label_b: str
+    tolerance_pct: float
+    abs_floor_s: float
+    #: Ranked list of delta records (see :func:`_culprit`).
+    culprits: List[Dict[str, Any]] = field(default_factory=list)
+    jobs_compared: int = 0
+    #: Job keys present on only one side: ``[(side, name, index), ...]``.
+    unpaired: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no delta survived the tolerance band."""
+        return not self.culprits and not self.unpaired
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "a": self.label_a,
+            "b": self.label_b,
+            "tolerance_pct": self.tolerance_pct,
+            "abs_floor_s": self.abs_floor_s,
+            "jobs_compared": self.jobs_compared,
+            "ok": self.ok,
+            "culprits": list(self.culprits),
+            "unpaired": [
+                {"side": side, "job": name, "occurrence": index}
+                for side, name, index in self.unpaired
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """The culprit table as text (``repro diff``)."""
+        lines = [
+            f"=== run diff: {self.label_a} -> {self.label_b} ===",
+            f"  {self.jobs_compared} job(s) paired; tolerance "
+            f"{self.tolerance_pct:g}% / {self.abs_floor_s:g}s",
+        ]
+        for side, name, index in self.unpaired:
+            lines.append(
+                f"  only in {side}: job {name!r} (occurrence {index + 1})"
+            )
+        if not self.culprits:
+            lines.append(
+                "  no regressions: every paired delta is inside tolerance"
+            )
+            return "\n".join(lines) + "\n"
+        lines.append(f"  {len(self.culprits)} culprit(s), worst first:")
+        lines.append(
+            "    rank  kind       where                              "
+            f"{'a':>12}  {'b':>12}       delta"
+        )
+        for rank, c in enumerate(self.culprits, 1):
+            where = f"{c['job']}: {c['where']}" if c.get("job") else c["where"]
+            unit = c["unit"]
+            if unit == "s":
+                a_txt, b_txt = f"{c['a']:.6f}", f"{c['b']:.6f}"
+                delta_txt = f"{c['delta']:+.6f}s"
+            else:
+                a_txt, b_txt = f"{c['a']:g}", f"{c['b']:g}"
+                delta_txt = f"{c['delta']:+g} {unit}"
+            if c.get("pct") is not None:
+                delta_txt += f" ({c['pct']:+.1f}%)"
+            lines.append(
+                f"    {rank:>4d}  {c['kind']:<9}  {where:<33}  "
+                f"{a_txt:>12}  {b_txt:>12}  {delta_txt}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _culprit(
+    kind: str,
+    where: str,
+    a: float,
+    b: float,
+    unit: str,
+    job: Optional[str] = None,
+) -> Dict[str, Any]:
+    delta = b - a
+    base = max(abs(a), abs(b))
+    return {
+        "kind": kind,
+        "job": job,
+        "where": where,
+        "a": a,
+        "b": b,
+        "delta": delta,
+        "pct": (100.0 * delta / base) if base else None,
+        "unit": unit,
+    }
+
+
+class _Comparator:
+    """Accumulates deltas from one doc pair, applying the tolerance."""
+
+    def __init__(self, tolerance_pct: float, abs_floor_s: float) -> None:
+        self.tolerance_pct = tolerance_pct
+        self.abs_floor_s = abs_floor_s
+        self.culprits: List[Dict[str, Any]] = []
+
+    def seconds(
+        self, kind: str, where: str, a: float, b: float, job: Optional[str]
+    ) -> None:
+        """Record a timing delta if it escapes the two-sided band."""
+        delta = abs(b - a)
+        if delta <= self.abs_floor_s:
+            return
+        if delta <= (self.tolerance_pct / 100.0) * max(abs(a), abs(b)):
+            return
+        self.culprits.append(_culprit(kind, where, a, b, "s", job))
+
+    def exact(
+        self,
+        kind: str,
+        where: str,
+        a: float,
+        b: float,
+        unit: str,
+        job: Optional[str],
+    ) -> None:
+        """Record a deterministic-quantity delta (no tolerance)."""
+        if a != b:
+            self.culprits.append(_culprit(kind, where, a, b, unit, job))
+
+
+def _paired_jobs(
+    doc: Dict[str, Any]
+) -> Dict[Tuple[str, int], Dict[str, Any]]:
+    """Index a doc's history jobs by ``(name, occurrence-index)``."""
+    seen: Dict[str, int] = {}
+    out: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    for job in (doc.get("history") or {}).get("jobs") or []:
+        name = job.get("name", "?")
+        index = seen.get(name, 0)
+        seen[name] = index + 1
+        out[(name, index)] = job
+    return out
+
+
+def _diff_job(
+    cmp: _Comparator, key: Tuple[str, int], a: Dict[str, Any], b: Dict[str, Any]
+) -> None:
+    name, index = key
+    label = name if index == 0 else f"{name}#{index + 1}"
+
+    # Job level: the headline makespan.
+    cmp.seconds(
+        "job",
+        "makespan",
+        float(a.get("makespan") or 0.0),
+        float(b.get("makespan") or 0.0),
+        label,
+    )
+
+    # Wave level: the simulated cost breakdown decomposes the makespan.
+    cost_a = a.get("cost") or {}
+    cost_b = b.get("cost") or {}
+    for component in _COST_COMPONENTS:
+        cmp.seconds(
+            "wave",
+            f"cost/{component}",
+            float(cost_a.get(component) or 0.0),
+            float(cost_b.get(component) or 0.0),
+            label,
+        )
+
+    # Task level: pair by task id within each wave.
+    for wave in ("map_tasks", "reduce_tasks"):
+        tasks_a = {t["task_id"]: t for t in a.get(wave) or []}
+        tasks_b = {t["task_id"]: t for t in b.get(wave) or []}
+        for task_id in sorted(set(tasks_a) | set(tasks_b)):
+            ta, tb = tasks_a.get(task_id), tasks_b.get(task_id)
+            if ta is None or tb is None:
+                side = "b" if ta is None else "a"
+                present = tb if ta is None else ta
+                cmp.culprits.append(
+                    _culprit(
+                        "task",
+                        f"{task_id} only in {side}",
+                        0.0 if ta is None else float(ta.get("seconds") or 0),
+                        0.0 if tb is None else float(tb.get("seconds") or 0),
+                        "s",
+                        label,
+                    )
+                )
+                del present
+                continue
+            cmp.seconds(
+                "task",
+                task_id,
+                float(ta.get("seconds") or 0.0),
+                float(tb.get("seconds") or 0.0),
+                label,
+            )
+            for kind in ("records_in", "records_out"):
+                cmp.exact(
+                    "task",
+                    f"{task_id}/{kind}",
+                    int(ta.get(kind) or 0),
+                    int(tb.get(kind) or 0),
+                    "records",
+                    label,
+                )
+
+    # Phase level: the profiler's wall-time attribution.
+    phases_a = a.get("phase_profile") or {}
+    phases_b = b.get("phase_profile") or {}
+    for phase in sorted(set(phases_a) | set(phases_b)):
+        cmp.seconds(
+            "phase",
+            phase,
+            float((phases_a.get(phase) or {}).get("s") or 0.0),
+            float((phases_b.get(phase) or {}).get("s") or 0.0),
+            label,
+        )
+
+    # Counters: deterministic, so compared exactly.
+    counters_a = a.get("counters") or {}
+    counters_b = b.get("counters") or {}
+    for counter in sorted(set(counters_a) | set(counters_b)):
+        cmp.exact(
+            "counter",
+            counter,
+            int(counters_a.get(counter) or 0),
+            int(counters_b.get(counter) or 0),
+            "count",
+            label,
+        )
+
+
+def _diff_partitions(
+    cmp: _Comparator, doc_a: Dict[str, Any], doc_b: Dict[str, Any]
+) -> None:
+    """Per-partition record skew between the two file inventories."""
+    files_a = {f["name"]: f for f in doc_a.get("files") or []}
+    files_b = {f["name"]: f for f in doc_b.get("files") or []}
+    for name in sorted(set(files_a) & set(files_b)):
+        fa, fb = files_a[name], files_b[name]
+        cmp.exact(
+            "file",
+            f"{name}/records",
+            int(fa.get("records") or 0),
+            int(fb.get("records") or 0),
+            "records",
+            None,
+        )
+        cells_a = {c["id"]: c for c in fa.get("cells") or []}
+        cells_b = {c["id"]: c for c in fb.get("cells") or []}
+        for cell_id in sorted(set(cells_a) | set(cells_b)):
+            cmp.exact(
+                "partition",
+                f"{name}/cell-{cell_id}",
+                int((cells_a.get(cell_id) or {}).get("records") or 0),
+                int((cells_b.get(cell_id) or {}).get("records") or 0),
+                "records",
+                None,
+            )
+
+
+def diff_docs(
+    doc_a: Dict[str, Any],
+    doc_b: Dict[str, Any],
+    label_a: str = "a",
+    label_b: str = "b",
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> DiffReport:
+    """Compare two bundle docs; rank every out-of-tolerance delta."""
+    cmp = _Comparator(tolerance_pct, abs_floor_s)
+    jobs_a = _paired_jobs(doc_a)
+    jobs_b = _paired_jobs(doc_b)
+
+    shared = sorted(set(jobs_a) & set(jobs_b), key=lambda k: (k[0], k[1]))
+    for key in shared:
+        _diff_job(cmp, key, jobs_a[key], jobs_b[key])
+    _diff_partitions(cmp, doc_a, doc_b)
+
+    unpaired = [
+        ("a", name, index)
+        for name, index in sorted(set(jobs_a) - set(jobs_b))
+    ] + [
+        ("b", name, index)
+        for name, index in sorted(set(jobs_b) - set(jobs_a))
+    ]
+
+    # Rank: time deltas first (they answer "where did the seconds go"),
+    # largest magnitude first; exact-quantity deltas after, same order.
+    cmp.culprits.sort(
+        key=lambda c: (c["unit"] != "s", -abs(c["delta"]), c["where"])
+    )
+    return DiffReport(
+        label_a=label_a,
+        label_b=label_b,
+        tolerance_pct=tolerance_pct,
+        abs_floor_s=abs_floor_s,
+        culprits=cmp.culprits,
+        jobs_compared=len(shared),
+        unpaired=unpaired,
+    )
+
+
+def diff_bundles(
+    path_a: Any,
+    path_b: Any,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> DiffReport:
+    """Load two bundle files and diff them (``repro diff A B``)."""
+    from repro.observe.bundle import read_bundle
+
+    return diff_docs(
+        read_bundle(path_a),
+        read_bundle(path_b),
+        label_a=str(path_a),
+        label_b=str(path_b),
+        tolerance_pct=tolerance_pct,
+        abs_floor_s=abs_floor_s,
+    )

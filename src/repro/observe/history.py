@@ -17,7 +17,7 @@ from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import Any, Deque, Dict, Iterator, List, Optional
 
-from repro.mapreduce.cluster import TaskStats
+from repro.mapreduce.cluster import TaskAttempt, TaskStats
 from repro.observe import profile as _profile
 from repro.observe.metrics import TASK_DURATION_BUCKETS, Histogram
 
@@ -86,6 +86,40 @@ class JobRecord:
             for t in self.map_tasks + self.reduce_tasks
             if getattr(t, "attempts", None)
         ]
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        """Rebuild a record from its :meth:`to_dict` form.
+
+        The inverse used by run-bundle import; ``to_dict`` →
+        ``from_dict`` → ``to_dict`` is the round-trip contract.
+        """
+
+        def task(d: Dict[str, Any]) -> TaskStats:
+            attempts = [TaskAttempt(**a) for a in d.get("attempts") or []]
+            return TaskStats(
+                task_id=d["task_id"],
+                records_in=int(d["records_in"]),
+                records_out=int(d["records_out"]),
+                seconds=float(d["seconds"]),
+                attempts=attempts,
+            )
+
+        return cls(
+            job_id=int(data["job_id"]),
+            name=data["name"],
+            makespan=float(data["makespan"]),
+            counters=dict(data.get("counters") or {}),
+            map_tasks=[task(t) for t in data.get("map_tasks") or []],
+            reduce_tasks=[task(t) for t in data.get("reduce_tasks") or []],
+            cost=dict(data.get("cost") or {}),
+            fault_summary=dict(data.get("fault_summary") or {}),
+            input_files=list(data.get("input_files") or []),
+            phase_profile={
+                key: dict(entry)
+                for key, entry in (data.get("phase_profile") or {}).items()
+            },
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe view of the record (for ``history --format json``)."""
@@ -179,13 +213,34 @@ class JobHistory:
         self._records.clear()
 
     def to_dict(self, last: Optional[int] = None) -> Dict[str, Any]:
-        """JSON-safe view of the store (``history --format json``)."""
+        """JSON-safe view of the store (``history --format json``).
+
+        The fsck section and each job's ``phase_profile`` are always
+        present (empty when unused), so JSON consumers — and run bundles
+        — see one stable shape.
+        """
         return {
             "total_recorded": self.total_recorded,
             "retained": len(self._records),
             "jobs": [rec.to_dict() for rec in self.last(last)],
             "fsck_runs": self.fsck_runs,
         }
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, Any], limit: int = DEFAULT_HISTORY_LIMIT
+    ) -> "JobHistory":
+        """Rebuild a store from its :meth:`to_dict` form (bundle import)."""
+        history = cls(limit=limit)
+        for job in data.get("jobs") or []:
+            rec = JobRecord.from_dict(job)
+            history._records.append(rec)
+            history._next_id = max(history._next_id, rec.job_id + 1)
+        total = int(data.get("total_recorded") or 0)
+        history._next_id = max(history._next_id, total + 1)
+        for run in data.get("fsck_runs") or []:
+            history._fsck_runs.append(dict(run))
+        return history
 
     # -- rendering ------------------------------------------------------
     def report(self, last: Optional[int] = None, counters: bool = True) -> str:

@@ -1,0 +1,339 @@
+"""The flight recorder: a deterministic, leveled, structured event log.
+
+Where the tracer answers *how long did each span take*, the event log
+answers *what happened* — jobs started, waves finished, tasks retried,
+datanodes lost, files loaded — as a bounded stream of structured records
+a person (or ``repro diff``) can grep.
+
+The determinism contract mirrors the tracer's: every record is appended
+by the **driver**, in a fixed sequence. Worker tasks never touch the log
+— ``ctx.log(...)`` collects records as plain dicts, ships them back with
+the task result, and the driver folds them in in split/bucket order
+(:meth:`EventLog.absorb`). Timing-dependent records (speculation
+outcomes, pool rebuilds, makespans) are flagged *volatile*;
+:meth:`EventLog.normalized_records` drops them and replaces timestamps
+with ordinals, after which serial and ``--workers N`` logs of the same
+work compare bit-identical.
+
+Like the profiler, a disabled log costs nothing: the runner's
+``eventlog`` attribute is ``None`` until armed, every emission site
+guards on that before building a record, and :meth:`EventLog.emit`
+checks the level threshold before reading the clock or formatting
+anything. The log is plain data and pickles with workspaces, bounded by
+a ring buffer so a long-lived workspace cannot grow without limit.
+
+This module is import-light (stdlib only) on purpose — task-side code
+consults only the severity table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+#: Record schema version, bumped on incompatible changes.
+LOG_VERSION = 1
+
+#: Severity order. The numeric values ship to worker processes in the
+#: job config (``log_level``) so tasks apply the same threshold as the
+#: driver without importing the log itself.
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+#: Ring-buffer default: plenty for weeks of CLI use, small enough that a
+#: pickled workspace stays a workspace, not an archive.
+DEFAULT_CAPACITY = 4096
+
+
+def level_value(name: str) -> int:
+    """Numeric severity of ``name``; raises ``ValueError`` on junk."""
+    try:
+        return LEVELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {name!r}; expected one of "
+            + "/".join(LEVELS)
+        ) from None
+
+
+class EventLog:
+    """Bounded structured-event log with deterministic record order."""
+
+    def __init__(
+        self, level: str = "info", capacity: int = DEFAULT_CAPACITY
+    ) -> None:
+        self._threshold = level_value(level)
+        self.capacity = max(1, int(capacity))
+        self._records: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self._seq = 0
+        self._origin = time.monotonic()
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Dict[str, Any]],
+        level: str = "info",
+        capacity: int = DEFAULT_CAPACITY,
+        emitted: Optional[int] = None,
+    ) -> "EventLog":
+        """Rebuild a log from exported records (run-bundle import)."""
+        log = cls(level=level, capacity=capacity)
+        for record in records:
+            log._records.append(dict(record))
+        log._seq = emitted if emitted is not None else len(log._records)
+        return log
+
+    # -- configuration --------------------------------------------------
+    @property
+    def level(self) -> str:
+        """The active threshold name (records below it are dropped)."""
+        for name, value in LEVELS.items():
+            if value == self._threshold:
+                return name
+        return str(self._threshold)  # pragma: no cover - set via setter
+
+    @level.setter
+    def level(self, name: str) -> None:
+        self._threshold = level_value(name)
+
+    @property
+    def threshold(self) -> int:
+        """Numeric severity threshold (shipped to worker tasks)."""
+        return self._threshold
+
+    def enabled_for(self, level: str) -> bool:
+        return LEVELS.get(level, 0) >= self._threshold
+
+    # -- persistence ----------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_records"] = list(self._records)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._records = deque(state["_records"], maxlen=self.capacity)
+        # Monotonic offsets are meaningless across processes; restart the
+        # origin so new records get sane (still volatile) timestamps.
+        self._origin = time.monotonic()
+
+    # -- recording ------------------------------------------------------
+    def emit(
+        self,
+        level: str,
+        component: str,
+        event: str,
+        *,
+        job: Optional[str] = None,
+        wave: Optional[str] = None,
+        task: Optional[str] = None,
+        span: Optional[int] = None,
+        volatile: bool = False,
+        **attrs: Any,
+    ) -> None:
+        """Append one record (driver-side).
+
+        ``span`` is the correlation id of the trace span the record
+        belongs to, when tracing is on. ``volatile`` marks records whose
+        presence or attributes depend on timing or backend (dropped by
+        normalization). The level check comes first so a filtered-out
+        emission never reads the clock.
+        """
+        severity = LEVELS.get(level)
+        if severity is None:
+            raise ValueError(f"unknown log level {level!r}")
+        if severity < self._threshold:
+            return
+        record: Dict[str, Any] = {
+            "seq": self._seq,
+            "ts": round(time.monotonic() - self._origin, 6),
+            "level": level,
+            "component": component,
+            "event": event,
+        }
+        if job is not None:
+            record["job"] = job
+        if wave is not None:
+            record["wave"] = wave
+        if task is not None:
+            record["task"] = task
+        if span is not None:
+            record["span"] = span
+        if volatile:
+            record["volatile"] = True
+        if attrs:
+            record["attrs"] = attrs
+        self._seq += 1
+        self._records.append(record)
+
+    def absorb(
+        self,
+        shipped: Iterable[Dict[str, Any]],
+        *,
+        job: Optional[str] = None,
+        wave: Optional[str] = None,
+        task: Optional[str] = None,
+        span: Optional[int] = None,
+    ) -> None:
+        """Fold task-shipped event dicts in, in the order given.
+
+        The runtime calls this once per task, in split/bucket order, so
+        worker-emitted records land at the same position no matter which
+        backend ran the wave. Only dicts carrying a ``"log"`` marker (as
+        written by ``ctx.log``) are log records; plain trace events in
+        the same channel are ignored here.
+        """
+        for event in shipped:
+            level = event.get("log")
+            if not level:
+                continue
+            self.emit(
+                level,
+                event.get("component", "task"),
+                event["name"],
+                job=job,
+                wave=wave,
+                task=task,
+                span=span,
+                **event.get("attrs", {}),
+            )
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    # -- inspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records lost to the ring buffer (emitted − retained)."""
+        return self._seq - len(self._records)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All retained records, oldest first (deterministic order)."""
+        return list(self._records)
+
+    def normalized_records(self) -> List[Dict[str, Any]]:
+        """The backend-independent view: what must match across runs.
+
+        Drops volatile records and replaces ``seq``/``ts`` with the
+        record's ordinal position among survivors — the exact transform
+        :func:`repro.observe.trace.normalize_events` applies to traces.
+        """
+        out: List[Dict[str, Any]] = []
+        for record in self._records:
+            if record.get("volatile"):
+                continue
+            clean = dict(record)
+            clean.pop("volatile", None)
+            clean["seq"] = len(out)
+            clean["ts"] = len(out)
+            out.append(clean)
+        return out
+
+    def query(
+        self,
+        level: Optional[str] = None,
+        component: Optional[str] = None,
+        task: Optional[str] = None,
+        job: Optional[str] = None,
+        grep: Optional[str] = None,
+        last: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Filter retained records; all criteria are ANDed.
+
+        ``level`` is a *minimum* severity; ``grep`` is a case-insensitive
+        substring match over the rendered line, like grepping the text
+        output would.
+        """
+        floor = level_value(level) if level is not None else 0
+        needle = grep.lower() if grep else None
+        out = []
+        for record in self._records:
+            if LEVELS.get(record["level"], 0) < floor:
+                continue
+            if component is not None and record.get("component") != component:
+                continue
+            if task is not None and record.get("task") != task:
+                continue
+            if job is not None and record.get("job") != job:
+                continue
+            if needle is not None and needle not in render_line(record).lower():
+                continue
+            out.append(record)
+        if last is not None:
+            out = out[-last:]
+        return out
+
+    # -- export ---------------------------------------------------------
+    def export_jsonl(self, path: Any, normalize: bool = True) -> None:
+        """Write the log as JSON-lines (header line first)."""
+        records = self.normalized_records() if normalize else self.records()
+        header = {
+            "type": "eventlog",
+            "version": LOG_VERSION,
+            "records": len(records),
+            "normalized": bool(normalize),
+        }
+        lines = [json.dumps(header)]
+        lines.extend(json.dumps(r, sort_keys=True, default=str) for r in records)
+        text = "\n".join(lines) + "\n"
+        if hasattr(path, "write"):
+            path.write(text)
+        else:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+
+def render_line(record: Dict[str, Any]) -> str:
+    """One record as a greppable text line."""
+    parts = [
+        f"#{record.get('seq', 0):<4d}",
+        f"{record.get('level', '?'):<5s}",
+        f"{record.get('component', '?'):<9s}",
+        record.get("event", "?"),
+    ]
+    for key in ("job", "wave", "task"):
+        value = record.get(key)
+        if value is not None:
+            parts.append(f"{key}={value}")
+    if record.get("span") is not None:
+        parts.append(f"span={record['span']}")
+    for key, value in (record.get("attrs") or {}).items():
+        parts.append(f"{key}={value}")
+    if record.get("volatile"):
+        parts.append("(volatile)")
+    return " ".join(str(p) for p in parts)
+
+
+def render_report(records: List[Dict[str, Any]], dropped: int = 0) -> str:
+    """A text rendering of ``records`` for ``repro logs``."""
+    lines = [render_line(r) for r in records]
+    counts: Dict[str, int] = {}
+    for r in records:
+        counts[r.get("level", "?")] = counts.get(r.get("level", "?"), 0) + 1
+    summary = ", ".join(
+        f"{counts[name]} {name}" for name in LEVELS if name in counts
+    )
+    lines.append(
+        f"-- {len(records)} event(s)"
+        + (f" ({summary})" if summary else "")
+        + (f"; {dropped} older dropped by the ring buffer" if dropped else "")
+    )
+    return "\n".join(lines)
+
+
+def read_jsonl(path: Any) -> List[Dict[str, Any]]:
+    """Parse a JSONL event-log file back into records (header excluded)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") != "eventlog":
+                records.append(record)
+    return records

@@ -125,6 +125,12 @@ class SentinelReport:
             "  verdict: "
             + ("PASS" if self.healthy else f"FAIL ({len(self.regressions)} regression(s))")
         )
+        if not self.healthy:
+            lines.append(
+                "  hint: export run bundles of both revisions and run "
+                "'repro diff BASELINE CURRENT' to attribute the "
+                "regression to a job, wave and phase"
+            )
         return "\n".join(lines)
 
 

@@ -97,6 +97,14 @@ class NullTracer:
     ) -> None:
         pass
 
+    def current_span_id(self) -> Optional[int]:
+        """Correlation id of the innermost open span (None when off).
+
+        The event log stamps this onto driver-side records so log lines
+        and trace spans of the same run cross-reference.
+        """
+        return None
+
 
 class _SpanHandle:
     """Context manager for one open span of a live :class:`Tracer`."""
@@ -145,6 +153,9 @@ class Tracer(NullTracer):
 
     def _current_parent(self) -> Optional[int]:
         return self._stack[-1] if self._stack else None
+
+    def current_span_id(self) -> Optional[int]:
+        return self._current_parent()
 
     def span(self, name: str, kind: str = "phase", **attrs: Any) -> _SpanHandle:
         """Open a span; close it by leaving the ``with`` block."""

@@ -46,6 +46,7 @@ def _owned_by_cell(record_mbr: Rectangle, cell: Rectangle, query: Rectangle) -> 
 def _scan_map(_key, records, ctx):
     """Map task of the full-scan range query (module-level: picklable)."""
     q = ctx.config["query"]
+    ctx.log("debug", "block-scanned", records=len(records))
     payload = payload_of(ctx.split.block, len(records))
     if payload is not None:
         # One batch mask over the block's columnar payload; the index
@@ -62,6 +63,7 @@ def _scan_map(_key, records, ctx):
 def _indexed_map(cell, records, ctx):
     """Map task of the indexed range query (module-level: picklable)."""
     q = ctx.config["query"]
+    ctx.log("debug", "partition-scanned", records=len(records))
     local = local_index_of(ctx) if ctx.config["use_local_index"] else None
     if local is not None:
         candidates = [e.record for e in local.search(q)]

@@ -8,6 +8,8 @@ written as PGM (portable graymap) or rendered as ASCII art.
 """
 
 from repro.viz.canvas import Canvas
+from repro.viz.dashboard import render_dashboard, write_dashboard
+from repro.viz.escape import escape
 from repro.viz.flamegraph import (
     flamegraph_svg,
     parse_collapsed,
@@ -20,12 +22,15 @@ from repro.viz.pyramid import TilePyramid, plot_pyramid, tile_rect
 __all__ = [
     "Canvas",
     "TilePyramid",
+    "escape",
     "flamegraph_svg",
     "heatmap_svg",
     "parse_collapsed",
     "partition_heatmap",
     "plot",
     "plot_pyramid",
+    "render_dashboard",
     "tile_rect",
+    "write_dashboard",
     "write_flamegraph",
 ]

@@ -1,0 +1,450 @@
+"""The ops dashboard: one run bundle as one self-contained HTML page.
+
+``repro report`` turns a run bundle (:mod:`repro.observe.bundle`) into a
+single HTML file with **zero external references** — no scripts, fonts,
+stylesheets or URLs — so it can be archived next to the bundle, attached
+to a CI run, or mailed around, and will render identically forever.
+
+Sections, in reading order:
+
+* stat tiles — jobs run, records stored, events logged, storage health;
+* the wave timeline — each job's simulated cost decomposed into
+  overhead / map / shuffle / reduce as a stacked horizontal bar;
+* per-job phase tables (when the run was profiled);
+* a per-partition heatmap + fullest-partition table per indexed file;
+* metric sparklines across the telemetry scrape log;
+* the top structured-log events and the most recent log lines;
+* an optional run-diff view (``repro report --vs OTHER``).
+
+Charts are inline SVG styled by CSS custom properties with a
+``prefers-color-scheme`` dark block, so light and dark mode both come
+from selected palette steps rather than an automatic inversion. Every
+piece of dynamic text goes through :func:`repro.viz.escape.escape`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.viz.escape import escape
+
+#: Fixed categorical order for the cost components (never cycled).
+COST_COMPONENTS = ("overhead", "map", "shuffle", "reduce")
+
+#: Sequential blue ramp (steps 100..700) for magnitude encoding.
+SEQ_RAMP = (
+    "#cde2fb",
+    "#9ec5f4",
+    "#6da7ec",
+    "#3987e5",
+    "#256abf",
+    "#184f95",
+    "#0d366b",
+)
+
+_CSS = """\
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --surface-2: #f4f3f0;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --gridline: #e1e0d9;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-serious: #ec835a;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --surface-2: #242422;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --gridline: #2c2c2a;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0 auto; padding: 24px; max-width: 1080px;
+  background: var(--surface-1); color: var(--text-primary);
+  font-family: system-ui, sans-serif; font-size: 14px; line-height: 1.45;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.meta { color: var(--text-secondary); margin-bottom: 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--surface-2); border: 1px solid var(--gridline);
+  border-radius: 8px; padding: 10px 16px; min-width: 130px;
+}
+.tile .v { font-size: 22px; font-weight: 600; font-variant-numeric: tabular-nums; }
+.tile .k { color: var(--text-secondary); font-size: 12px; }
+.chip { display: inline-flex; align-items: center; gap: 6px; }
+.dot { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 4px 10px 4px 0; border-bottom: 1px solid var(--gridline); }
+th { color: var(--text-secondary); font-weight: 500; font-size: 12px; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.legend { display: flex; gap: 16px; margin: 6px 0 10px; color: var(--text-secondary); font-size: 12px; }
+.s1 { fill: var(--series-1); } .s2 { fill: var(--series-2); }
+.s3 { fill: var(--series-3); } .s4 { fill: var(--series-4); }
+.bdot1 { background: var(--series-1); } .bdot2 { background: var(--series-2); }
+.bdot3 { background: var(--series-3); } .bdot4 { background: var(--series-4); }
+.axis { stroke: var(--gridline); stroke-width: 1; }
+.lbl { fill: var(--text-secondary); font-size: 11px; font-family: system-ui, sans-serif; }
+.val { fill: var(--text-primary); font-size: 11px; font-variant-numeric: tabular-nums; }
+.spark { stroke: var(--series-1); stroke-width: 2; fill: none; }
+.sparkgrid { display: flex; flex-wrap: wrap; gap: 16px; }
+.sparkcell { background: var(--surface-2); border: 1px solid var(--gridline); border-radius: 8px; padding: 8px 12px; }
+.sparkcell .k { color: var(--text-secondary); font-size: 12px; }
+.bar { height: 8px; background: var(--series-1); border-radius: 2px; }
+.bartrack { background: var(--surface-2); border-radius: 2px; min-width: 120px; }
+pre {
+  background: var(--surface-2); border: 1px solid var(--gridline);
+  border-radius: 8px; padding: 12px; overflow-x: auto; font-size: 12px;
+}
+.pos { color: var(--status-serious); } .neg { color: var(--status-good); }
+.empty { color: var(--text-secondary); font-style: italic; }
+footer { margin-top: 32px; color: var(--text-secondary); font-size: 12px; }
+"""
+
+#: Log level -> (status css var, label) for the chip next to a level.
+_LEVEL_STATUS = {
+    "error": ("var(--status-critical)", "error"),
+    "warn": ("var(--status-warning)", "warn"),
+    "info": ("var(--text-secondary)", "info"),
+    "debug": ("var(--gridline)", "debug"),
+}
+
+
+def _ramp_color(value: float, peak: float) -> str:
+    """Sequential-ramp step for ``value`` relative to ``peak``."""
+    if peak <= 0:
+        return SEQ_RAMP[0]
+    frac = max(0.0, min(1.0, value / peak))
+    return SEQ_RAMP[min(len(SEQ_RAMP) - 1, int(frac * len(SEQ_RAMP)))]
+
+
+def _tiles(doc: Dict[str, Any]) -> str:
+    history = doc.get("history") or {}
+    files = doc.get("files") or []
+    eventlog = doc.get("eventlog") or {}
+    fsck = doc.get("fsck")
+    tiles = [
+        (f"{history.get('total_recorded', 0)}", "jobs run"),
+        (f"{sum(int(f.get('records') or 0) for f in files)}", "records stored"),
+        (f"{sum(1 for f in files if f.get('indexed'))}/{len(files)}", "files indexed"),
+        (f"{len(eventlog.get('records') or [])}", "events logged"),
+        (f"{len(doc.get('telemetry') or [])}", "telemetry scrapes"),
+    ]
+    cells = [
+        f'<div class="tile"><div class="v">{escape(v)}</div>'
+        f'<div class="k">{escape(k)}</div></div>'
+        for v, k in tiles
+    ]
+    if fsck is not None:
+        healthy = bool(fsck.get("healthy"))
+        color = "var(--status-good)" if healthy else "var(--status-critical)"
+        word = "healthy" if healthy else "unhealthy"
+        cells.append(
+            '<div class="tile"><div class="v chip">'
+            f'<span class="dot" style="background:{color}"></span>{word}</div>'
+            f'<div class="k">storage ({fsck.get("issues", 0)} issue(s))</div></div>'
+        )
+    return f'<div class="tiles">{"".join(cells)}</div>'
+
+
+def _timeline(doc: Dict[str, Any]) -> str:
+    """Stacked per-job cost bars: the wave timeline."""
+    jobs = ((doc.get("history") or {}).get("jobs") or [])[-20:]
+    rows = [
+        (
+            job.get("name", "?"),
+            [float((job.get("cost") or {}).get(c) or 0.0) for c in COST_COMPONENTS],
+        )
+        for job in jobs
+    ]
+    rows = [(name, comps) for name, comps in rows if sum(comps) > 0]
+    if not rows:
+        return '<p class="empty">no jobs with a cost breakdown in this bundle</p>'
+    peak = max(sum(comps) for _, comps in rows)
+    width, label_w, row_h, gap = 1000, 320, 22, 6
+    chart_w = width - label_w - 90
+    height = len(rows) * (row_h + gap) + 10
+    svg = [f'<svg width="{width}" height="{height}" role="img">']
+    for i, (name, comps) in enumerate(rows):
+        y = i * (row_h + gap)
+        total = sum(comps)
+        svg.append(
+            f'<text x="{label_w - 8}" y="{y + row_h - 6}" text-anchor="end" '
+            f'class="lbl">{escape(name[:44])}</text>'
+        )
+        x = float(label_w)
+        for j, (component, seconds) in enumerate(zip(COST_COMPONENTS, comps)):
+            if seconds <= 0:
+                continue
+            w = chart_w * seconds / peak
+            # 2px surface gap between stacked segments.
+            svg.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{max(w - 2, 1):.1f}" '
+                f'height="{row_h - 4}" rx="2" class="s{j + 1}">'
+                f"<title>{escape(name)} — {component}: {seconds:.3f}s "
+                f"({100 * seconds / total:.0f}%)</title></rect>"
+            )
+            x += w
+        svg.append(
+            f'<text x="{x + 6:.1f}" y="{y + row_h - 6}" class="val">'
+            f"{total:.3f}s</text>"
+        )
+    svg.append(
+        f'<line x1="{label_w}" y1="0" x2="{label_w}" y2="{height}" class="axis"/>'
+    )
+    svg.append("</svg>")
+    legend = "".join(
+        f'<span class="chip"><span class="dot bdot{i + 1}"></span>{c}</span>'
+        for i, c in enumerate(COST_COMPONENTS)
+    )
+    return f'<div class="legend">{legend}</div>{"".join(svg)}'
+
+
+def _phase_tables(doc: Dict[str, Any]) -> str:
+    jobs = (doc.get("history") or {}).get("jobs") or []
+    blocks: List[str] = []
+    for job in jobs:
+        phases: Dict[str, Dict[str, float]] = job.get("phase_profile") or {}
+        if not phases:
+            continue
+        total = sum(float(p.get("s") or 0.0) for p in phases.values()) or 1.0
+        rows = []
+        for phase in sorted(
+            phases, key=lambda k: -float(phases[k].get("s") or 0.0)
+        ):
+            entry = phases[phase]
+            seconds = float(entry.get("s") or 0.0)
+            pct = 100.0 * seconds / total
+            rows.append(
+                f"<tr><td>{escape(phase)}</td>"
+                f'<td class="num">{int(entry.get("n") or 0)}</td>'
+                f'<td class="num">{seconds:.6f}</td>'
+                f'<td class="num">{pct:.1f}%</td>'
+                f'<td><div class="bartrack"><div class="bar" '
+                f'style="width:{pct:.1f}%"></div></div></td></tr>'
+            )
+        blocks.append(
+            f"<h3>{escape(job.get('name', '?'))}</h3>"
+            '<table><thead><tr><th>phase</th><th class="num">calls</th>'
+            '<th class="num">seconds</th><th class="num">share</th><th></th>'
+            f'</tr></thead><tbody>{"".join(rows)}</tbody></table>'
+        )
+    if not blocks:
+        return '<p class="empty">run with profiling on to collect phase timings</p>'
+    return "".join(blocks)
+
+
+def _heatmaps(doc: Dict[str, Any]) -> str:
+    blocks: List[str] = []
+    for file_section in doc.get("files") or []:
+        cells = file_section.get("cells") or []
+        if not cells:
+            continue
+        name = file_section.get("name", "?")
+        xs = [c["mbr"][0] for c in cells] + [c["mbr"][2] for c in cells]
+        ys = [c["mbr"][1] for c in cells] + [c["mbr"][3] for c in cells]
+        wx1, wy1, wx2, wy2 = min(xs), min(ys), max(xs), max(ys)
+        size = 340
+        sx = size / max(wx2 - wx1, 1e-12)
+        sy = size / max(wy2 - wy1, 1e-12)
+        peak = max(int(c.get("records") or 0) for c in cells)
+        svg = [
+            f'<svg width="{size}" height="{size}" role="img">',
+            f'<rect width="{size}" height="{size}" fill="none" class="axis"/>',
+        ]
+        for cell in sorted(cells, key=lambda c: c["id"]):
+            records = int(cell.get("records") or 0)
+            x = (cell["mbr"][0] - wx1) * sx
+            # SVG's y axis points down; flip against the world window.
+            y = (wy2 - cell["mbr"][3]) * sy
+            w = max((cell["mbr"][2] - cell["mbr"][0]) * sx, 1.0)
+            h = max((cell["mbr"][3] - cell["mbr"][1]) * sy, 1.0)
+            svg.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+                f'height="{h:.1f}" fill="{_ramp_color(records, peak)}" '
+                f'stroke="var(--surface-1)" stroke-width="2">'
+                f"<title>partition {escape(cell['id'])}: {records} record(s)"
+                f"</title></rect>"
+            )
+        svg.append("</svg>")
+        top = sorted(cells, key=lambda c: -int(c.get("records") or 0))[:8]
+        rows = "".join(
+            f"<tr><td>{escape(c['id'])}</td>"
+            f'<td class="num">{int(c.get("records") or 0)}</td></tr>'
+            for c in top
+        )
+        blocks.append(
+            f"<h3>{escape(name)} — {len(cells)} partition(s), "
+            f"fullest {peak} record(s)</h3>"
+            '<div style="display:flex;gap:24px;flex-wrap:wrap">'
+            f'<div>{"".join(svg)}</div>'
+            '<div style="flex:1;min-width:200px"><table><thead><tr>'
+            '<th>fullest partitions</th><th class="num">records</th></tr>'
+            f"</thead><tbody>{rows}</tbody></table></div></div>"
+        )
+    if not blocks:
+        return '<p class="empty">no indexed files in this bundle</p>'
+    return "".join(blocks)
+
+
+def _sparklines(doc: Dict[str, Any]) -> str:
+    scrapes = doc.get("telemetry") or []
+    if len(scrapes) < 2:
+        return (
+            '<p class="empty">fewer than two telemetry scrapes in this '
+            "bundle — nothing to plot over time</p>"
+        )
+    names: List[str] = sorted(
+        {name for s in scrapes for name in (s.get("counters") or {})}
+    )
+    cells: List[str] = []
+    for name in names[:12]:
+        series = [float((s.get("counters") or {}).get(name) or 0.0) for s in scrapes]
+        lo, hi = min(series), max(series)
+        w, h = 200, 40
+        span = (hi - lo) or 1.0
+        step = w / max(len(series) - 1, 1)
+        points = " ".join(
+            f"{i * step:.1f},{h - 4 - (h - 8) * (v - lo) / span:.1f}"
+            for i, v in enumerate(series)
+        )
+        cells.append(
+            '<div class="sparkcell">'
+            f'<div class="k">{escape(name)}</div>'
+            f'<svg width="{w}" height="{h}" role="img">'
+            f'<polyline class="spark" points="{points}"/></svg>'
+            f'<div class="v" style="font-variant-numeric:tabular-nums">'
+            f"{series[-1]:g}</div></div>"
+        )
+    return f'<div class="sparkgrid">{"".join(cells)}</div>'
+
+
+def _log_section(doc: Dict[str, Any]) -> str:
+    from repro.observe.log import render_line
+
+    section = doc.get("eventlog")
+    if not section or not section.get("records"):
+        return '<p class="empty">no event log in this bundle</p>'
+    records = section["records"]
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for r in records:
+        key = (r.get("level", "?"), r.get("component", "?"), r.get("event", "?"))
+        counts[key] = counts.get(key, 0) + 1
+    top = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+    rows = []
+    for (level, component, event), n in top:
+        color, word = _LEVEL_STATUS.get(level, ("var(--gridline)", level))
+        rows.append(
+            f'<tr><td><span class="chip"><span class="dot" '
+            f'style="background:{color}"></span>{escape(word)}</span></td>'
+            f"<td>{escape(component)}</td><td>{escape(event)}</td>"
+            f'<td class="num">{n}</td></tr>'
+        )
+    tail = "\n".join(escape(render_line(r)) for r in records[-15:])
+    return (
+        "<table><thead><tr><th>level</th><th>component</th><th>event</th>"
+        f'<th class="num">count</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+        f"<h3>most recent</h3><pre>{tail}</pre>"
+    )
+
+
+def _diff_section(diff: Dict[str, Any]) -> str:
+    header = (
+        f"<p>{escape(diff.get('a', 'a'))} &rarr; {escape(diff.get('b', 'b'))}"
+        f" — {diff.get('jobs_compared', 0)} job(s) paired</p>"
+    )
+    culprits = diff.get("culprits") or []
+    if not culprits:
+        return (
+            header
+            + '<p class="chip"><span class="dot" '
+            'style="background:var(--status-good)"></span>'
+            "no regressions: every paired delta is inside tolerance</p>"
+        )
+    rows = []
+    for rank, c in enumerate(culprits[:25], 1):
+        where = f"{c['job']}: {c['where']}" if c.get("job") else c["where"]
+        unit = c.get("unit", "")
+        if unit == "s":
+            a_txt, b_txt = f"{c['a']:.6f}", f"{c['b']:.6f}"
+            delta_txt = f"{c['delta']:+.6f}s"
+        else:
+            a_txt, b_txt = f"{c['a']:g}", f"{c['b']:g}"
+            delta_txt = f"{c['delta']:+g} {unit}"
+        if c.get("pct") is not None:
+            delta_txt += f" ({c['pct']:+.1f}%)"
+        cls = "pos" if c["delta"] > 0 else "neg"
+        rows.append(
+            f'<tr><td class="num">{rank}</td><td>{escape(c["kind"])}</td>'
+            f"<td>{escape(where)}</td>"
+            f'<td class="num">{escape(a_txt)}</td>'
+            f'<td class="num">{escape(b_txt)}</td>'
+            f'<td class="num {cls}">{escape(delta_txt)}</td></tr>'
+        )
+    return (
+        header
+        + '<table><thead><tr><th class="num">rank</th><th>kind</th>'
+        '<th>where</th><th class="num">a</th><th class="num">b</th>'
+        '<th class="num">delta</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+def render_dashboard(
+    doc: Dict[str, Any], diff: Optional[Dict[str, Any]] = None
+) -> str:
+    """Render one bundle doc (plus an optional diff) as standalone HTML."""
+    meta = doc.get("meta") or {}
+    name = meta.get("name", "run")
+    sections = [
+        ("Wave timeline", _timeline(doc)),
+        ("Phase breakdown", _phase_tables(doc)),
+        ("Partition heatmap", _heatmaps(doc)),
+        ("Telemetry", _sparklines(doc)),
+        ("Event log", _log_section(doc)),
+    ]
+    if diff is not None:
+        sections.append(("Run diff", _diff_section(diff)))
+    body = "".join(
+        f"<h2>{escape(title)}</h2>{content}" for title, content in sections
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>repro report — {escape(name)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>repro run report — {escape(name)}</h1>"
+        '<p class="meta">'
+        f"workers {escape(meta.get('workers', '?'))} &middot; "
+        f"vectorize {escape(meta.get('vectorized', '?'))} &middot; "
+        f"{escape(meta.get('num_nodes', '?'))} node(s)</p>"
+        f"{_tiles(doc)}{body}"
+        "<footer>self-contained report generated by repro; "
+        "no external resources referenced.</footer>"
+        "</body></html>\n"
+    )
+
+
+def write_dashboard(
+    doc: Dict[str, Any], path: Any, diff: Optional[Dict[str, Any]] = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_dashboard(doc, diff=diff))

@@ -1,0 +1,33 @@
+"""The one markup-escaping helper every viz renderer shares.
+
+Flamegraph frame names come from user-chosen job names, heatmap
+tooltips from partition metadata, dashboard cells from log attributes —
+all of it is untrusted text headed into SVG/HTML. Escaping is easy to
+do *almost* everywhere; this module exists so every renderer does it in
+exactly one place, and a test can pin the contract once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_REPLACEMENTS = (
+    ("&", "&amp;"),  # first, or the others get double-escaped
+    ("<", "&lt;"),
+    (">", "&gt;"),
+    ('"', "&quot;"),
+    ("'", "&#x27;"),
+)
+
+
+def escape(value: Any) -> str:
+    """``value`` as text safe inside markup content *and* attributes.
+
+    Escapes ``&``, ``<``, ``>`` and both quote styles, so callers never
+    need to care whether the string lands in element text, a ``<title>``
+    tooltip, or a double- or single-quoted attribute.
+    """
+    text = str(value)
+    for char, entity in _REPLACEMENTS:
+        text = text.replace(char, entity)
+    return text

@@ -13,9 +13,10 @@ profile are byte-identical.
 
 from __future__ import annotations
 
-import html
 import zlib
 from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.viz.escape import escape
 
 #: Pixel height of one frame row.
 FRAME_HEIGHT = 18
@@ -93,7 +94,7 @@ def flamegraph_svg(
         f'font-family="monospace" font-size="11">',
         f'<rect width="{width}" height="{height}" fill="#fdf6e3"/>',
         f'<text x="{width / 2:.0f}" y="16" text-anchor="middle" '
-        f'font-size="14">{html.escape(title)}</text>',
+        f'font-size="14">{escape(title)}</text>',
     ]
 
     def emit(node: _Frame, x: float, level: int) -> None:
@@ -101,19 +102,19 @@ def flamegraph_svg(
         # SVG y axis points down; the flame grows up from the bottom.
         y = height - (level + 1) * FRAME_HEIGHT - 4
         pct = 100.0 * node.value / total
-        label = html.escape(node.name)
+        label = escape(node.name)
         parts.append(
             f'<g><rect x="{x:.2f}" y="{y}" width="{max(w, 0.5):.2f}" '
             f'height="{FRAME_HEIGHT - 1}" fill="{_color(node.name)}" '
             f'stroke="#fdf6e3" stroke-width="0.5">'
-            f"<title>{label}: {node.value} {unit} ({pct:.1f}%)</title>"
+            f"<title>{label}: {node.value} {escape(unit)} ({pct:.1f}%)</title>"
             f"</rect>"
         )
         if w >= MIN_LABEL_WIDTH:
             shown = node.name[: max(1, int(w / 7))]
             parts.append(
                 f'<text x="{x + 3:.2f}" y="{y + FRAME_HEIGHT - 6}" '
-                f'fill="#1a1a1a">{html.escape(shown)}</text>'
+                f'fill="#1a1a1a">{escape(shown)}</text>'
             )
         parts.append("</g>")
         cx = x

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.index.global_index import GlobalIndex
 from repro.viz.canvas import Canvas
+from repro.viz.escape import escape
 
 
 def partition_heatmap(
@@ -73,8 +74,8 @@ def heatmap_svg(
             f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
             f'fill="#c0392b" fill-opacity="{opacity:.3f}" '
             f'stroke="#2c3e50" stroke-width="1">'
-            f"<title>partition {cell.cell_id}: {cell.num_records} records"
-            f"</title></rect>"
+            f"<title>partition {escape(cell.cell_id)}: "
+            f"{cell.num_records} records</title></rect>"
         )
     parts.append("</svg>")
     return "\n".join(parts)

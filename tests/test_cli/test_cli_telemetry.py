@@ -148,6 +148,51 @@ class TestTelemetryFlag:
         assert len(records) == 7  # 3 + 4 (rangecount has a reduce wave)
         assert [r["seq"] for r in records] == list(range(7))
 
+    def test_scrape_log_accumulates_across_many_invocations(
+        self, indexed_ws, tmp_path, capsys
+    ):
+        """The pickled TelemetryLog is one continuous stream: every
+        invocation appends, seq never restarts, and a fresh export file
+        resumes from the persisted sequence rather than from zero."""
+        first = tmp_path / "first.jsonl"
+        for _ in range(3):
+            assert run(
+                indexed_ws, "--telemetry", str(first),
+                "rangequery", "idx", "--window", "0,0,3e5,3e5",
+            ) == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line) for line in first.read_text().splitlines()
+        ]
+        assert len(records) == 9  # 3 scrapes per range query
+        assert [r["seq"] for r in records] == list(range(9))
+        assert [r["event"] for r in records] == [
+            "job-start", "wave:map", "job-end"
+        ] * 3
+
+        # The workspace itself holds the full stream, not just the file.
+        from repro.core.workspace import load_workspace
+
+        sh = load_workspace(indexed_ws)
+        assert [r["seq"] for r in sh.runner.telemetry.records] == list(
+            range(9)
+        )
+
+        # A new export target receives the whole accumulated stream —
+        # the 9 persisted scrapes plus the new invocation's 3.
+        second = tmp_path / "second.jsonl"
+        run(
+            indexed_ws, "--telemetry", str(second),
+            "rangequery", "idx", "--window", "0,0,3e5,3e5",
+        )
+        fresh = [
+            json.loads(line) for line in second.read_text().splitlines()
+        ]
+        assert [r["seq"] for r in fresh] == list(range(12))
+        # Counters are cumulative across the whole stream: the last
+        # job-end scrape has seen every job so far.
+        assert fresh[-1]["counters"]["JOBS_TOTAL"] >= 6
+
 
 def _scrape_bytes(tmp_path, monkeypatch, tag, workers=None, vectorize=None):
     """One full generate/index/query session; returns the scrape log bytes."""

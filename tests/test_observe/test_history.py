@@ -4,7 +4,7 @@ from types import SimpleNamespace
 
 import pytest
 
-from repro.mapreduce.cluster import TaskStats
+from repro.mapreduce.cluster import TaskAttempt, TaskStats
 from repro.mapreduce.counters import Counters
 from repro.observe.history import STRAGGLER_FACTOR, JobHistory, JobRecord
 
@@ -153,3 +153,83 @@ class TestReport:
         h.record("a", fake_result())
         h.record("b", fake_result())
         assert "(1 rotated out)" in h.report()
+
+
+class TestDictRoundTrip:
+    """to_dict -> from_dict -> to_dict is the stable JSON contract that
+    ``history --format json`` and run bundles both rely on."""
+
+    def _rich_history(self):
+        h = JobHistory()
+        result = fake_result(
+            makespan=2.5,
+            counters={"RECORDS_READ": 100, "BLOCKS_PRUNED": 3},
+            map_tasks=[
+                TaskStats(
+                    "m0",
+                    records_in=60,
+                    records_out=40,
+                    seconds=1.2,
+                    attempts=[
+                        TaskAttempt(attempt=1, outcome="crash", seconds=0.4),
+                        TaskAttempt(
+                            attempt=2, outcome="success",
+                            seconds=1.2, backoff_s=0.1,
+                        ),
+                    ],
+                ),
+                TaskStats("m1", records_in=40, records_out=40, seconds=0.9),
+            ],
+            reduce_tasks=[TaskStats("r0", records_in=80, seconds=0.3)],
+        )
+        rec = h.record(
+            "index(pts)", result,
+            cost={"overhead": 0.1, "map": 1.2, "shuffle": 0.2,
+                  "reduce": 0.3, "total": 1.8},
+            input_files=["pts"],
+        )
+        rec.phase_profile = {
+            "map/kernel": {"s": 1.0, "n": 2},
+            "reduce/merge": {"s": 0.25, "n": 1},
+        }
+        rec.fault_summary = {"retries": 1.0}
+        h.record("rangequery(idx)", fake_result(makespan=0.5))
+        h.record_fsck({"healthy": True, "blocks": 4, "repaired": 0})
+        h.record_fsck({"healthy": False, "blocks": 4, "repaired": 1})
+        return h
+
+    def test_round_trip_is_identity(self):
+        h = self._rich_history()
+        doc = h.to_dict()
+        assert JobHistory.from_dict(doc).to_dict() == doc
+
+    def test_fsck_and_phase_profile_always_present(self):
+        doc = JobHistory().to_dict()
+        assert doc["fsck_runs"] == []
+        h = JobHistory()
+        h.record("plain", fake_result())
+        job = h.to_dict()["jobs"][0]
+        assert job["phase_profile"] == {}
+        assert job["fault_summary"] == {}
+
+    def test_restored_store_keeps_counting_where_it_left_off(self):
+        h = self._rich_history()
+        restored = JobHistory.from_dict(h.to_dict())
+        assert restored.total_recorded == h.total_recorded
+        assert restored.fsck_runs == h.fsck_runs
+        nxt = restored.record("next", fake_result())
+        assert nxt.job_id == h.total_recorded + 1
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        h = self._rich_history()
+        doc = h.to_dict()
+        rehydrated = json.loads(json.dumps(doc))
+        assert JobHistory.from_dict(rehydrated).to_dict() == doc
+
+    def test_rotation_respected_by_last(self):
+        h = self._rich_history()
+        doc = h.to_dict(last=1)
+        assert len(doc["jobs"]) == 1
+        assert doc["retained"] == 2  # the store still holds both

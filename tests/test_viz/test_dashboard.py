@@ -1,0 +1,117 @@
+"""The HTML ops dashboard: self-contained, complete, escaped."""
+
+import copy
+import re
+
+import pytest
+
+from repro import SpatialHadoop
+from repro.datagen import generate_points
+from repro.geometry import Rectangle
+from repro.observe.bundle import collect_bundle
+from repro.observe.diff import diff_docs
+from repro.viz.dashboard import render_dashboard, write_dashboard
+
+WINDOW = Rectangle(0, 0, 400_000, 400_000)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    sh = SpatialHadoop(num_nodes=4, job_overhead_s=0.01, workers=1)
+    sh.eventlog(level="debug")
+    sh.telemetry()
+    sh.enable_profiling()
+    sh.load("pts", generate_points(2_000, "uniform", seed=11))
+    sh.index("pts", "idx", technique="str")
+    sh.range_query("idx", WINDOW)
+    sh.range_query("idx", Rectangle(0, 0, 800_000, 800_000))
+    sh.runner.close()
+    return collect_bundle(sh, name="dash")
+
+
+class TestSelfContained:
+    def test_no_external_references(self, doc):
+        html = render_dashboard(doc)
+        assert "http" not in html.lower()
+        assert "xmlns" not in html
+        assert "@import" not in html and "url(" not in html
+
+    def test_single_document(self, doc, tmp_path):
+        path = tmp_path / "report.html"
+        write_dashboard(doc, path)
+        html = path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+        assert "<style>" in html  # styling is inline
+
+
+class TestSections:
+    def test_every_section_present(self, doc):
+        html = render_dashboard(doc)
+        for section in (
+            "Wave timeline",
+            "Phase breakdown",
+            "Partition heatmap",
+            "Telemetry",
+            "Event log",
+        ):
+            assert f"<h2>{section}</h2>" in html
+        assert "Run diff" not in html  # only with a diff doc
+
+    def test_timeline_has_legend_and_stacked_bars(self, doc):
+        html = render_dashboard(doc)
+        for component in ("overhead", "map", "shuffle", "reduce"):
+            assert component in html
+        assert 'class="legend"' in html
+        assert 'class="s1"' in html  # series rect uses a palette class
+
+    def test_phase_table_lists_profiled_phases(self, doc):
+        html = render_dashboard(doc)
+        assert re.search(r"<td>map/[a-z]+</td>", html)
+
+    def test_heatmap_draws_every_partition(self, doc):
+        html = render_dashboard(doc)
+        cells = next(f for f in doc["files"] if f.get("cells"))["cells"]
+        assert html.count("<title>partition ") == len(cells)
+
+    def test_sparklines_from_telemetry(self, doc):
+        html = render_dashboard(doc)
+        assert 'class="spark"' in html
+        assert "JOBS_TOTAL" in html
+
+    def test_log_section_counts_events(self, doc):
+        html = render_dashboard(doc)
+        assert "job-finished" in html
+        assert "most recent" in html
+
+    def test_empty_doc_renders_with_placeholders(self):
+        html = render_dashboard({})
+        assert 'class="empty"' in html
+        assert "http" not in html.lower()
+
+
+class TestDiffView:
+    def test_diff_section_with_culprits(self, doc):
+        slow = copy.deepcopy(doc)
+        slow["history"]["jobs"][0]["cost"]["map"] *= 3
+        diff = diff_docs(doc, slow, label_a="base", label_b="slow").to_dict()
+        html = render_dashboard(slow, diff=diff)
+        assert "<h2>Run diff</h2>" in html
+        assert "cost/map" in html
+        assert "http" not in html.lower()
+
+    def test_clean_diff_says_so(self, doc):
+        diff = diff_docs(doc, copy.deepcopy(doc)).to_dict()
+        html = render_dashboard(doc, diff=diff)
+        assert "no regressions" in html
+
+
+class TestEscaping:
+    def test_hostile_names_never_reach_markup(self, doc):
+        evil = copy.deepcopy(doc)
+        evil["meta"]["name"] = '<script>alert("x")</script>'
+        evil["history"]["jobs"][0]["name"] = "job<b>&'bold'"
+        html = render_dashboard(evil)
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+        assert "job<b>" not in html

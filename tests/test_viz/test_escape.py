@@ -1,0 +1,56 @@
+"""The shared markup-escape helper, and the renderers that rely on it."""
+
+from repro.viz.escape import escape
+from repro.viz.flamegraph import flamegraph_svg
+from repro.viz.heatmap import heatmap_svg
+
+
+class TestEscape:
+    def test_all_five_specials(self):
+        assert escape('<a href="x">&\'</a>') == (
+            "&lt;a href=&quot;x&quot;&gt;&amp;&#x27;&lt;/a&gt;"
+        )
+
+    def test_amp_first_no_double_escaping(self):
+        assert escape("&lt;") == "&amp;lt;"
+
+    def test_non_strings_coerced(self):
+        assert escape(42) == "42"
+        assert escape(None) == "None"
+
+    def test_clean_text_untouched(self):
+        assert escape("map/kernel 12.5%") == "map/kernel 12.5%"
+
+
+class TestFlamegraphEscaping:
+    def test_frame_names_escaped_in_rects_titles_and_labels(self):
+        evil = 'job<script>"x";a&b'
+        svg = flamegraph_svg([f"{evil};map 100"], title="t")
+        assert "<script>" not in svg
+        assert "job&lt;script&gt;" in svg
+
+    def test_title_and_unit_escaped(self):
+        svg = flamegraph_svg(
+            ["a;b 10"], title='<img src="x">', unit='"us" & more'
+        )
+        assert '<img src="x">' not in svg
+        assert "&lt;img" in svg
+        assert '"us" & more' not in svg
+        assert "&quot;us&quot; &amp; more" in svg
+
+
+class TestHeatmapEscaping:
+    def test_tooltip_content_is_escaped(self):
+        from repro.geometry import Rectangle
+        from repro.index.global_index import Cell, GlobalIndex
+
+        gindex = GlobalIndex(
+            technique="grid",
+            cells=[
+                Cell(cell_id=1, mbr=Rectangle(0, 0, 5, 5), num_records=3),
+                Cell(cell_id=2, mbr=Rectangle(5, 0, 10, 5), num_records=9),
+            ],
+        )
+        svg = heatmap_svg(gindex)
+        assert "<title>partition 1: 3 records</title>" in svg
+        assert svg.count("<rect") == len(gindex) + 1  # cells + background
