@@ -47,6 +47,7 @@ self-contained HTML ops dashboard.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -63,6 +64,22 @@ from repro.core.workspace import (
 from repro.datagen import generate_points, generate_polygons, generate_rectangles
 from repro.geometry import Point, Rectangle
 from repro.index.build import PARTITIONERS
+from repro.mapreduce.checkpoint import (
+    CancellationToken,
+    CheckpointCorruptError,
+    CheckpointNotFoundError,
+    DeadlineExceeded,
+    DriverCrashed,
+    RunCancelled,
+    default_checkpoint_dir,
+)
+
+#: Exit codes for interrupted runs (sysexits / shell conventions):
+#: an injected driver crash, a blown ``--deadline`` (mirrors
+#: ``timeout(1)``), and signal cancellation (``128 + signum``).
+EXIT_DRIVER_CRASH = 70
+EXIT_DEADLINE = 124
+EXIT_SIGINT = 130
 
 
 def _load_workspace(path: Path, num_nodes: int) -> SpatialHadoop:
@@ -155,6 +172,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject deterministic faults, e.g. "
              "'crash:map:1,kill:map:2' or 'random:crash:0.1:seed'; "
              "overrides $REPRO_FAULTS for this invocation",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="journal every map/reduce wave to DIR so a crashed or "
+             "cancelled invocation can be continued with 'repro resume "
+             "DIR' — results bit-identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="stop cooperatively at the next task boundary once this "
+             "much time has elapsed (exit 124); with --checkpoint the "
+             "partial run is resumable",
     )
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
@@ -301,8 +330,34 @@ def _build_parser() -> argparse.ArgumentParser:
              "damaged local indexes from surviving replicas",
     )
     p.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="also audit this crash-recovery checkpoint journal "
+             "(default: the workspace's <workspace>.ckpt, if present)",
+    )
+    p.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format (default: text report)",
+    )
+
+    p = sub.add_parser(
+        "resume",
+        help="continue an interrupted checkpointed run (crash, deadline "
+             "or signal) and verify it completes bit-identically",
+    )
+    p.add_argument(
+        "directory", nargs="?", default=None,
+        help="checkpoint journal to resume (default: the workspace's "
+             "<workspace>.ckpt)",
+    )
+    p.add_argument(
+        "--list", action="store_true", dest="list_runs",
+        help="list resumable (and corrupt) checkpoint journals instead "
+             "of resuming",
+    )
+    p.add_argument(
+        "--dir", default=None, metavar="ROOT",
+        help="root directory scanned by --list (default: the "
+             "workspace file's directory)",
     )
 
     p = sub.add_parser(
@@ -456,17 +511,96 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _print_resume_hint(manager) -> None:
+    if manager is not None:
+        print(
+            f"[checkpoint] partial run journaled — continue with: "
+            f"repro resume {manager.directory}",
+            file=sys.stderr,
+        )
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """The ``resume`` subcommand: list journals, or continue one."""
+    from repro.mapreduce.checkpoint import CheckpointManager, list_runs
+
+    workspace = Path(args.workspace)
+    if args.list_runs:
+        root = Path(args.dir) if args.dir else (workspace.parent or Path("."))
+        runs = list_runs(root)
+        if not runs:
+            print(f"no checkpointed runs under {root}")
+            return 0
+        for run in runs:
+            line = f"{run['directory']}: {run['status']}"
+            if run.get("command"):
+                line += f" — repro {run['command']}"
+            if run.get("waves"):
+                line += f" ({run['waves']} wave(s) journaled)"
+            if run["status"] == "corrupt" and run.get("reason"):
+                line += f" — {run['reason']}"
+            print(line)
+        return 0
+    directory = (
+        Path(args.directory) if args.directory
+        else default_checkpoint_dir(workspace)
+    )
+    try:
+        manager = CheckpointManager.load(directory)
+    except CheckpointNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except CheckpointCorruptError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: audit the journal with 'repro fsck --checkpoint-dir "
+            f"{directory}' (--repair discards corrupt wave files)",
+            file=sys.stderr,
+        )
+        return 1
+    if not manager.argv:
+        print(
+            f"error: manifest at {directory} records no command to re-run",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"[resume] re-running: repro {' '.join(manager.argv)}",
+        file=sys.stderr,
+    )
+    # Replay the recorded invocation verbatim. The journal makes the
+    # re-run bit-identical: committed waves replay from the checkpoint,
+    # only the missing ones execute, and already-fired driver faults
+    # stay fired.
+    return main(manager.argv, _resume=str(directory))
+
+
+def main(
+    argv: Optional[List[str]] = None, _resume: Optional[str] = None
+) -> int:
+    original_argv = list(argv) if argv is not None else list(sys.argv[1:])
+    args = _build_parser().parse_args(original_argv)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.nodes <= 0:
         print("error: --nodes must be a positive integer", file=sys.stderr)
         return 1
     if args.workers is not None and args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 1
+    if args.deadline is not None and args.deadline < 0:
+        print("error: --deadline must be >= 0", file=sys.stderr)
+        return 1
     path = Path(args.workspace)
     try:
         sh = _load_workspace(path, args.nodes)
+    except KeyboardInterrupt:
+        # Ctrl-C during workspace load, before the cooperative signal
+        # handlers are installed. Nothing has run and nothing is dirty,
+        # so honour the same exit contract the handlers do.
+        print("error: interrupted while loading the workspace",
+              file=sys.stderr)
+        return EXIT_SIGINT
     except WorkspaceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -494,6 +628,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: bad --faults spec: {exc}", file=sys.stderr)
         return 1
+    # Crash recovery. Arm AFTER set_faults (which resets the runner's
+    # fired-fault memory): resume merges the journal's already-fired
+    # driver faults back in so the crash that killed the original
+    # invocation is not re-injected.
+    manager = None
+    if _resume is not None:
+        try:
+            manager = sh.resume(_resume)
+        except (CheckpointCorruptError, CheckpointNotFoundError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    elif args.checkpoint is not None:
+        manager = sh.enable_checkpoints(
+            args.checkpoint,
+            argv=original_argv,
+            workspace=str(path),
+            deadline=args.deadline,
+        )
+    # Cooperative cancellation: the token carries the --deadline budget
+    # and is the channel signal handlers cancel through. The runner
+    # polls it between tasks and at wave/round boundaries.
+    token = CancellationToken(deadline_s=args.deadline)
+    sh.runner.set_cancellation(token)
     tracer = sh.enable_tracing() if args.trace else None
     if args.log_level:
         # Arming (or re-levelling) the flight recorder is a workspace
@@ -509,8 +666,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     scrapes_before = len(telemetry) if telemetry is not None else 0
     mutated = False
 
+    # Graceful shutdown: the first SIGINT/SIGTERM requests a cooperative
+    # stop at the next task boundary (pools drained, shm destroyed, a
+    # resumable checkpoint persisted when armed); a second one aborts
+    # immediately via KeyboardInterrupt.
+    def _on_signal(signum: int, _frame) -> None:
+        if token.cancelled:
+            raise KeyboardInterrupt
+        token.cancel(f"signal {signum}", signum=signum)
+        print(
+            f"[cancel] caught signal {signum}; stopping at the next task "
+            "boundary (send again to stop immediately)",
+            file=sys.stderr,
+        )
+
+    previous_handlers = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[sig] = signal.signal(sig, _on_signal)
+        except (ValueError, OSError):  # not the main thread
+            pass
+
+    # Interrupted runs return from their except block on purpose: the
+    # code after this try/finally saves the workspace, and an
+    # interrupted invocation must NOT save — resume re-runs the
+    # recorded command against the original on-disk state, which is
+    # what makes the continuation bit-identical.
     try:
         mutated = _dispatch(sh, args)
+    except DriverCrashed as exc:
+        # Injected driver crash: the journal was already marked
+        # interrupted (the fault fires only after its wave committed).
+        print(f"error: {exc}", file=sys.stderr)
+        _print_resume_hint(manager)
+        return EXIT_DRIVER_CRASH
+    except DeadlineExceeded as exc:
+        if manager is not None:
+            manager.interrupt(str(exc))
+        print(f"error: {exc}", file=sys.stderr)
+        _print_resume_hint(manager)
+        return EXIT_DEADLINE
+    except RunCancelled as exc:
+        if manager is not None:
+            manager.interrupt(str(exc))
+        print(f"error: {exc}", file=sys.stderr)
+        _print_resume_hint(manager)
+        return 128 + (token.signum or signal.SIGINT)
+    except KeyboardInterrupt:
+        if manager is not None:
+            manager.interrupt("keyboard interrupt")
+        print("error: interrupted", file=sys.stderr)
+        _print_resume_hint(manager)
+        return EXIT_SIGINT
     except (FileNotFoundError, FileExistsError, ValueError, BundleError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -520,6 +727,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: job failed: {exc}", file=sys.stderr)
         return 1
     finally:
+        for sig, handler in previous_handlers.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
+        sh.runner.set_cancellation(None)
         sh.runner.close()
         # The reporter holds an open stderr handle; like a live tracer it
         # is per-invocation only and must never reach the pickle below.
@@ -549,6 +762,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             # Live tracers are per-invocation diagnostics; never pickle
             # one into the workspace.
             sh.disable_tracing()
+
+    # The command completed: checkpoints served their purpose. Record
+    # what a resume recovered, then garbage-collect the journal —
+    # completed jobs must not leave stale state for a later resume to
+    # trip over.
+    if manager is not None:
+        if _resume is not None:
+            sh.history.record_recovery(manager.recovery_summary())
+            mutated = True
+        manager.finish()
+        sh.runner.set_checkpoint(None)
 
     # Query commands don't mutate the file system, but they do append to
     # the job history — persist that too so `repro history` accumulates.
@@ -765,7 +989,12 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
         return False
 
     if cmd == "fsck":
-        report = sh.fsck(repair=args.repair)
+        ckpt_dir = args.checkpoint_dir
+        if ckpt_dir is None:
+            candidate = default_checkpoint_dir(Path(args.workspace))
+            if candidate.is_dir():
+                ckpt_dir = str(candidate)
+        report = sh.fsck(repair=args.repair, checkpoint_dir=ckpt_dir)
         if args.format == "json":
             import json
 

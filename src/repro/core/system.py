@@ -29,6 +29,10 @@ from repro.mapreduce.storage import FsckReport, run_fsck
 from repro.observe import JobHistory, MetricsRegistry, NullTracer, Tracer
 
 if TYPE_CHECKING:  # lazy imports below avoid the observe -> explain cycle
+    from repro.mapreduce.checkpoint import (
+        CancellationToken,
+        CheckpointManager,
+    )
     from repro.observe import Diagnosis, ProgressReporter, TelemetryLog
     from repro.observe.explain import Explanation
     from repro.observe.log import EventLog
@@ -223,6 +227,98 @@ class SpatialHadoop:
     def disable_progress(self) -> None:
         self.runner.set_progress(None)
 
+    # ------------------------------------------------------------------
+    # Crash recovery: wave checkpointing, resume, deadlines
+    # ------------------------------------------------------------------
+    def enable_checkpoints(
+        self,
+        directory: Any,
+        argv: Optional[List[str]] = None,
+        workspace: str = "",
+        deadline: Optional[float] = None,
+    ) -> "CheckpointManager":
+        """Arm crash-consistent wave checkpointing for subsequent jobs.
+
+        Starts a fresh journal at ``directory`` (clearing any stale one)
+        and attaches it to the runner: every map/reduce wave commits its
+        results atomically, and a manifest records the command, fault
+        plan position and per-wave state needed for :meth:`resume` to
+        replay the run bit-identically. Off by default — the journal
+        costs one columnar-packed pickle and an atomic rename per wave
+        (~2.6% on a mixed analytics suite; see ``BENCH_e16.json``).
+        """
+        from repro.mapreduce.checkpoint import CheckpointManager
+
+        plan = self.runner.faults
+        manager = CheckpointManager.create(
+            directory,
+            argv=list(argv or []),
+            workspace=workspace,
+            faults=plan.describe() if plan is not None else None,
+            workers=self.runner.workers,
+            deadline=deadline,
+        )
+        self.runner.set_checkpoint(manager)
+        self._log_event(
+            "info", "checkpoint", "checkpoints-enabled",
+            volatile=True, directory=str(manager.directory),
+        )
+        return manager
+
+    def resume(self, directory: Any) -> "CheckpointManager":
+        """Attach the journal of an interrupted run for resumption.
+
+        Validates the journal with the fsck machinery first (a corrupt
+        manifest raises :class:`~repro.mapreduce.checkpoint.
+        CheckpointCorruptError`; corrupt wave files are discarded and
+        re-executed), then arms the runner so already-committed waves
+        are *replayed* from the journal instead of re-executed, and
+        injected driver faults that already fired are not re-fired.
+        Re-running the recorded command afterwards yields results,
+        counters and normalized traces identical to an uninterrupted
+        run.
+        """
+        from repro.mapreduce.checkpoint import (
+            CheckpointManager,
+            fsck_checkpoints,
+        )
+
+        fsck_checkpoints(directory, repair=True)
+        manager = CheckpointManager.load(directory)
+        self.runner.set_checkpoint(manager)
+        self.metrics.inc("RESUMES")
+        self._log_event(
+            "info", "checkpoint", "run-resumed", volatile=True,
+            directory=str(manager.directory),
+            waves_available=manager.waves_available,
+        )
+        return manager
+
+    def disable_checkpoints(self) -> None:
+        """Detach the checkpoint journal (subsequent waves not journaled)."""
+        self.runner.set_checkpoint(None)
+
+    def set_deadline(
+        self, seconds: Optional[float]
+    ) -> Optional["CancellationToken"]:
+        """Install a cooperative deadline for subsequent jobs.
+
+        The runner polls the token between tasks and at wave/round
+        boundaries; past the deadline the current command stops at the
+        next boundary with :class:`~repro.mapreduce.checkpoint.
+        DeadlineExceeded`, after persisting a resumable checkpoint (when
+        armed) and cleaning up pools and shared memory. ``None`` removes
+        any existing token.
+        """
+        from repro.mapreduce.checkpoint import CancellationToken
+
+        if seconds is None:
+            self.runner.set_cancellation(None)
+            return None
+        token = CancellationToken(deadline_s=seconds)
+        self.runner.set_cancellation(token)
+        return token
+
     def explain(self, query_text: str) -> "Explanation":
         """EXPLAIN: the plan tree for a query, without executing it."""
         from repro.observe import explain
@@ -331,7 +427,9 @@ class SpatialHadoop:
         """Full contents of a file (test/debug helper)."""
         return self.fs.read_records(name)
 
-    def fsck(self, repair: bool = False) -> FsckReport:
+    def fsck(
+        self, repair: bool = False, checkpoint_dir: Any = None
+    ) -> FsckReport:
         """Verify (and optionally repair) every file's storage health.
 
         Walks all blocks checking payload checksums, replica placement
@@ -341,9 +439,17 @@ class SpatialHadoop:
         indexes are rebuilt from the block's records. The run is
         recorded in the job-history report and the
         ``FSCK_RUNS`` / ``BLOCKS_CORRUPT_DETECTED`` /
-        ``REPLICAS_REPAIRED`` metrics.
+        ``REPLICAS_REPAIRED`` metrics. ``checkpoint_dir`` additionally
+        audits a crash-recovery journal (``checkpoint-*`` issue codes;
+        with ``repair=True`` corrupt wave files are deleted so resume
+        re-executes them).
         """
-        report = run_fsck(self.fs, repair=repair, metrics=self.metrics)
+        report = run_fsck(
+            self.fs,
+            repair=repair,
+            metrics=self.metrics,
+            checkpoint_dir=checkpoint_dir,
+        )
         self.history.record_fsck(report.summary())
         self._log_event(
             "info" if report.healthy else "warn", "storage",

@@ -54,13 +54,19 @@ class WorkspaceTypeError(WorkspaceError):
     """The file decoded cleanly but does not contain a workspace object."""
 
 
-def atomic_write(path: Path, *chunks: bytes) -> None:
+def atomic_write(path: Path, *chunks: bytes, sync: bool = True) -> None:
     """Write ``chunks`` to ``path`` atomically (temp + fsync + rename).
 
     The bytes land in a sibling temp file first, are flushed and
     ``fsync``-ed, then renamed over the destination — so a crash at any
     point leaves either the old file or the new one, never a torn one.
     Shared by workspace persistence and run-bundle export.
+
+    ``sync=False`` skips the fsync (the rename is still atomic against
+    *process* death, which keeps the page cache; only power loss can
+    tear the file then). Callers whose read path detects and tolerates
+    torn files — the checkpoint journal, whose CRC framing turns a torn
+    wave into a cache miss — use it to keep hot-path writes cheap.
     """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
@@ -70,7 +76,8 @@ def atomic_write(path: Path, *chunks: bytes) -> None:
             for chunk in chunks:
                 fh.write(chunk)
             fh.flush()
-            os.fsync(fh.fileno())
+            if sync:
+                os.fsync(fh.fileno())
         os.replace(str(tmp), str(path))
     except BaseException:
         try:

@@ -33,6 +33,11 @@ class Rectangle:
                 f"invalid rectangle: ({self.x1}, {self.y1}, {self.x2}, {self.y2})"
             )
 
+    def __reduce__(self):
+        # Constructor-args pickling, same rationale as Point.__reduce__:
+        # MBRs travel with every indexed record and checkpointed wave.
+        return (self.__class__, (self.x1, self.y1, self.x2, self.y2))
+
     # ------------------------------------------------------------------
     # Basic measures
     # ------------------------------------------------------------------

@@ -35,7 +35,19 @@ from repro.mapreduce.executor import (
     make_executor,
     resolve_workers,
 )
+from repro.mapreduce.checkpoint import (
+    CancellationToken,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointNotFoundError,
+    DeadlineExceeded,
+    DriverCrashed,
+    RunCancelled,
+    RunInterrupted,
+)
 from repro.mapreduce.faults import (
+    DriverFault,
     FaultPlan,
     FaultSpec,
     InjectedFault,
@@ -61,9 +73,17 @@ from repro.mapreduce.runtime import JobResult, JobRunner
 __all__ = [
     "Block",
     "BlockUnavailableError",
+    "CancellationToken",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointNotFoundError",
     "ClusterModel",
     "Counter",
     "Counters",
+    "DeadlineExceeded",
+    "DriverCrashed",
+    "DriverFault",
     "Executor",
     "FaultPlan",
     "FaultSpec",
@@ -81,6 +101,8 @@ __all__ = [
     "RandomFaults",
     "ReduceContext",
     "Replica",
+    "RunCancelled",
+    "RunInterrupted",
     "SerialExecutor",
     "StorageError",
     "StorageFault",

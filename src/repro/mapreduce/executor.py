@@ -40,6 +40,8 @@ from concurrent.futures import BrokenExecutor
 from time import perf_counter
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.mapreduce.checkpoint import check_active
+
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
@@ -250,12 +252,25 @@ class ParallelExecutor(Executor):
                 pass
 
     def close(self, wait: bool = True) -> None:
-        if self._pool is not None:
+        """Shut the pool down. Idempotent and exception-free.
+
+        Both the cancellation/deadline path and ``__del__`` may race a
+        close that already happened (runner teardown closes, then the
+        CLI's cleanup closes again, then the GC finalises): the pool
+        reference is detached *first*, so a second call is a no-op, and
+        shutdown errors are swallowed — during interpreter teardown a
+        broken pool's shutdown can raise, and a destructor must not.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
             if wait:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+                pool.shutdown(wait=True)
             else:
-                self._discard_pool()
+                pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
 
     def __del__(self):  # pragma: no cover - best-effort cleanup
         # Interpreter teardown must not join worker processes: a pool
@@ -351,6 +366,12 @@ class ParallelExecutor(Executor):
             broken: List[int] = []
             unpicklable: List[int] = []
             for i, future in futures:
+                # Cooperative cancellation point: a deadline or signal
+                # stops the driver between task results, not mid-pickle.
+                # The raise unwinds through map_chunks' finally (arena
+                # destroyed); outstanding futures are cancelled by the
+                # runner's close(wait=False) on the cleanup path.
+                check_active()
                 try:
                     results[i] = future.result()
                 except _BROKEN_POOL_ERRORS:

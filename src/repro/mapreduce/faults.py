@@ -35,6 +35,25 @@ Storage faults fire at most once each, at the start of the first job
 that runs after their target exists (a ``corruptblock`` against a file
 not yet written waits for it).
 
+Plans can also script *driver* faults, keyed by the invocation's global
+wave ordinal (wave 0 is the first map wave of the first job, wave 1 the
+next wave dispatched, and so on across jobs and rounds):
+
+* ``crashdriver:<wave>[:<fraction>]`` — the driver dies right after
+  wave ``<wave>`` commits its checkpoint
+  (:class:`~repro.mapreduce.checkpoint.DriverCrashed`); with a
+  ``fraction`` in (0, 1], the just-committed checkpoint is first torn
+  to that fraction of its bytes, exercising corrupt-checkpoint
+  recovery on resume,
+* ``hangdriver:<wave>[:<seconds>]`` — the driver stalls for that many
+  *simulated* seconds at the wave boundary, charged to the active
+  cancellation token's deadline clock (``--deadline``) so deadline
+  tests are deterministic.
+
+Driver faults fire at most once per (wave, plan-entry) and only on
+*executed* waves — a resumed run replaying journaled waves never
+re-fires the crash that killed it.
+
 Plans are built programmatically, parsed from a compact spec string
 (``--faults`` / ``REPRO_FAULTS``), or both::
 
@@ -69,6 +88,9 @@ FAULT_KINDS = ("crash", "hang", "corrupt", "kill")
 
 #: Recognised storage fault kinds (see repro.mapreduce.storage).
 STORAGE_FAULT_KINDS = ("losenode", "corruptblock")
+
+#: Recognised driver fault kinds (see repro.mapreduce.checkpoint).
+DRIVER_FAULT_KINDS = ("crashdriver", "hangdriver")
 
 #: CPU seconds a ``hang`` fault adds when the spec gives no explicit arg.
 DEFAULT_HANG_SECONDS = 30.0
@@ -195,6 +217,48 @@ class StorageFault:
 
 
 @dataclass(frozen=True)
+class DriverFault:
+    """One scripted driver death or stall at a wave boundary.
+
+    ``wave`` is the invocation's global wave ordinal (-1 = every wave).
+    ``arg`` is the torn-checkpoint fraction for ``crashdriver`` (None =
+    the checkpoint commits intact before the crash) and the simulated
+    stall seconds for ``hangdriver`` (None = ``DEFAULT_HANG_SECONDS``).
+    """
+
+    kind: str
+    wave: int = -1
+    arg: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DRIVER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown driver fault kind {self.kind!r}; expected one "
+                f"of {', '.join(DRIVER_FAULT_KINDS)}"
+            )
+        if self.kind == "crashdriver" and self.arg is not None:
+            if not 0.0 <= self.arg <= 1.0:
+                raise ValueError(
+                    "crashdriver checkpoint fraction must be in [0, 1], "
+                    f"got {self.arg}"
+                )
+        if self.kind == "hangdriver" and self.arg is not None:
+            if self.arg < 0:
+                raise ValueError(
+                    f"hangdriver seconds must be >= 0, got {self.arg}"
+                )
+
+    def matches(self, wave_index: int) -> bool:
+        return self.wave < 0 or self.wave == wave_index
+
+    def describe(self) -> str:
+        spec = f"{self.kind}:{self.wave if self.wave >= 0 else '*'}"
+        if self.arg is not None:
+            return f"{spec}:{self.arg:g}"
+        return spec
+
+
+@dataclass(frozen=True)
 class RandomFaults:
     """Seeded background fault rate: each attempt fails with ``rate``.
 
@@ -233,6 +297,7 @@ class FaultPlan:
     random: Tuple[RandomFaults, ...] = ()
     seed: int = 0
     storage: Tuple[StorageFault, ...] = ()
+    driver: Tuple[DriverFault, ...] = ()
 
     @classmethod
     def parse(cls, text: str) -> Optional["FaultPlan"]:
@@ -244,6 +309,7 @@ class FaultPlan:
         specs: List[FaultSpec] = []
         random: List[RandomFaults] = []
         storage: List[StorageFault] = []
+        driver: List[DriverFault] = []
         seed = 0
         for raw in text.split(","):
             entry = raw.strip()
@@ -284,6 +350,22 @@ class FaultPlan:
                     )
                 )
                 continue
+            if head in DRIVER_FAULT_KINDS:
+                if len(fields) < 2 or len(fields) > 3:
+                    raise ValueError(
+                        f"bad driver fault entry {entry!r}; expected "
+                        f"{head}:<wave>[:<arg>]"
+                    )
+                driver.append(
+                    DriverFault(
+                        kind=head,
+                        wave=_index_field(entry, fields, 1),
+                        arg=_float_field(entry, fields, 2, "arg")
+                        if len(fields) > 2
+                        else None,
+                    )
+                )
+                continue
             if head == "random":
                 if len(fields) < 3 or len(fields) > 4:
                     raise ValueError(
@@ -318,13 +400,14 @@ class FaultPlan:
                     else DEFAULT_HANG_SECONDS,
                 )
             )
-        if not specs and not random and not storage:
+        if not specs and not random and not storage and not driver:
             return None
         return cls(
             specs=tuple(specs),
             random=tuple(random),
             seed=seed,
             storage=tuple(storage),
+            driver=tuple(driver),
         )
 
     @classmethod
@@ -358,7 +441,21 @@ class FaultPlan:
         ]
         parts.extend(f"random:{r.kind}:{r.rate}:{r.seed}" for r in self.random)
         parts.extend(s.describe() for s in self.storage)
+        parts.extend(d.describe() for d in getattr(self, "driver", ()))
         return ",".join(parts) or "<empty>"
+
+    def driver_at(self, wave_index: int) -> List[Tuple[int, DriverFault]]:
+        """Driver faults scripted for global wave ``wave_index``.
+
+        Returns ``(plan_position, fault)`` pairs; the position keys the
+        fire-once bookkeeping (and the checkpoint manifest's
+        fault-plan-position record).
+        """
+        return [
+            (pos, fault)
+            for pos, fault in enumerate(getattr(self, "driver", ()))
+            if fault.matches(wave_index)
+        ]
 
 
 def resolve_faults(value) -> Optional[FaultPlan]:

@@ -35,6 +35,13 @@ from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.mapreduce.checkpoint import (
+    CancellationToken,
+    CheckpointManager,
+    DriverCrashed,
+    check_active,
+    set_active_token,
+)
 from repro.mapreduce.cluster import ClusterModel, TaskAttempt, TaskStats
 from repro.mapreduce.counters import Counter, Counters
 from repro.mapreduce.executor import (
@@ -44,6 +51,7 @@ from repro.mapreduce.executor import (
     resolve_workers,
 )
 from repro.mapreduce.faults import (
+    DEFAULT_HANG_SECONDS,
     FaultPlan,
     InjectedFault,
     RemoteTaskError,
@@ -399,27 +407,39 @@ def _shippable_error(exc: Exception) -> Exception:
 
 
 def _run_map_chunk(payload):
-    """Execute one chunk of map-task attempts; one marker per attempt."""
+    """Execute one chunk of map-task attempts; one marker per attempt.
+
+    The ``check_active`` poll is the cooperative-cancellation task
+    boundary: in the driver process (serial backend, pool fallbacks) it
+    raises between tasks when a signal or deadline asked the run to
+    stop; worker processes never arm a token, so there it is a no-op.
+    """
     job, reader, tasks = payload
-    return [
-        _run_attempt(
-            job, "map", index, attempt,
-            lambda: _map_task_data(job, reader, split),
+    markers = []
+    for index, attempt, split in tasks:
+        check_active()
+        markers.append(
+            _run_attempt(
+                job, "map", index, attempt,
+                lambda: _map_task_data(job, reader, split),
+            )
         )
-        for index, attempt, split in tasks
-    ]
+    return markers
 
 
 def _run_reduce_chunk(payload):
     """Execute one chunk of reduce-task attempts; one marker per attempt."""
     job, tasks = payload
-    return [
-        _run_attempt(
-            job, "reduce", index, attempt,
-            lambda: _reduce_task_data(job, task_index, items),
+    markers = []
+    for index, attempt, (task_index, items) in tasks:
+        check_active()
+        markers.append(
+            _run_attempt(
+                job, "reduce", index, attempt,
+                lambda: _reduce_task_data(job, task_index, items),
+            )
         )
-        for index, attempt, (task_index, items) in tasks
-    ]
+    return markers
 
 
 def _valid_task_data(data: Any) -> bool:
@@ -526,6 +546,18 @@ class JobRunner:
         self._job_executors: Dict[int, Executor] = {}
         #: Storage faults from the plan that already fired (fire-once).
         self._storage_fired: set = set()
+        #: Crash-consistency attachments (see repro.mapreduce.checkpoint):
+        #: a CheckpointManager journaling every wave boundary, and a
+        #: CancellationToken polled at task/wave/round boundaries. Both
+        #: are per-invocation and never pickled with a workspace.
+        self.checkpoint: Optional[CheckpointManager] = None
+        self.cancellation: Optional[CancellationToken] = None
+        #: Global wave ordinal of this invocation (the checkpoint and
+        #: driver-fault key): wave 0 is the first wave dispatched, across
+        #: jobs and rounds.
+        self._wave_ordinal = 0
+        #: Driver faults that already fired, as (wave, plan-pos) pairs.
+        self._driver_fired: set = set()
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -535,6 +567,10 @@ class JobRunner:
         state["progress"] = None
         state["faults"] = None
         state["_storage_fired"] = set()
+        state["checkpoint"] = None
+        state["cancellation"] = None
+        state["_wave_ordinal"] = 0
+        state["_driver_fired"] = set()
         return state
 
     def __setstate__(self, state):
@@ -554,6 +590,10 @@ class JobRunner:
         self.__dict__.setdefault("profile", None)
         self.__dict__.setdefault("telemetry", None)
         self.__dict__.setdefault("eventlog", None)
+        self.__dict__.setdefault("checkpoint", None)
+        self.__dict__.setdefault("cancellation", None)
+        self.__dict__.setdefault("_wave_ordinal", 0)
+        self.__dict__.setdefault("_driver_fired", set())
 
     def set_tracer(self, tracer) -> None:
         """Swap the tracer (pass ``None`` to disable tracing)."""
@@ -567,6 +607,50 @@ class JobRunner:
         """Attach a fault plan (a :class:`FaultPlan`, spec string or None)."""
         self.faults = resolve_faults(faults)
         self._storage_fired = set()
+        self._driver_fired = set()
+
+    def set_checkpoint(self, manager: Optional[CheckpointManager]) -> None:
+        """Arm (or disarm) wave checkpointing for the coming command.
+
+        Resets the global wave ordinal: the journal keys waves by their
+        position in *one* command's wave sequence. A manager loaded from
+        an interrupted run seeds the driver-fault fire-once set from its
+        manifest, so resume never re-fires the crash that killed it.
+        """
+        self.checkpoint = manager
+        self._wave_ordinal = 0
+        if manager is not None:
+            self._driver_fired |= manager.fired
+
+    def set_cancellation(self, token: Optional[CancellationToken]) -> None:
+        """Attach the token polled at task/wave/round boundaries."""
+        self.cancellation = token
+
+    def round_boundary(self, operation: str, round_index: int) -> None:
+        """Driver-side round boundary of a multi-round operation.
+
+        Wave checkpoints already cover every job inside a round; this
+        hook adds the round-granular cancellation point and flight-record
+        entry, so a deadline or signal stops *between* rounds even when
+        the individual waves are tiny.
+        """
+        if self.eventlog is not None:
+            self.eventlog.emit(
+                "debug", "runtime", "round-boundary",
+                op=operation, round=round_index,
+            )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "round-boundary", kind="checkpoint", volatile=True,
+                op=operation, round=round_index,
+            )
+        self._check_cancel()
+
+    def _check_cancel(self) -> None:
+        """Boundary poll: raise if a cancel or deadline asked us to stop."""
+        token = self.cancellation
+        if token is not None:
+            token.check()
 
     @property
     def workers(self) -> int:
@@ -628,7 +712,24 @@ class JobRunner:
 
     # ------------------------------------------------------------------
     def run(self, job: Job) -> JobResult:
-        """Run ``job`` to completion and return its result."""
+        """Run ``job`` to completion and return its result.
+
+        When a cancellation token is attached it is installed as the
+        process-wide active token for the duration of the job, so the
+        executors' task-boundary polls observe it (see
+        :func:`repro.mapreduce.checkpoint.check_active`).
+        """
+        self._check_cancel()
+        token = self.cancellation
+        if token is None:
+            return self._run_job(job)
+        set_active_token(token)
+        try:
+            return self._run_job(job)
+        finally:
+            set_active_token(None)
+
+    def _run_job(self, job: Job) -> JobResult:
         tracer = self.tracer
         log = self.eventlog
         repair_s = self._apply_storage_faults()
@@ -950,7 +1051,26 @@ class JobRunner:
         Retries are batched: each round re-dispatches every task that
         failed the previous round, with its simulated backoff charged to
         the attempt record (and hence the makespan) rather than slept.
+
+        When a checkpoint manager is armed, a journaled wave is
+        *replayed* — its recorded result triple returned without
+        executing anything — and an executed wave is journaled on its
+        way out. Because waves are deterministic and all downstream
+        merging is a pure function of the triple, a resumed run is
+        bit-identical to an uninterrupted one. Driver faults
+        (``crashdriver`` / ``hangdriver``) fire after the commit, and
+        the cancellation token is polled at every wave boundary.
         """
+        index = self._wave_ordinal
+        ckpt = self.checkpoint
+        fingerprint = f"{index}|{wave}|{len(items)}"
+        if ckpt is not None:
+            cached = ckpt.replay(index, fingerprint)
+            if cached is not None:
+                self._wave_ordinal = index + 1
+                self._note_checkpoint("replayed", index, wave)
+                self._check_cancel()
+                return cached
         n = len(items)
         datas: List[Any] = [None] * n
         attempts: List[List[TaskAttempt]] = [[] for _ in range(n)]
@@ -979,7 +1099,86 @@ class JobRunner:
         if policy.speculative and n >= MIN_SPECULATION_TASKS:
             self._speculate(wave, items, datas, attempts, make_payload,
                             chunk_fn, executor, policy, summary)
+        self._wave_ordinal = index + 1
+        if ckpt is not None and ckpt.commit(
+            index, fingerprint, (datas, attempts, summary)
+        ):
+            self._note_checkpoint("committed", index, wave)
+        self._fire_driver_faults(index, policy)
+        self._check_cancel()
         return datas, attempts, summary
+
+    def _note_checkpoint(self, action: str, index: int, wave: str) -> None:
+        """Record one checkpoint commit/replay across the observability
+        layer. Everything here is flagged volatile: whether a wave was
+        journaled or replayed is exactly what differs between a clean
+        run and a resumed one, so it must never enter the normalized
+        trace/log the determinism contract compares."""
+        if self.metrics is not None:
+            self.metrics.inc(
+                "CHECKPOINTS_WRITTEN" if action == "committed"
+                else "CHECKPOINTS_REPLAYED"
+            )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "checkpoint", kind="checkpoint", volatile=True,
+                action=action, wave=index, kind_of_wave=wave,
+            )
+        if self.eventlog is not None:
+            self.eventlog.emit(
+                "debug", "checkpoint", f"wave-{action}", volatile=True,
+                wave=index, wave_kind=wave,
+            )
+
+    def _fire_driver_faults(self, index: int, policy: _WavePolicy) -> None:
+        """Fire scripted driver faults at executed wave ``index``.
+
+        Fire-once per (wave, plan-position); the fired key is persisted
+        to the checkpoint manifest *before* the fault takes effect, so a
+        resumed run — which replays the journaled waves and never
+        re-enters this path for them — also never re-fires a wildcard
+        fault at an already-survived wave it does re-execute.
+        """
+        plan = policy.faults
+        if plan is None or not getattr(plan, "driver", ()):
+            return
+        ckpt = self.checkpoint
+        for pos, fault in plan.driver_at(index):
+            key = (index, pos)
+            if key in self._driver_fired:
+                continue
+            self._driver_fired.add(key)
+            if ckpt is not None:
+                ckpt.mark_fired(key)
+            if self.metrics is not None:
+                self.metrics.inc("DRIVER_FAULTS_INJECTED")
+            if fault.kind == "hangdriver":
+                seconds = (
+                    fault.arg if fault.arg is not None else DEFAULT_HANG_SECONDS
+                )
+                if self.cancellation is not None:
+                    self.cancellation.add_hang(seconds)
+                if self.eventlog is not None:
+                    self.eventlog.emit(
+                        "warn", "checkpoint", "driver-hang-injected",
+                        volatile=True, wave=index, seconds=seconds,
+                    )
+                continue
+            # crashdriver: optionally shred the just-committed checkpoint
+            # (torn-write simulation), mark the run resumable, then die.
+            if ckpt is not None:
+                if fault.arg is not None:
+                    ckpt.tear_wave_file(index, fault.arg)
+                ckpt.interrupt(fault.describe())
+            if self.eventlog is not None:
+                self.eventlog.emit(
+                    "error", "checkpoint", "driver-crash-injected",
+                    volatile=True, wave=index,
+                )
+            raise DriverCrashed(
+                f"injected driver crash after wave {index} "
+                f"({fault.describe()})"
+            )
 
     @staticmethod
     def _count_injections(wave, pending, policy, summary) -> None:

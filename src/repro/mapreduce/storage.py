@@ -388,7 +388,12 @@ class FsckReport:
         return "\n".join(lines)
 
 
-def run_fsck(fs: Any, repair: bool = False, metrics: Any = None) -> FsckReport:
+def run_fsck(
+    fs: Any,
+    repair: bool = False,
+    metrics: Any = None,
+    checkpoint_dir: Any = None,
+) -> FsckReport:
     """Walk every file, verify blocks and indexes, optionally repair.
 
     Checks, per block: payload checksum (recomputed from the records),
@@ -399,6 +404,11 @@ def run_fsck(fs: Any, repair: bool = False, metrics: Any = None) -> FsckReport:
     recomputed, and damaged local indexes are rebuilt from the block's
     surviving records. A block with no healthy replica at all is
     reported as lost — fsck cannot invent data.
+
+    ``checkpoint_dir`` extends the walk to a crash-recovery journal
+    (see :mod:`repro.mapreduce.checkpoint`): a corrupt manifest or wave
+    file surfaces as a ``checkpoint-*`` issue, and with ``repair=True``
+    corrupt wave files are deleted so resume re-executes those waves.
     """
     storage = fs.storage
     report = FsckReport(repair=repair)
@@ -430,6 +440,18 @@ def run_fsck(fs: Any, repair: bool = False, metrics: Any = None) -> FsckReport:
             )
             _check_local_index(name, index, block, repair, report)
         _check_global_index(name, entry, repair, report)
+    if checkpoint_dir is not None:
+        from repro.mapreduce.checkpoint import fsck_checkpoints
+
+        for issue in fsck_checkpoints(checkpoint_dir, repair=repair):
+            report.issues.append(
+                FsckIssue(
+                    file=issue.get("file", str(checkpoint_dir)),
+                    code=issue["code"],
+                    message=issue["message"],
+                    repaired=issue.get("repaired", False),
+                )
+            )
     if metrics is not None:
         metrics.inc("FSCK_RUNS")
         if corrupt_detected:

@@ -191,6 +191,20 @@ class JobHistory:
     def fsck_runs(self) -> List[Dict[str, Any]]:
         return list(getattr(self, "_fsck_runs", []))
 
+    def record_recovery(self, summary: Dict[str, Any]) -> None:
+        """Retain one crash-recovery (resume) summary for the report.
+
+        ``getattr`` keeps histories pickled before the checkpoint layer
+        existed working when this is called on them.
+        """
+        if not hasattr(self, "_recoveries"):
+            self._recoveries = deque(maxlen=self.limit)
+        self._recoveries.append(dict(summary))
+
+    @property
+    def recoveries(self) -> List[Dict[str, Any]]:
+        return list(getattr(self, "_recoveries", []))
+
     # -- access ---------------------------------------------------------
     def __len__(self) -> int:
         return len(self._records)
@@ -224,6 +238,7 @@ class JobHistory:
             "retained": len(self._records),
             "jobs": [rec.to_dict() for rec in self.last(last)],
             "fsck_runs": self.fsck_runs,
+            "recoveries": self.recoveries,
         }
 
     @classmethod
@@ -240,6 +255,8 @@ class JobHistory:
         history._next_id = max(history._next_id, total + 1)
         for run in data.get("fsck_runs") or []:
             history._fsck_runs.append(dict(run))
+        for run in data.get("recoveries") or []:
+            history.record_recovery(run)
         return history
 
     # -- rendering ------------------------------------------------------
@@ -247,7 +264,8 @@ class JobHistory:
         """The JobHistory text report for the ``last`` N jobs (default all)."""
         records = self.last(last)
         fsck_runs = self.fsck_runs
-        if not records and not fsck_runs:
+        recoveries = self.recoveries
+        if not records and not fsck_runs and not recoveries:
             return "job history is empty\n"
         lines: List[str] = []
         if records:
@@ -276,6 +294,27 @@ class JobHistory:
                 by_code = run.get("by_code") or {}
                 for code, count in sorted(by_code.items()):
                     lines.append(f"    {code}: {count}")
+        if recoveries:
+            if lines:
+                lines.append("")
+            lines.append(f"=== crash recovery: {len(recoveries)} resume(s) ===")
+            for i, run in enumerate(recoveries, 1):
+                lines.append(
+                    f"  resume #{i}: {run.get('command') or '<unknown command>'}"
+                )
+                reason = run.get("interrupted_reason")
+                if reason:
+                    lines.append(f"    interrupted: {reason}")
+                lines.append(
+                    f"    waves: {run.get('waves_replayed', 0)} replayed "
+                    f"from checkpoint, {run.get('waves_executed', 0)} "
+                    f"re-executed"
+                )
+                discarded = run.get("corrupt_checkpoints_discarded", 0)
+                if discarded:
+                    lines.append(
+                        f"    corrupt checkpoints discarded: {discarded}"
+                    )
         return "\n".join(lines) + "\n"
 
     def _render_job(self, rec: JobRecord, counters: bool) -> List[str]:

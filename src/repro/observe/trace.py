@@ -344,18 +344,33 @@ def normalize_events(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
 
     Drops records flagged volatile (backend diagnostics), replaces every
     timestamp with the record's ordinal position and zeroes durations.
-    Two runs of the same work — serial or parallel, any worker count —
-    normalize to equal lists.
+    IDs are renumbered densely over the surviving records (parent links
+    rewritten through the same map): volatile records consume raw IDs
+    when recorded, so without renumbering a run that emits extra
+    diagnostics — dispatch notes, checkpoint replay markers — would
+    shift every later ID even though the dropped records don't appear.
+    Two runs of the same work — serial or parallel, any worker count,
+    resumed from a checkpoint or not — normalize to equal lists.
     """
+    kept = [r for r in records if not r.get("volatile")]
+    remap: Dict[Any, int] = {}
+    for r in kept:
+        rid = r.get("id")
+        if rid is not None and rid not in remap:
+            remap[rid] = len(remap) + 1
     out: List[Dict[str, Any]] = []
-    for r in records:
-        if r.get("volatile"):
-            continue
+    for r in kept:
         clean = dict(r)
         clean.pop("volatile", None)
         clean["ts"] = len(out)
         if "dur" in clean:
             clean["dur"] = 0
+        if clean.get("id") is not None:
+            clean["id"] = remap[clean["id"]]
+        if clean.get("parent") is not None:
+            # A parent that was itself volatile is gone; sever the link
+            # rather than point at a raw ID that no longer exists.
+            clean["parent"] = remap.get(clean["parent"])
         out.append(clean)
     return out
 

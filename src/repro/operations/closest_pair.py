@@ -71,6 +71,7 @@ def closest_pair_spatial(runner: JobRunner, file_name: str) -> OperationResult:
         name=f"closest-pair({file_name})",
     )
     result = runner.run(job)
+    runner.round_boundary("closest-pair", 1)
     answer = result.output[0] if result.output else None
     return OperationResult(answer=answer, jobs=[result])
 

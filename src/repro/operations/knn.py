@@ -145,6 +145,7 @@ def knn_spatial(
             )
             result = runner.run(job)
             round_span.set("candidates", len(result.output))
+        runner.round_boundary("knn-spatial", round_index)
         return result
 
     with tracer.span(
