@@ -1,0 +1,284 @@
+"""E17: query serving — what does the service layer cost, and save?
+
+The serving layer (admission control, weighted-fair scheduling,
+breakers, the result cache) sits between every tenant and the engine,
+so it must be close to free when it has no work to do and visibly
+profitable when requests repeat. Two claims are gated:
+
+* **Overhead.** On cache misses a request's *simulated* cost is exactly
+  the query's makespan — the service adds zero simulated time by
+  construction — so the budget gates the *wall-clock* cost of the
+  service machinery (parsing, planning for the cache key, scheduling,
+  bookkeeping): **under 5%** versus calling the operations directly,
+  measured with the E15/E16 noise discipline (interleaved A/B pairs,
+  median of paired deltas) and asserted at a slack CI bound.
+* **Cache profit.** A zipf-skewed three-tenant workload — a few popular
+  queries, a long tail, the shape of real dashboards — must get a
+  substantial hit ratio, and the hit path must be orders of magnitude
+  cheaper in simulated time than the miss path.
+
+Latency percentiles (p50/p99, per tenant and overall) come from the
+service's virtual clock: queue waits and slot contention are exact
+arithmetic over simulated costs, so the percentiles are deterministic
+and comparable run to run. Results land in ``BENCH_e17.json``
+(sentinel-compatible numeric leaves); DESIGN.md row E17 quotes them.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from bench_utils import fmt_s, make_system
+from repro import SpatialHadoop
+from repro.datagen import generate_points
+from repro.geometry import Point, Rectangle
+from repro.serve import ServiceConfig, TenantQuota
+
+N_POINTS = 50_000
+BLOCK_CAPACITY = 4_000
+REPS = 7
+#: The acceptance budget for the service layer's wall-clock overhead
+#: on cache misses.
+MAX_OVERHEAD_PCT = 5.0
+#: Slack bound actually asserted: sub-second A/B wall deltas ride CI
+#: scheduler jitter (the E16 discipline).
+ASSERT_OVERHEAD_PCT = 15.0
+
+#: Zipf-skewed workload: requests draw from this pool with probability
+#: proportional to 1/rank^1.1, so a few queries dominate and the tail
+#: stays cold — the distribution result caches are built for.
+ZIPF_EXPONENT = 1.1
+WORKLOAD_SIZE = 60
+
+TENANTS = {
+    "alice": TenantQuota(weight=2.0, max_queue=WORKLOAD_SIZE),
+    "bob": TenantQuota(weight=1.0, max_queue=WORKLOAD_SIZE),
+    "carol": TenantQuota(weight=1.0, max_queue=WORKLOAD_SIZE),
+}
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_e17.json"
+_RESULTS: Dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    yield
+    if _RESULTS:
+        RESULTS_PATH.write_text(json.dumps(_RESULTS, indent=2) + "\n")
+
+
+def build_system() -> SpatialHadoop:
+    sh = make_system(block_capacity=BLOCK_CAPACITY)
+    sh.load("pts", generate_points(N_POINTS, "uniform", seed=17))
+    sh.index("pts", "pts_idx", technique="str")
+    return sh
+
+
+def query_pool(sh: SpatialHadoop) -> List[Tuple[str, object]]:
+    """Twelve distinct queries with direct-call equivalents.
+
+    Windows cover ~20% of the domain and the kNN k's reach 100: each
+    query carries a few map tasks of real work, so the service's fixed
+    per-request cost (parse, plan, key, schedule) is amortized the way
+    it is in production — against queries that do something."""
+    pool: List[Tuple[str, object]] = []
+    for i in range(6):
+        x = 0.4e5 + i * 0.8e5
+        side = 4.5e5
+        window = Rectangle(x, x, x + side, x + side)
+        pool.append((
+            f"range pts_idx {x:.0f},{x:.0f},{x + side:.0f},{x + side:.0f}",
+            lambda sh, w=window: sh.range_query("pts_idx", w),
+        ))
+    for i in range(3):
+        x = 1e5 + i * 1.5e5
+        pool.append((
+            f"count pts_idx {x:.0f},{x:.0f},{x + 5e5:.0f},{x + 5e5:.0f}",
+            lambda sh, w=Rectangle(x, x, x + 5e5, x + 5e5): sh.range_count(
+                "pts_idx", w
+            ),
+        ))
+    for i, k in enumerate((20, 50, 100)):
+        x = 2.5e5 + i * 2.5e5
+        pool.append((
+            f"knn pts_idx {x:.0f},{x:.0f} {k}",
+            lambda sh, p=Point(x, x), k=k: sh.knn("pts_idx", p, k),
+        ))
+    return pool
+
+
+def zipf_workload(pool_size: int) -> List[Tuple[str, int]]:
+    """(tenant, pool index) pairs, zipf-skewed over the pool, seeded."""
+    rng = random.Random(17)
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(pool_size)]
+    tenants = sorted(TENANTS)
+    tenant_weights = [TENANTS[t].weight for t in tenants]
+    return [
+        (
+            rng.choices(tenants, weights=tenant_weights)[0],
+            rng.choices(range(pool_size), weights=weights)[0],
+        )
+        for _ in range(WORKLOAD_SIZE)
+    ]
+
+
+def percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+
+class TestE17ZipfWorkload:
+    """Three tenants, sixty zipf-skewed requests, one shared service."""
+
+    def test_cache_profit_and_latency_percentiles(self, report):
+        sh = build_system()
+        try:
+            pool = query_pool(sh)
+            service = sh.serve(quotas=TENANTS)
+            for tenant, index in zipf_workload(len(pool)):
+                service.submit(tenant, pool[index][0])
+            service.drain()
+
+            responses = service.responses()
+            assert len(responses) == WORKLOAD_SIZE
+            assert all(r.outcome == "served" for r in responses)
+            snap = service.cache.snapshot()
+            hit_ratio = snap["hit_ratio"]
+            # Zipf head repetition must make caching clearly worth it.
+            assert hit_ratio >= 0.3, snap
+            assert snap["misses"] <= len(pool), snap
+
+            hits = [r.cost_s for r in responses if r.cache_hit]
+            misses = [r.cost_s for r in responses if not r.cache_hit]
+            assert hits and misses
+            hit_cost = statistics.median(hits)
+            miss_cost = statistics.median(misses)
+            # The hit path answers from memory: orders of magnitude
+            # cheaper than running the MapReduce job again.
+            assert hit_cost * 10 < miss_cost
+
+            latencies = [r.latency_s for r in responses]
+            rows = []
+            per_tenant: Dict[str, dict] = {}
+            for tenant in sorted(TENANTS) + ["all"]:
+                samples = (
+                    latencies
+                    if tenant == "all"
+                    else [
+                        r.latency_s for r in responses if r.tenant == tenant
+                    ]
+                )
+                p50 = percentile(samples, 0.50)
+                p99 = percentile(samples, 0.99)
+                assert 0.0 < p50 <= p99
+                rows.append(
+                    [tenant, len(samples), fmt_s(p50), fmt_s(p99)]
+                )
+                per_tenant[tenant] = {
+                    "requests": len(samples),
+                    "p50_latency_s": round(p50, 6),
+                    "p99_latency_s": round(p99, 6),
+                }
+            report.add(
+                "E17a zipf-skewed serving (60 requests, 3 tenants, "
+                f"{len(pool)}-query pool)",
+                ["tenant", "requests", "p50 latency", "p99 latency"],
+                rows,
+            )
+            report.add(
+                "E17a result cache",
+                ["metric", "value"],
+                [
+                    ["hit ratio", f"{hit_ratio:.2f}"],
+                    ["median hit cost", fmt_s(hit_cost)],
+                    ["median miss cost", fmt_s(miss_cost)],
+                    ["hit speedup", f"{miss_cost / hit_cost:.0f}x"],
+                ],
+            )
+            _RESULTS["E17a zipf workload"] = {
+                "requests": WORKLOAD_SIZE,
+                "pool_queries": len(pool),
+                "cache_hit_ratio": round(hit_ratio, 4),
+                "median_hit_cost_s": round(hit_cost, 6),
+                "median_miss_cost_s": round(miss_cost, 6),
+                "tenants": per_tenant,
+            }
+        finally:
+            sh.runner.close()
+
+
+class TestE17ServiceOverhead:
+    """The budget gate: service machinery versus direct calls, all misses.
+
+    Each rep runs the twelve-query pool once — through a fresh service
+    (fresh cache: every request is a miss, paying parse + plan + cache
+    key + scheduling + bookkeeping on top of the query) and directly
+    against the operations API. Interleaved pairs, median of paired
+    deltas, the same noise discipline as E15/E16."""
+
+    def test_miss_overhead_within_budget(self, report):
+        sh = build_system()
+        try:
+            pool = query_pool(sh)
+            # Warm-up: first-touch costs (imports, lazy pools) hit
+            # neither timed mode.
+            for _text, direct in pool:
+                direct(sh)
+
+            times: Dict[bool, List[float]] = {False: [], True: []}
+            order = [False, True]
+            for _rep in range(REPS):
+                order = order[::-1]
+                for through_service in order:
+                    start = time.perf_counter()
+                    if through_service:
+                        service = sh.serve(
+                            quotas=TENANTS,
+                            config=ServiceConfig(cache_capacity=1),
+                        )
+                        for i, (text, _direct) in enumerate(pool):
+                            service.query(
+                                sorted(TENANTS)[i % len(TENANTS)], text
+                            )
+                    else:
+                        for _text, direct in pool:
+                            direct(sh)
+                    times[through_service].append(
+                        time.perf_counter() - start
+                    )
+
+            direct_s = statistics.median(times[False])
+            deltas = [
+                s - d for s, d in zip(times[True], times[False])
+            ]
+            delta_s = statistics.median(deltas)
+            overhead_pct = 100.0 * delta_s / direct_s
+            report.add(
+                "E17b service overhead on cache misses "
+                f"({len(pool)} queries/rep, {REPS} interleaved pairs)",
+                ["path", "wall", "overhead"],
+                [
+                    ["direct calls", fmt_s(direct_s), "-"],
+                    [
+                        "through the service",
+                        fmt_s(direct_s + delta_s),
+                        f"{overhead_pct:+.1f}%",
+                    ],
+                ],
+            )
+            _RESULTS["E17b service overhead"] = {
+                "direct_wall_s": round(direct_s, 4),
+                "service_delta_s": round(delta_s, 4),
+                "service_overhead_pct": round(overhead_pct, 2),
+                "budget_pct": MAX_OVERHEAD_PCT,
+            }
+            assert overhead_pct < ASSERT_OVERHEAD_PCT
+        finally:
+            sh.runner.close()

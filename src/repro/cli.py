@@ -76,10 +76,12 @@ from repro.mapreduce.checkpoint import (
 
 #: Exit codes for interrupted runs (sysexits / shell conventions):
 #: an injected driver crash, a blown ``--deadline`` (mirrors
-#: ``timeout(1)``), and signal cancellation (``128 + signum``).
+#: ``timeout(1)``), signal cancellation (``128 + signum``), and a
+#: request shed by service admission control (EX_TEMPFAIL: retry later).
 EXIT_DRIVER_CRASH = 70
 EXIT_DEADLINE = 124
 EXIT_SIGINT = 130
+EXIT_OVERLOADED = 75
 
 
 def _load_workspace(path: Path, num_nodes: int) -> SpatialHadoop:
@@ -503,6 +505,63 @@ def _build_parser() -> argparse.ArgumentParser:
         "--vs", default=None, metavar="FILE",
         help="also include a run-diff section against this baseline "
              "bundle",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant query service over this workspace: "
+             "line-oriented request/response (one JSON object per line) "
+             "with admission control, fair scheduling, circuit breakers "
+             "and a result cache",
+    )
+    p.add_argument(
+        "--script", default=None, metavar="FILE",
+        help="replay a recorded request script instead of reading stdin",
+    )
+    p.add_argument(
+        "--quota", action="append", default=[], metavar="SPEC",
+        help="per-tenant quota, repeatable: tenant=key=value[,...] with "
+             "keys weight, inflight, queue, budget, window — e.g. "
+             "'alice=weight=2,inflight=1,queue=4'",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="bound globally concurrent requests (default: derived "
+             "from the cluster model's serving slots)",
+    )
+    p.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive failures that trip a dataset's circuit "
+             "breaker open (default: 3)",
+    )
+    p.add_argument(
+        "--breaker-cooldown", type=float, default=120.0, metavar="SECONDS",
+        help="simulated seconds an open breaker waits before letting a "
+             "half-open probe through (default: 120)",
+    )
+    p.add_argument(
+        "--cache-capacity", type=int, default=128, metavar="N",
+        help="LRU result-cache entries (default: 128)",
+    )
+    p.add_argument(
+        "--summary", default=None, metavar="FILE",
+        help="write the terminal-outcome summary (served/degraded/"
+             "overloaded/... counts) as JSON to FILE",
+    )
+
+    p = sub.add_parser(
+        "query",
+        help="one-shot tenant query through the service layer (admission "
+             "control, breakers and degraded fallbacks apply; the global "
+             "--deadline becomes the request deadline)",
+    )
+    p.add_argument(
+        "--tenant", default="default", metavar="NAME",
+        help="tenant to submit as (default: 'default')",
+    )
+    p.add_argument(
+        "query", nargs="+",
+        help="query text, e.g.: range pts_idx 0,0,100,100",
     )
 
     p = sub.add_parser("rm", help="delete a file")
@@ -1166,6 +1225,30 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
         print(f"wrote ops dashboard for {label} -> {args.out}")
         return False
 
+    if cmd == "serve":
+        return _cmd_serve(sh, args)
+
+    if cmd == "query":
+        from repro.serve import Overloaded
+
+        service = sh.serve()
+        try:
+            response = service.query(
+                args.tenant, " ".join(args.query), deadline_s=args.deadline
+            )
+        except Overloaded as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            args.exit_code = EXIT_OVERLOADED
+            return False
+        finally:
+            service.shutdown()
+        print(response.to_json())
+        if response.outcome == "deadline":
+            args.exit_code = EXIT_DEADLINE
+        elif response.outcome == "error":
+            args.exit_code = 1
+        return False
+
     if cmd == "rm":
         if not sh.fs.delete(args.file):
             raise FileNotFoundError(f"no such file: {args.file!r}")
@@ -1173,6 +1256,93 @@ def _dispatch(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
         return True
 
     raise SystemExit(f"unknown command {cmd!r}")  # pragma: no cover
+
+
+class _GracefulShutdown(Exception):
+    """Raised by the serve loop's SIGTERM handler to trigger a drain."""
+
+
+def _cmd_serve(sh: SpatialHadoop, args: argparse.Namespace) -> bool:
+    """The ``serve`` subcommand: a line-oriented service session.
+
+    Requests come from ``--script`` or stdin; each terminal response is
+    printed as one JSON line. SIGTERM (and end-of-input) shuts down
+    gracefully: queues drain, pools close, the workspace persists (job
+    history accumulated by served queries triggers the save in
+    :func:`main`), and the exit code is 0.
+    """
+    import json
+
+    from repro.serve import ServiceConfig, parse_quota_spec
+
+    quotas = {}
+    for spec in args.quota:
+        quotas.update(parse_quota_spec(spec))
+    config = ServiceConfig(
+        max_inflight=args.max_inflight,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        cache_capacity=args.cache_capacity,
+    )
+    service = sh.serve(config=config, quotas=quotas)
+
+    def _on_term(signum: int, _frame) -> None:
+        service.request_shutdown()
+        raise _GracefulShutdown()
+
+    previous_term = None
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _on_term)
+    except (ValueError, OSError):  # not the main thread
+        pass
+    try:
+        if args.script:
+            lines = Path(args.script).read_text().splitlines()
+            for response in service.process_script(lines):
+                print(response.to_json())
+        else:
+            print(
+                "[serve] reading requests from stdin, one JSON object "
+                "per line ({\"tenant\": ..., \"query\": ..., "
+                "\"deadline_s\": ...}); EOF or SIGTERM stops the service",
+                file=sys.stderr,
+            )
+            for line in sys.stdin:
+                for response in service.process_script([line]):
+                    print(response.to_json(), flush=True)
+                if service.shutdown_requested:
+                    break
+    except _GracefulShutdown:
+        print(
+            "[serve] SIGTERM received; draining queues and shutting down",
+            file=sys.stderr,
+        )
+    finally:
+        if previous_term is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_term)
+            except (ValueError, OSError):
+                pass
+    summary = service.shutdown()
+    if args.summary:
+        Path(args.summary).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[serve] wrote summary to {args.summary}", file=sys.stderr)
+    print(
+        "[serve] {requests} request(s): {served} served, {degraded} "
+        "degraded, {overloaded} overloaded, {deadline} deadline, "
+        "{error} error; cache hit ratio {ratio:.2f}".format(
+            ratio=summary["cache"]["hit_ratio"], **{
+                k: summary[k] for k in (
+                    "requests", "served", "degraded", "overloaded",
+                    "deadline", "error",
+                )
+            }
+        ),
+        file=sys.stderr,
+    )
+    return False
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # lazy imports below avoid the observe -> explain cycle
     from repro.observe import Diagnosis, ProgressReporter, TelemetryLog
     from repro.observe.explain import Explanation
     from repro.observe.log import EventLog
+    from repro.serve import QueryService
 
 
 class SpatialHadoop:
@@ -318,6 +319,19 @@ class SpatialHadoop:
         token = CancellationToken(deadline_s=seconds)
         self.runner.set_cancellation(token)
         return token
+
+    def serve(self, **kwargs: Any) -> "QueryService":
+        """A multi-tenant query service fronting this workspace.
+
+        Keyword arguments pass through to :class:`~repro.serve.service.
+        QueryService` (``config``, ``quotas``, ``default_quota``); the
+        service shares this facade's file system, cluster model, metrics
+        and event log, so its admission decisions are charged in the
+        same simulated currency as every operation.
+        """
+        from repro.serve import QueryService
+
+        return QueryService(self, **kwargs)
 
     def explain(self, query_text: str) -> "Explanation":
         """EXPLAIN: the plan tree for a query, without executing it."""

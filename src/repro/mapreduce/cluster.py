@@ -240,3 +240,17 @@ class ClusterModel:
     ) -> float:
         """Simulated wall-clock of one MapReduce job (see :meth:`job_cost`)."""
         return self.job_cost(map_tasks, reduce_tasks, shuffle_records)["total"]
+
+    def serving_slots(self, tasks_per_query: int = 4) -> int:
+        """Concurrent queries this cluster can admit without queueing.
+
+        A query occupies roughly ``tasks_per_query`` node-slots while a
+        wave of it runs, so the admission controller in
+        :mod:`repro.serve` caps in-flight work at
+        ``num_nodes // tasks_per_query`` (at least one). This is the
+        same capacity notion Hadoop's scheduler pools express as "slots
+        per job", collapsed to a single bound for the simulated service.
+        """
+        if tasks_per_query <= 0:
+            raise ValueError("tasks_per_query must be positive")
+        return max(1, self.num_nodes // tasks_per_query)

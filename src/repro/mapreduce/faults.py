@@ -54,6 +54,16 @@ Driver faults fire at most once per (wave, plan-entry) and only on
 *executed* waves — a resumed run replaying journaled waves never
 re-fires the crash that killed it.
 
+Plans can also script *service* faults against the multi-tenant query
+service (:mod:`repro.serve`):
+
+* ``burst:<tenant>:<n>`` — the named tenant submits ``n`` extra
+  synthetic copies of its request in the same arrival instant,
+  exercising admission control and load shedding,
+* ``slowtenant:<tenant>:<seconds>`` — every request the named tenant
+  executes is charged that many extra *simulated* seconds, turning it
+  into a capacity hog the weighted-fair scheduler must contain.
+
 Plans are built programmatically, parsed from a compact spec string
 (``--faults`` / ``REPRO_FAULTS``), or both::
 
@@ -91,6 +101,9 @@ STORAGE_FAULT_KINDS = ("losenode", "corruptblock")
 
 #: Recognised driver fault kinds (see repro.mapreduce.checkpoint).
 DRIVER_FAULT_KINDS = ("crashdriver", "hangdriver")
+
+#: Recognised service fault kinds (see repro.serve).
+SERVICE_FAULT_KINDS = ("burst", "slowtenant")
 
 #: CPU seconds a ``hang`` fault adds when the spec gives no explicit arg.
 DEFAULT_HANG_SECONDS = 30.0
@@ -259,6 +272,47 @@ class DriverFault:
 
 
 @dataclass(frozen=True)
+class ServiceFault:
+    """One scripted service-level event against :mod:`repro.serve`.
+
+    * ``burst:<tenant>:<n>`` — the named tenant submits ``n`` extra
+      synthetic requests in one arrival instant (clones of its current
+      request), exercising admission control and load shedding,
+    * ``slowtenant:<tenant>:<seconds>`` — every request the named tenant
+      runs is charged ``seconds`` extra simulated time, turning it into
+      a capacity hog that the weighted-fair scheduler must contain.
+
+    Like task faults these are pure data: the :class:`QueryService`
+    consults the plan deterministically, so service chaos tests replay
+    bit-identically.
+    """
+
+    kind: str
+    tenant: str = ""
+    amount: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown service fault kind {self.kind!r}; expected one "
+                f"of {', '.join(SERVICE_FAULT_KINDS)}"
+            )
+        if not self.tenant:
+            raise ValueError(f"{self.kind} needs a tenant name")
+        if self.amount < 0:
+            raise ValueError(
+                f"{self.kind} amount must be >= 0, got {self.amount}"
+            )
+        if self.kind == "burst" and self.amount != int(self.amount):
+            raise ValueError(
+                f"burst count must be an integer, got {self.amount}"
+            )
+
+    def describe(self) -> str:
+        return f"{self.kind}:{self.tenant}:{self.amount:g}"
+
+
+@dataclass(frozen=True)
 class RandomFaults:
     """Seeded background fault rate: each attempt fails with ``rate``.
 
@@ -298,6 +352,7 @@ class FaultPlan:
     seed: int = 0
     storage: Tuple[StorageFault, ...] = ()
     driver: Tuple[DriverFault, ...] = ()
+    service: Tuple[ServiceFault, ...] = ()
 
     @classmethod
     def parse(cls, text: str) -> Optional["FaultPlan"]:
@@ -310,6 +365,7 @@ class FaultPlan:
         random: List[RandomFaults] = []
         storage: List[StorageFault] = []
         driver: List[DriverFault] = []
+        service: List[ServiceFault] = []
         seed = 0
         for raw in text.split(","):
             entry = raw.strip()
@@ -366,6 +422,21 @@ class FaultPlan:
                     )
                 )
                 continue
+            if head in SERVICE_FAULT_KINDS:
+                if len(fields) != 3:
+                    raise ValueError(
+                        f"bad service fault entry {entry!r}; expected "
+                        f"{head}:<tenant>:"
+                        + ("<n>" if head == "burst" else "<seconds>")
+                    )
+                service.append(
+                    ServiceFault(
+                        kind=head,
+                        tenant=fields[1],
+                        amount=_float_field(entry, fields, 2, "amount"),
+                    )
+                )
+                continue
             if head == "random":
                 if len(fields) < 3 or len(fields) > 4:
                     raise ValueError(
@@ -400,7 +471,13 @@ class FaultPlan:
                     else DEFAULT_HANG_SECONDS,
                 )
             )
-        if not specs and not random and not storage and not driver:
+        if (
+            not specs
+            and not random
+            and not storage
+            and not driver
+            and not service
+        ):
             return None
         return cls(
             specs=tuple(specs),
@@ -408,6 +485,7 @@ class FaultPlan:
             seed=seed,
             storage=tuple(storage),
             driver=tuple(driver),
+            service=tuple(service),
         )
 
     @classmethod
@@ -442,6 +520,7 @@ class FaultPlan:
         parts.extend(f"random:{r.kind}:{r.rate}:{r.seed}" for r in self.random)
         parts.extend(s.describe() for s in self.storage)
         parts.extend(d.describe() for d in getattr(self, "driver", ()))
+        parts.extend(s.describe() for s in getattr(self, "service", ()))
         return ",".join(parts) or "<empty>"
 
     def driver_at(self, wave_index: int) -> List[Tuple[int, DriverFault]]:
@@ -456,6 +535,24 @@ class FaultPlan:
             for pos, fault in enumerate(getattr(self, "driver", ()))
             if fault.matches(wave_index)
         ]
+
+    def burst_for(self, tenant: str) -> int:
+        """Synthetic extra requests scripted for ``tenant`` (0 if none)."""
+        return int(
+            sum(
+                f.amount
+                for f in getattr(self, "service", ())
+                if f.kind == "burst" and f.tenant == tenant
+            )
+        )
+
+    def slowdown_for(self, tenant: str) -> float:
+        """Extra simulated seconds every request of ``tenant`` is charged."""
+        return sum(
+            f.amount
+            for f in getattr(self, "service", ())
+            if f.kind == "slowtenant" and f.tenant == tenant
+        )
 
 
 def resolve_faults(value) -> Optional[FaultPlan]:

@@ -102,6 +102,8 @@ class FileSystem:
         if default_block_capacity <= 0:
             raise ValueError("block capacity must be positive")
         self._files: Dict[str, FileEntry] = {}
+        self._versions: Dict[str, int] = {}
+        self._mutation_count = 0
         self.default_block_capacity = default_block_capacity
         self.storage = StorageManager(
             num_nodes=num_datanodes, replication=replication
@@ -116,6 +118,10 @@ class FileSystem:
             self.storage = StorageManager()
             for entry in self._files.values():
                 self.storage.seal_file(entry)
+        # Workspaces pickled before namespace versioning existed.
+        if "_versions" not in state:
+            self._versions = {name: 1 for name in self._files}
+            self._mutation_count = len(self._files)
 
     # ------------------------------------------------------------------
     # Namespace operations
@@ -128,7 +134,29 @@ class FileSystem:
 
     def delete(self, name: str) -> bool:
         """Remove ``name``; returns True when the file existed."""
-        return self._files.pop(name, None) is not None
+        if self._files.pop(name, None) is None:
+            return False
+        self._bump_version(name)
+        return True
+
+    def version(self, name: str) -> int:
+        """Monotonic version of ``name``'s content, 0 if never written.
+
+        Bumped on every create and delete, so a cache entry recording
+        the versions of the files it read can detect any later mutation
+        of the namespace (including delete-then-recreate) by comparing
+        versions — the invalidation hook for :mod:`repro.serve`.
+        """
+        return self._versions.get(name, 0)
+
+    @property
+    def mutation_count(self) -> int:
+        """Total namespace mutations (creates + deletes) ever applied."""
+        return self._mutation_count
+
+    def _bump_version(self, name: str) -> None:
+        self._versions[name] = self._versions.get(name, 0) + 1
+        self._mutation_count += 1
 
     def get(self, name: str) -> FileEntry:
         try:
@@ -169,6 +197,7 @@ class FileSystem:
             entry.blocks.append(Block(records=current))
         self.storage.seal_file(entry)
         self._files[name] = entry
+        self._bump_version(name)
         return entry
 
     def create_file_from_blocks(
@@ -185,6 +214,7 @@ class FileSystem:
         )
         self.storage.seal_file(entry)
         self._files[name] = entry
+        self._bump_version(name)
         return entry
 
     # ------------------------------------------------------------------

@@ -546,6 +546,9 @@ class JobRunner:
         self._job_executors: Dict[int, Executor] = {}
         #: Storage faults from the plan that already fired (fire-once).
         self._storage_fired: set = set()
+        #: Repair seconds from faults fired during a driver-side read
+        #: (see :meth:`verify_driver_read`), charged to the next job.
+        self._pending_repair_s = 0.0
         #: Crash-consistency attachments (see repro.mapreduce.checkpoint):
         #: a CheckpointManager journaling every wave boundary, and a
         #: CancellationToken polled at task/wave/round boundaries. Both
@@ -567,6 +570,7 @@ class JobRunner:
         state["progress"] = None
         state["faults"] = None
         state["_storage_fired"] = set()
+        state["_pending_repair_s"] = 0.0
         state["checkpoint"] = None
         state["cancellation"] = None
         state["_wave_ordinal"] = 0
@@ -587,6 +591,7 @@ class JobRunner:
         self.__dict__.setdefault("slow_task_factor", DEFAULT_SLOW_TASK_FACTOR)
         self.__dict__.setdefault("faults", None)
         self.__dict__.setdefault("_storage_fired", set())
+        self.__dict__.setdefault("_pending_repair_s", 0.0)
         self.__dict__.setdefault("profile", None)
         self.__dict__.setdefault("telemetry", None)
         self.__dict__.setdefault("eventlog", None)
@@ -608,6 +613,7 @@ class JobRunner:
         self.faults = resolve_faults(faults)
         self._storage_fired = set()
         self._driver_fired = set()
+        self._pending_repair_s = 0.0
 
     def set_checkpoint(self, manager: Optional[CheckpointManager]) -> None:
         """Arm (or disarm) wave checkpointing for the coming command.
@@ -732,7 +738,8 @@ class JobRunner:
     def _run_job(self, job: Job) -> JobResult:
         tracer = self.tracer
         log = self.eventlog
-        repair_s = self._apply_storage_faults()
+        repair_s = self._apply_storage_faults() + self._pending_repair_s
+        self._pending_repair_s = 0.0
         if self.telemetry is not None:
             self.telemetry.scrape("job-start", self.metrics, job=job.name)
         if self.progress is not None:
@@ -932,6 +939,40 @@ class JobRunner:
             self.eventlog.emit(
                 "warn", "storage", "read-failover", job=job_name,
                 failovers=failovers, corrupt=corrupt,
+            )
+        if self.metrics is not None:
+            self.metrics.inc("READ_FAILOVERS", failovers)
+            if corrupt:
+                self.metrics.inc("BLOCKS_CORRUPT_DETECTED", corrupt)
+
+    def verify_driver_read(self, *names: str) -> None:
+        """Checksum-verify whole files the driver reads outside a job.
+
+        Index-aware operations (the distributed join, kNN join) read
+        partition records directly in the driver rather than through
+        map-input splits. Those reads must go through the same HDFS
+        read path as :meth:`_verify_split_reads`: pending storage
+        faults fire first, unhealthy replicas fail over to healthy
+        copies, and a block with no surviving copy raises
+        :class:`~repro.mapreduce.storage.BlockUnavailableError` instead
+        of silently serving rotten data. Repair traffic from a fired
+        ``losenode`` is banked and charged to the next job's makespan,
+        where it would have landed had the job's own split verification
+        observed the loss.
+        """
+        self._pending_repair_s += self._apply_storage_faults()
+        failovers = 0
+        corrupt = 0
+        for name in names:
+            f, c = self.fs.verify_file_read(name)
+            failovers += f
+            corrupt += c
+        if not failovers and not corrupt:
+            return
+        if self.eventlog is not None:
+            self.eventlog.emit(
+                "warn", "storage", "read-failover",
+                files=",".join(names), failovers=failovers, corrupt=corrupt,
             )
         if self.metrics is not None:
             self.metrics.inc("READ_FAILOVERS", failovers)

@@ -280,6 +280,11 @@ def spatial_join_distributed(
     if left_index is None or right_index is None:
         raise ValueError("distributed join requires both inputs to be indexed")
 
+    # The driver reads partition records directly (no map-input splits),
+    # so route the read through the checksummed HDFS path: replicas fail
+    # over, and a block with no healthy copy fails typed instead of
+    # serving rotten data.
+    runner.verify_driver_read(left_file, right_file)
     left_entry = fs.get(left_file)
     right_entry = fs.get(right_file)
     left_blocks = {b.metadata["cell_id"]: b for b in left_entry.blocks}

@@ -1,0 +1,265 @@
+"""Wire types of the query service: requests, responses, quotas.
+
+The service speaks a line-oriented protocol so it needs no network
+dependency: one JSON object per line in, one JSON object per line out.
+A request line is::
+
+    {"tenant": "alice", "query": "range pts_idx 0,0,100,100",
+     "deadline_s": 5.0}
+
+(``deadline_s`` optional; ``#``-comment and blank lines are skipped).
+The response line carries the terminal outcome of the request — exactly
+one of :data:`OUTCOMES` — plus its simulated timing, so replayed
+request scripts can be diffed against golden counts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Terminal request outcomes. Every submitted request ends in exactly one.
+OUTCOME_SERVED = "served"
+OUTCOME_DEGRADED = "degraded"
+OUTCOME_OVERLOADED = "overloaded"
+OUTCOME_DEADLINE = "deadline"
+OUTCOME_ERROR = "error"
+OUTCOMES = (
+    OUTCOME_SERVED,
+    OUTCOME_DEGRADED,
+    OUTCOME_OVERLOADED,
+    OUTCOME_DEADLINE,
+    OUTCOME_ERROR,
+)
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+class ServeError(RuntimeError):
+    """Base class for typed service-level failures."""
+
+
+class Overloaded(ServeError):
+    """The request was shed by admission control.
+
+    ``retry_after_s`` is the service's estimate of when the tenant's
+    queue will have drained enough to admit a retry — the simulated
+    equivalent of a ``Retry-After`` header.
+    """
+
+    def __init__(self, tenant: str, retry_after_s: float, reason: str):
+        super().__init__(
+            f"tenant {tenant!r} overloaded ({reason}); "
+            f"retry after {retry_after_s:g}s"
+        )
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+        self.reason = reason
+
+
+class DatasetUnavailable(ServeError):
+    """A tripped dataset has no degraded fallback for this operation."""
+
+    def __init__(self, file_name: str, op: str):
+        super().__init__(
+            f"dataset {file_name!r} is unavailable (circuit open) and "
+            f"{op!r} has no degraded fallback"
+        )
+        self.file_name = file_name
+        self.op = op
+
+
+class BadRequest(ServeError):
+    """The request line or query text could not be understood."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits the scheduler and admission controller enforce.
+
+    ``weight`` scales the tenant's share of cluster time (weighted-fair
+    queueing: virtual time advances by ``cost / weight`` per dispatched
+    request). ``max_inflight`` bounds concurrently executing requests,
+    ``max_queue`` bounds the admission queue (beyond it requests are
+    shed with :class:`Overloaded`), and ``cost_budget_s`` bounds the
+    simulated seconds the tenant may consume per ``budget_window_s``
+    sliding window (``None`` = unlimited).
+    """
+
+    weight: float = 1.0
+    max_inflight: int = 2
+    max_queue: int = 8
+    cost_budget_s: Optional[float] = None
+    budget_window_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"quota weight must be positive, got {self.weight}")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if self.cost_budget_s is not None and self.cost_budget_s <= 0:
+            raise ValueError("cost_budget_s must be positive (or None)")
+        if self.budget_window_s <= 0:
+            raise ValueError("budget_window_s must be positive")
+
+
+#: Keys accepted in a ``--quota`` spec and their TenantQuota fields.
+_QUOTA_KEYS = {
+    "weight": ("weight", float),
+    "inflight": ("max_inflight", int),
+    "queue": ("max_queue", int),
+    "budget": ("cost_budget_s", float),
+    "window": ("budget_window_s", float),
+}
+
+
+def parse_quota_spec(spec: str) -> Dict[str, TenantQuota]:
+    """Parse a ``--quota`` option: ``tenant=key=value[,key=value...]``.
+
+    Keys: ``weight``, ``inflight``, ``queue``, ``budget``, ``window``.
+    Example: ``alice=weight=2,inflight=1,queue=4,budget=30``.
+    """
+    name, sep, rest = spec.partition("=")
+    name = name.strip()
+    if not sep or not _TENANT_RE.match(name):
+        raise ValueError(
+            f"bad quota spec {spec!r}; expected tenant=key=value[,...]"
+        )
+    kwargs: Dict[str, Any] = {}
+    for part in rest.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or key.strip() not in _QUOTA_KEYS:
+            raise ValueError(
+                f"bad quota field {part!r} in {spec!r}; expected one of "
+                f"{', '.join(sorted(_QUOTA_KEYS))}"
+            )
+        field_name, cast = _QUOTA_KEYS[key.strip()]
+        try:
+            kwargs[field_name] = cast(value)
+        except ValueError:
+            raise ValueError(
+                f"bad quota value {value!r} for {key!r} in {spec!r}"
+            ) from None
+    return {name: TenantQuota(**kwargs)}
+
+
+def sanitize_tenant(tenant: str) -> str:
+    """Mangle a tenant name into a metric-name-safe suffix."""
+    return re.sub(r"[^A-Za-z0-9_]", "_", tenant)
+
+
+@dataclass
+class Request:
+    """One admitted (or shed) query request."""
+
+    request_id: int
+    tenant: str
+    text: str
+    deadline_s: Optional[float] = None
+    arrival_s: float = 0.0
+    #: True for clones injected by a ``burst:<tenant>:<n>`` service fault.
+    synthetic: bool = False
+
+    def __post_init__(self) -> None:
+        if not _TENANT_RE.match(self.tenant):
+            raise BadRequest(
+                f"bad tenant name {self.tenant!r}; expected 1-64 chars of "
+                "[A-Za-z0-9._-]"
+            )
+
+
+@dataclass
+class Response:
+    """The terminal outcome of one request.
+
+    ``result`` keeps the in-process answer (an
+    :class:`~repro.core.result.OperationResult` for served requests) for
+    bit-identical comparisons; the wire form (:meth:`to_dict`) carries a
+    JSON-safe summary instead.
+    """
+
+    request_id: int
+    tenant: str
+    query: str
+    outcome: str
+    answer: Any = None
+    rows: int = 0
+    degraded: bool = False
+    cache_hit: bool = False
+    arrival_s: float = 0.0
+    start_s: float = 0.0
+    finish_s: float = 0.0
+    latency_s: float = 0.0
+    cost_s: float = 0.0
+    retry_after_s: Optional[float] = None
+    error: str = ""
+    error_type: str = ""
+    synthetic: bool = False
+    result: Any = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {self.outcome!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "id": self.request_id,
+            "tenant": self.tenant,
+            "query": self.query,
+            "outcome": self.outcome,
+            "rows": self.rows,
+            "degraded": self.degraded,
+            "cache_hit": self.cache_hit,
+            "latency_s": round(self.latency_s, 6),
+            "cost_s": round(self.cost_s, 6),
+        }
+        if self.answer is not None and isinstance(
+            self.answer, (int, float, str, bool)
+        ):
+            record["answer"] = self.answer
+        if self.retry_after_s is not None:
+            record["retry_after_s"] = round(self.retry_after_s, 6)
+        if self.error:
+            record["error"] = self.error
+            record["error_type"] = self.error_type
+        if self.synthetic:
+            record["synthetic"] = True
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def parse_request_line(line: str) -> Optional[Dict[str, Any]]:
+    """Decode one request line; ``None`` for blanks and ``#`` comments.
+
+    Returns ``{"tenant", "query", "deadline_s"}`` with ``deadline_s``
+    possibly absent. Raises :class:`BadRequest` for malformed lines.
+    """
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BadRequest(f"bad request line {text!r}: {exc}") from None
+    if not isinstance(record, dict):
+        raise BadRequest(f"bad request line {text!r}: expected a JSON object")
+    if "tenant" not in record or "query" not in record:
+        raise BadRequest(
+            f"bad request line {text!r}: needs 'tenant' and 'query' keys"
+        )
+    allowed = {"tenant", "query", "deadline_s"}
+    unknown = set(record) - allowed
+    if unknown:
+        raise BadRequest(
+            f"bad request line {text!r}: unknown keys {sorted(unknown)}"
+        )
+    return record

@@ -1,0 +1,192 @@
+"""Admission control and weighted-fair dispatch across tenants.
+
+The scheduler is a start-time-fair-queueing (SFQ) variant on the
+service's virtual clock: each tenant carries a virtual time ``vt`` that
+advances by ``cost / weight`` per dispatched request, and the dispatcher
+always picks the backlogged tenant with the smallest ``vt`` (ties broken
+by name for determinism). Heavier weights therefore advance slower and
+win more slots; a tenant hit by a ``slowtenant`` fault accrues ``vt``
+faster and is automatically contained.
+
+Starvation protection is the SFQ catch-up rule: a tenant that was idle
+re-enters at ``max(own vt, min vt of busy tenants)``, so sleeping never
+banks credit that would later starve everyone else, and a backlogged
+tenant's ``vt`` always stays within one request of the frontier — every
+queue drains.
+
+Admission is per tenant and two-tiered: a bounded queue
+(:attr:`TenantQuota.max_queue`, overflow shed with
+:class:`~repro.serve.protocol.Overloaded`), and eligibility gates at
+dispatch time (:attr:`TenantQuota.max_inflight` concurrent requests,
+:attr:`TenantQuota.cost_budget_s` simulated seconds per sliding window).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.serve.protocol import Overloaded, Request, TenantQuota
+
+
+class TenantState:
+    """Scheduler-side bookkeeping for one tenant."""
+
+    def __init__(self, name: str, quota: TenantQuota):
+        self.name = name
+        self.quota = quota
+        self.queue: Deque[Request] = deque()
+        self.vt = 0.0
+        #: Virtual finish times of dispatched, still-running requests.
+        self.inflight: List[float] = []
+        #: (dispatch time, cost) pairs inside the sliding budget window.
+        self.spend: Deque[Tuple[float, float]] = deque()
+        self.peak_inflight = 0
+        self.shed = 0
+        self.dispatched = 0
+
+    # -- time-dependent views ------------------------------------------
+    def prune(self, now_s: float) -> None:
+        """Drop finished in-flight entries and expired window spend."""
+        self.inflight = [f for f in self.inflight if f > now_s]
+        horizon = now_s - self.quota.budget_window_s
+        while self.spend and self.spend[0][0] <= horizon:
+            self.spend.popleft()
+
+    def window_spend(self, now_s: float) -> float:
+        horizon = now_s - self.quota.budget_window_s
+        return sum(cost for at, cost in self.spend if at > horizon)
+
+    def busy(self) -> bool:
+        return bool(self.queue or self.inflight)
+
+    def eligible(self, now_s: float) -> bool:
+        """May this tenant dispatch its head-of-queue request now?"""
+        if not self.queue:
+            return False
+        if len(self.inflight) >= self.quota.max_inflight:
+            return False
+        budget = self.quota.cost_budget_s
+        if budget is not None and self.window_spend(now_s) >= budget:
+            return False
+        return True
+
+    def blocking_events(self, now_s: float) -> List[float]:
+        """Future times at which this tenant could become eligible."""
+        events: List[float] = []
+        if not self.queue:
+            return events
+        if len(self.inflight) >= self.quota.max_inflight and self.inflight:
+            events.append(min(self.inflight))
+        budget = self.quota.cost_budget_s
+        if budget is not None and self.spend:
+            if self.window_spend(now_s) >= budget:
+                # Eligibility returns when the oldest spend entry rolls
+                # out of the sliding window.
+                events.append(self.spend[0][0] + self.quota.budget_window_s)
+        return [e for e in events if e > now_s]
+
+    def on_dispatched(self, now_s: float, cost_s: float, finish_s: float) -> None:
+        self.vt += cost_s / self.quota.weight
+        self.inflight.append(finish_s)
+        self.spend.append((now_s, cost_s))
+        self.dispatched += 1
+        self.peak_inflight = max(self.peak_inflight, len(self.inflight))
+
+
+class FairScheduler:
+    """Per-tenant queues plus the SFQ pick rule."""
+
+    def __init__(
+        self,
+        quotas: Optional[Mapping[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+    ):
+        self.default_quota = default_quota or TenantQuota()
+        self._quotas: Dict[str, TenantQuota] = dict(quotas or {})
+        self._tenants: Dict[str, TenantState] = {}
+        #: Running mean cost of completed requests (retry-after hint).
+        self.avg_cost_s = 1.0
+        self._completed = 0
+
+    def tenant(self, name: str) -> TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            quota = self._quotas.get(name, self.default_quota)
+            state = self._tenants[name] = TenantState(name, quota)
+        return state
+
+    def tenants(self) -> List[TenantState]:
+        return [self._tenants[name] for name in sorted(self._tenants)]
+
+    # -- admission ------------------------------------------------------
+    def enqueue(self, request: Request, now_s: float) -> None:
+        """Admit ``request`` or shed it with :class:`Overloaded`."""
+        state = self.tenant(request.tenant)
+        state.prune(now_s)
+        if len(state.queue) >= state.quota.max_queue:
+            state.shed += 1
+            raise Overloaded(
+                request.tenant,
+                retry_after_s=self.retry_after(state, now_s),
+                reason=f"queue full ({state.quota.max_queue})",
+            )
+        if not state.busy():
+            # SFQ catch-up: re-entering tenants start at the frontier.
+            busy_vts = [
+                t.vt for t in self._tenants.values() if t.busy()
+            ]
+            if busy_vts:
+                state.vt = max(state.vt, min(busy_vts))
+        state.queue.append(request)
+
+    def retry_after(self, state: TenantState, now_s: float) -> float:
+        """Estimated wait until the tenant's backlog drains one slot."""
+        backlog = len(state.queue) + len(state.inflight)
+        estimate = backlog * self.avg_cost_s / state.quota.weight
+        if state.inflight:
+            estimate = max(estimate, min(state.inflight) - now_s)
+        return round(max(estimate, self.avg_cost_s), 6)
+
+    # -- dispatch -------------------------------------------------------
+    def has_queued(self) -> bool:
+        return any(t.queue for t in self._tenants.values())
+
+    def queued_count(self) -> int:
+        return sum(len(t.queue) for t in self._tenants.values())
+
+    def pick(self, now_s: float) -> Optional[TenantState]:
+        """The eligible tenant with the smallest virtual time, if any."""
+        best: Optional[TenantState] = None
+        for state in self._tenants.values():
+            state.prune(now_s)
+            if not state.eligible(now_s):
+                continue
+            if best is None or (state.vt, state.name) < (best.vt, best.name):
+                best = state
+        return best
+
+    def next_event_after(self, now_s: float) -> Optional[float]:
+        """Earliest future time a currently-blocked tenant could unblock."""
+        events: List[float] = []
+        for state in self._tenants.values():
+            events.extend(state.blocking_events(now_s))
+        return min(events) if events else None
+
+    def note_completed(self, cost_s: float) -> None:
+        """Fold a finished request's cost into the retry-after estimate."""
+        self._completed += 1
+        self.avg_cost_s += (cost_s - self.avg_cost_s) / self._completed
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            t.name: {
+                "queued": len(t.queue),
+                "inflight": len(t.inflight),
+                "peak_inflight": t.peak_inflight,
+                "dispatched": t.dispatched,
+                "shed": t.shed,
+                "vt": round(t.vt, 6),
+            }
+            for t in self.tenants()
+        }

@@ -1,0 +1,196 @@
+"""The ``serve`` and ``query`` subcommands: exit codes, scripts, SIGTERM.
+
+``repro query`` maps service outcomes onto shell conventions — 0 for a
+served answer, 75 (EX_TEMPFAIL) when admission control sheds the
+request, 124 for a blown deadline (mirroring ``timeout(1)``), 1 for a
+typed error. ``repro serve`` replays recorded request scripts and, as a
+long-lived process, must drain and exit 0 on SIGTERM (satellite 2).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import EXIT_DEADLINE, EXIT_OVERLOADED, main
+
+RANGE_Q = "range idx 200000,200000,600000,600000"
+
+
+@pytest.fixture
+def ws(tmp_path):
+    path = str(tmp_path / "ws.pkl")
+    assert main(["-w", path, "generate", "pts", "--n", "800", "--seed", "3"]) == 0
+    assert main(["-w", path, "index", "pts", "idx", "--technique", "str"]) == 0
+    return path
+
+
+def last_json_line(out):
+    lines = [l for l in out.strip().splitlines() if l.startswith("{")]
+    assert lines, f"no JSON in output: {out!r}"
+    return json.loads(lines[-1])
+
+
+class TestQueryExitCodes:
+    def test_served_query_exits_zero(self, ws, capsys):
+        capsys.readouterr()
+        assert main(["-w", ws, "query", "--tenant", "alice", *RANGE_Q.split()]) == 0
+        record = last_json_line(capsys.readouterr().out)
+        assert record["outcome"] == "served"
+        assert record["tenant"] == "alice"
+        assert record["rows"] > 0
+
+    def test_default_tenant(self, ws, capsys):
+        capsys.readouterr()
+        assert main(["-w", ws, "query", *RANGE_Q.split()]) == 0
+        assert last_json_line(capsys.readouterr().out)["tenant"] == "default"
+
+    def test_blown_deadline_exits_124(self, ws, capsys):
+        capsys.readouterr()
+        code = main([
+            "-w", ws, "--faults", "hangdriver:*:999", "--deadline", "2",
+            "query", *RANGE_Q.split(),
+        ])
+        assert code == EXIT_DEADLINE
+        record = last_json_line(capsys.readouterr().out)
+        assert record["outcome"] == "deadline"
+
+    def test_typed_error_exits_one(self, ws, capsys):
+        capsys.readouterr()
+        assert main(["-w", ws, "query", "range", "ghost", "0,0,1,1"]) == 1
+        record = last_json_line(capsys.readouterr().out)
+        assert record["outcome"] == "error"
+        assert record["error_type"]
+
+    def test_shed_request_exits_75(self, ws, capsys, monkeypatch):
+        from repro.serve import Overloaded
+        from repro.serve.service import QueryService
+
+        def shed(self, tenant, text, deadline_s=None):
+            raise Overloaded(tenant, retry_after_s=1.5, reason="queue full")
+
+        monkeypatch.setattr(QueryService, "query", shed)
+        capsys.readouterr()
+        code = main(["-w", ws, "query", "--tenant", "alice", *RANGE_Q.split()])
+        assert code == EXIT_OVERLOADED
+        err = capsys.readouterr().err
+        assert "overloaded" in err
+        assert "retry after 1.5s" in err
+
+
+class TestServeScript:
+    def write_script(self, tmp_path, lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_script_replay_responses_and_summary(self, ws, tmp_path, capsys):
+        script = self.write_script(tmp_path, [
+            "# recorded workload",
+            "",
+            json.dumps({"tenant": "alice", "query": RANGE_Q}),
+            json.dumps({"tenant": "bob",
+                        "query": "count idx 100000,100000,500000,500000"}),
+            json.dumps({"tenant": "bob",
+                        "query": "range idx 0,0,900000,900000"}),
+            json.dumps({"tenant": "alice", "query": RANGE_Q}),
+        ])
+        summary_path = tmp_path / "summary.json"
+        capsys.readouterr()
+        code = main([
+            "-w", ws, "serve", "--script", script,
+            "--quota", "bob=queue=1,inflight=1",
+            "--summary", str(summary_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        records = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert [r["id"] for r in records] == [1, 2, 3, 4]
+        by_id = {r["id"]: r for r in records}
+        assert by_id[1]["outcome"] == "served"
+        assert by_id[2]["outcome"] == "served"
+        # bob's queue holds one request: the second is shed typed.
+        assert by_id[3]["outcome"] == "overloaded"
+        assert by_id[3]["retry_after_s"] > 0
+        # The repeated range is answered from the result cache.
+        assert by_id[4]["outcome"] == "served"
+        assert by_id[4]["cache_hit"] is True
+
+        summary = json.loads(summary_path.read_text())
+        assert summary["requests"] == 4
+        assert summary["served"] == 3
+        assert summary["overloaded"] == 1
+        assert "cache hit ratio" in captured.err
+
+    def test_bad_quota_spec_fails_fast(self, ws, tmp_path, capsys):
+        script = self.write_script(
+            tmp_path, [json.dumps({"tenant": "a", "query": RANGE_Q})]
+        )
+        code = main([
+            "-w", ws, "serve", "--script", script,
+            "--quota", "alice=speed=9",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_degraded_outcomes_reach_the_wire(self, ws, tmp_path, capsys):
+        """Storage chaos surfaces as degraded JSON lines, not a crash."""
+        from repro.core.workspace import load_workspace
+
+        sh = load_workspace(ws)
+        spec = ",".join(
+            f"corruptblock:idx:{block}:{replica}"
+            for block in range(len(sh.fs.get("idx").blocks))
+            for replica in range(3)
+        )
+        script = self.write_script(tmp_path, [
+            json.dumps({"tenant": "alice", "query": RANGE_Q}),
+        ])
+        capsys.readouterr()
+        code = main([
+            "-w", ws, "--faults", spec, "serve", "--script", script,
+            "--breaker-threshold", "1",
+        ])
+        assert code == 0
+        record = last_json_line(capsys.readouterr().out)
+        assert record["outcome"] == "degraded"
+        assert record["degraded"] is True
+
+
+class TestServeSigterm:
+    """Satellite 2: a SIGTERM'd service drains and exits 0."""
+
+    def test_sigterm_is_a_graceful_shutdown(self, ws):
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "-w", ws, "serve"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            request = json.dumps({"tenant": "alice", "query": RANGE_Q})
+            proc.stdin.write(request + "\n")
+            proc.stdin.flush()
+            # Blocks until the service is up and the request is served:
+            # the response proves work completed before the signal.
+            response = json.loads(proc.stdout.readline())
+            assert response["outcome"] == "served"
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "SIGTERM received" in err
+        assert "1 request(s): 1 served" in err

@@ -176,6 +176,69 @@ class TestFaultPlanParsing:
             resolve_faults(42)
 
 
+class TestServiceFaultParsing:
+    """The PR 10 service-level fault kinds: burst and slowtenant."""
+
+    def test_burst_entry(self):
+        plan = FaultPlan.parse("burst:alice:5")
+        fault = plan.service[0]
+        assert fault.kind == "burst"
+        assert fault.tenant == "alice"
+        assert fault.amount == 5
+        assert plan.burst_for("alice") == 5
+        assert plan.burst_for("bob") == 0
+
+    def test_slowtenant_entry(self):
+        plan = FaultPlan.parse("slowtenant:bob:2.5")
+        assert plan.slowdown_for("bob") == 2.5
+        assert plan.slowdown_for("alice") == 0.0
+        assert plan.burst_for("bob") == 0  # kinds don't cross-talk
+
+    def test_multiple_entries_accumulate(self):
+        plan = FaultPlan.parse("slowtenant:bob:2,slowtenant:bob:3")
+        assert plan.slowdown_for("bob") == 5.0
+
+    def test_mixes_with_task_and_storage_faults(self):
+        plan = FaultPlan.parse(
+            "crash:map:0,losenode:2,burst:alice:3,slowtenant:bob:1"
+        )
+        assert plan.lookup("map", 0, 0).kind == "crash"
+        assert plan.storage[0].kind == "losenode"
+        assert plan.burst_for("alice") == 3
+        assert plan.slowdown_for("bob") == 1.0
+
+    def test_describe_mentions_service_entries(self):
+        plan = FaultPlan.parse("burst:alice:3,slowtenant:bob:1.5")
+        text = plan.describe()
+        assert "burst:alice:3" in text
+        assert "slowtenant:bob:1.5" in text
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "burst:alice",  # missing count
+            "burst:alice:3:9",  # too many fields
+            "burst::3",  # empty tenant
+            "burst:alice:-1",  # negative
+            "burst:alice:1.5",  # non-integer count
+            "burst:alice:nan5",  # uncastable
+            "slowtenant:bob",  # missing seconds
+            "slowtenant:bob:-2",  # negative
+        ],
+    )
+    def test_bad_service_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_service_only_plan_is_not_empty(self):
+        assert FaultPlan.parse("burst:alice:1") is not None
+
+    def test_plan_with_service_faults_pickles(self):
+        plan = FaultPlan.parse("burst:alice:3,slowtenant:bob:1")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+
 # ----------------------------------------------------------------------
 # Backoff schedule
 # ----------------------------------------------------------------------

@@ -1,0 +1,188 @@
+"""Wire types of the query service: quotas, requests, responses."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    OUTCOMES,
+    BadRequest,
+    DatasetUnavailable,
+    Overloaded,
+    Request,
+    Response,
+    ServeError,
+    TenantQuota,
+    parse_quota_spec,
+)
+from repro.serve.protocol import parse_request_line, sanitize_tenant
+
+
+class TestTenantQuota:
+    def test_defaults(self):
+        quota = TenantQuota()
+        assert quota.weight == 1.0
+        assert quota.max_inflight == 2
+        assert quota.max_queue == 8
+        assert quota.cost_budget_s is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 0.0},
+            {"weight": -1.0},
+            {"max_inflight": 0},
+            {"max_queue": 0},
+            {"cost_budget_s": 0.0},
+            {"cost_budget_s": -5.0},
+            {"budget_window_s": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestParseQuotaSpec:
+    def test_full_spec(self):
+        quotas = parse_quota_spec(
+            "alice=weight=2,inflight=1,queue=4,budget=30,window=10"
+        )
+        quota = quotas["alice"]
+        assert quota.weight == 2.0
+        assert quota.max_inflight == 1
+        assert quota.max_queue == 4
+        assert quota.cost_budget_s == 30.0
+        assert quota.budget_window_s == 10.0
+
+    def test_defaults_when_fields_omitted(self):
+        assert parse_quota_spec("bob=weight=3")["bob"].max_queue == 8
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "alice",  # no '='
+            "=weight=1",  # empty tenant
+            "bad tenant=weight=1",  # space in name
+            "alice=shares=4",  # unknown key
+            "alice=weight",  # key without value
+            "alice=weight=heavy",  # uncastable value
+        ],
+    )
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_quota_spec(spec)
+
+
+class TestRequest:
+    def test_accepts_dotted_and_dashed_tenants(self):
+        Request(1, "team-a.svc_01", "range f 0,0,1,1")
+
+    @pytest.mark.parametrize("tenant", ["", "a b", "x" * 65, "éclair", "a/b"])
+    def test_rejects_bad_tenant_names(self, tenant):
+        with pytest.raises(BadRequest):
+            Request(1, tenant, "range f 0,0,1,1")
+
+
+class TestResponse:
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            Response(1, "alice", "q", outcome="partial")
+
+    def test_wire_form_carries_scalars_only(self):
+        response = Response(
+            1, "alice", "count f 0,0,1,1", outcome="served",
+            answer=42, rows=42, latency_s=0.1234567,
+        )
+        record = response.to_dict()
+        assert record["answer"] == 42
+        assert record["latency_s"] == 0.123457  # rounded to 6 places
+        assert "retry_after_s" not in record
+        assert "error" not in record
+        assert "synthetic" not in record
+
+    def test_wire_form_drops_structured_answers(self):
+        response = Response(
+            1, "alice", "range f 0,0,1,1", outcome="served",
+            answer=None, rows=7, result=object(),
+        )
+        record = response.to_dict()
+        assert "answer" not in record
+        assert "result" not in record
+
+    def test_overloaded_wire_form(self):
+        response = Response(
+            3, "bob", "range f 0,0,1,1", outcome="overloaded",
+            retry_after_s=2.5, error="queue full", error_type="Overloaded",
+            synthetic=True,
+        )
+        record = response.to_dict()
+        assert record["retry_after_s"] == 2.5
+        assert record["error_type"] == "Overloaded"
+        assert record["synthetic"] is True
+
+    def test_to_json_is_deterministic(self):
+        response = Response(1, "alice", "q", outcome="served")
+        parsed = json.loads(response.to_json())
+        assert parsed["outcome"] == "served"
+        assert response.to_json() == response.to_json()
+
+
+class TestErrors:
+    def test_overloaded_fields_and_hierarchy(self):
+        exc = Overloaded("alice", retry_after_s=1.5, reason="queue full (2)")
+        assert isinstance(exc, ServeError)
+        assert exc.tenant == "alice"
+        assert exc.retry_after_s == 1.5
+        assert "retry after 1.5s" in str(exc)
+
+    def test_dataset_unavailable_names_the_dataset(self):
+        exc = DatasetUnavailable("pts_idx", "sjoin")
+        assert isinstance(exc, ServeError)
+        assert "pts_idx" in str(exc)
+        assert "sjoin" in str(exc)
+
+
+class TestParseRequestLine:
+    def test_skips_blanks_and_comments(self):
+        assert parse_request_line("") is None
+        assert parse_request_line("   \n") is None
+        assert parse_request_line("# a comment") is None
+
+    def test_parses_full_record(self):
+        record = parse_request_line(
+            '{"tenant": "alice", "query": "range f 0,0,1,1", '
+            '"deadline_s": 5.0}'
+        )
+        assert record == {
+            "tenant": "alice",
+            "query": "range f 0,0,1,1",
+            "deadline_s": 5.0,
+        }
+
+    def test_deadline_is_optional(self):
+        record = parse_request_line('{"tenant": "a", "query": "q"}')
+        assert "deadline_s" not in record
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"tenant": "a"}',
+            '{"query": "q"}',
+            '{"tenant": "a", "query": "q", "priority": 9}',
+        ],
+    )
+    def test_rejects_malformed_lines(self, line):
+        with pytest.raises(BadRequest):
+            parse_request_line(line)
+
+
+def test_sanitize_tenant_is_metric_safe():
+    assert sanitize_tenant("team-a.svc") == "team_a_svc"
+    assert sanitize_tenant("alice") == "alice"
+
+
+def test_outcomes_are_distinct():
+    assert len(set(OUTCOMES)) == len(OUTCOMES) == 5

@@ -1,0 +1,179 @@
+"""Weighted-fair dispatch, per-tenant quotas and starvation protection."""
+
+import pytest
+
+from repro.serve import FairScheduler, Overloaded, TenantQuota
+from repro.serve.protocol import Request
+
+
+def make_request(request_id, tenant, arrival_s=0.0):
+    return Request(
+        request_id=request_id,
+        tenant=tenant,
+        text="range f 0,0,1,1",
+        arrival_s=arrival_s,
+    )
+
+
+def run_dispatch(scheduler, now=0.0, cost=1.0, rounds=100):
+    """Drain the scheduler with unit-cost requests; returns dispatch order.
+
+    Mirrors the service's drain loop but with a fixed cost per request
+    and instantaneous completion (finish == dispatch time), isolating the
+    pick rule from execution effects.
+    """
+    order = []
+    for _ in range(rounds):
+        state = scheduler.pick(now)
+        if state is None:
+            break
+        state.queue.popleft()
+        state.on_dispatched(now, cost, now)  # finish == now: no inflight gate
+        order.append(state.name)
+    return order
+
+
+class TestAdmission:
+    def test_overflow_sheds_with_retry_after(self):
+        scheduler = FairScheduler(
+            quotas={"a": TenantQuota(max_queue=2)}
+        )
+        scheduler.enqueue(make_request(1, "a"), 0.0)
+        scheduler.enqueue(make_request(2, "a"), 0.0)
+        with pytest.raises(Overloaded) as info:
+            scheduler.enqueue(make_request(3, "a"), 0.0)
+        assert info.value.tenant == "a"
+        assert info.value.retry_after_s >= scheduler.avg_cost_s
+        assert scheduler.tenant("a").shed == 1
+        assert len(scheduler.tenant("a").queue) == 2  # nothing lost
+
+    def test_unknown_tenants_get_the_default_quota(self):
+        scheduler = FairScheduler(
+            default_quota=TenantQuota(max_queue=1)
+        )
+        scheduler.enqueue(make_request(1, "stranger"), 0.0)
+        with pytest.raises(Overloaded):
+            scheduler.enqueue(make_request(2, "stranger"), 0.0)
+
+    def test_retry_after_covers_the_running_request(self):
+        scheduler = FairScheduler()
+        state = scheduler.tenant("a")
+        state.inflight.append(9.0)  # finishes at t=9
+        assert scheduler.retry_after(state, now_s=1.0) >= 8.0
+
+
+class TestFairness:
+    def test_weights_set_the_dispatch_ratio(self):
+        scheduler = FairScheduler(quotas={
+            "a": TenantQuota(weight=1.0, max_queue=100, max_inflight=100),
+            "b": TenantQuota(weight=2.0, max_queue=100, max_inflight=100),
+        })
+        for i in range(12):
+            scheduler.enqueue(make_request(2 * i + 1, "a"), 0.0)
+            scheduler.enqueue(make_request(2 * i + 2, "b"), 0.0)
+        order = run_dispatch(scheduler, rounds=18)
+        # Weight 2 gets two slots for every one of weight 1.
+        assert order.count("b") == 2 * order.count("a")
+
+    def test_ties_break_by_name_for_determinism(self):
+        scheduler = FairScheduler(
+            default_quota=TenantQuota(max_queue=10, max_inflight=10)
+        )
+        scheduler.enqueue(make_request(1, "zed"), 0.0)
+        scheduler.enqueue(make_request(2, "ann"), 0.0)
+        assert run_dispatch(scheduler) == ["ann", "zed"]
+
+    def test_idle_tenant_reenters_at_the_frontier(self):
+        """SFQ catch-up: sleeping must not bank credit that starves others."""
+        scheduler = FairScheduler(
+            default_quota=TenantQuota(max_queue=100, max_inflight=100)
+        )
+        for i in range(10):
+            scheduler.enqueue(make_request(i + 1, "busy"), 0.0)
+        run_dispatch(scheduler, rounds=6)  # busy advances to vt=6
+        scheduler.enqueue(make_request(90, "busy"), 0.0)
+        scheduler.enqueue(make_request(99, "late"), 0.0)
+        late = scheduler.tenant("late")
+        assert late.vt == scheduler.tenant("busy").vt  # caught up, not 0
+        # The late tenant gets its fair share from here on, no monopoly.
+        order = run_dispatch(scheduler, rounds=4)
+        assert "busy" in order[:2]
+
+    def test_backlogged_tenant_is_never_starved(self):
+        scheduler = FairScheduler(quotas={
+            "heavy": TenantQuota(weight=10.0, max_queue=100, max_inflight=100),
+            "light": TenantQuota(weight=1.0, max_queue=100, max_inflight=100),
+        })
+        for i in range(50):
+            scheduler.enqueue(make_request(2 * i + 1, "heavy"), 0.0)
+        for i in range(3):
+            scheduler.enqueue(make_request(100 + i, "light"), 0.0)
+        order = run_dispatch(scheduler, rounds=53)
+        assert order.count("light") == 3  # every light request dispatched
+
+
+class TestQuotaGates:
+    def test_max_inflight_blocks_until_a_finish(self):
+        scheduler = FairScheduler(
+            quotas={"a": TenantQuota(max_inflight=1)}
+        )
+        scheduler.enqueue(make_request(1, "a"), 0.0)
+        scheduler.enqueue(make_request(2, "a"), 0.0)
+        state = scheduler.pick(0.0)
+        state.queue.popleft()
+        state.on_dispatched(0.0, 5.0, 5.0)  # runs until t=5
+        assert scheduler.pick(0.0) is None  # gate holds
+        assert scheduler.next_event_after(0.0) == 5.0
+        assert scheduler.pick(6.0) is not None  # finished entry pruned
+
+    def test_cost_budget_blocks_until_the_window_rolls(self):
+        scheduler = FairScheduler(quotas={
+            "a": TenantQuota(
+                max_inflight=10, cost_budget_s=2.0, budget_window_s=10.0
+            )
+        })
+        scheduler.enqueue(make_request(1, "a"), 0.0)
+        scheduler.enqueue(make_request(2, "a"), 0.0)
+        state = scheduler.pick(0.0)
+        state.queue.popleft()
+        state.on_dispatched(0.0, 2.0, 2.0)  # burns the whole budget
+        assert scheduler.pick(3.0) is None
+        # Unblocks when the t=0 spend rolls out of the 10 s window.
+        assert scheduler.next_event_after(3.0) == 10.0
+        assert scheduler.pick(10.5) is not None
+
+    def test_no_budget_means_no_gate(self):
+        scheduler = FairScheduler()
+        scheduler.enqueue(make_request(1, "a"), 0.0)
+        state = scheduler.tenant("a")
+        state.spend.append((0.0, 1e9))
+        assert scheduler.pick(1.0) is state
+
+
+class TestBookkeeping:
+    def test_note_completed_tracks_the_running_mean(self):
+        scheduler = FairScheduler()
+        scheduler.note_completed(2.0)
+        scheduler.note_completed(4.0)
+        assert scheduler.avg_cost_s == pytest.approx(3.0)
+
+    def test_peak_inflight_is_recorded(self):
+        scheduler = FairScheduler(
+            quotas={"a": TenantQuota(max_inflight=3)}
+        )
+        state = scheduler.tenant("a")
+        state.on_dispatched(0.0, 1.0, 10.0)
+        state.on_dispatched(0.0, 1.0, 11.0)
+        state.prune(10.5)  # one finished
+        state.on_dispatched(10.5, 1.0, 12.0)
+        assert state.peak_inflight == 2
+
+    def test_snapshot_shape(self):
+        scheduler = FairScheduler()
+        scheduler.enqueue(make_request(1, "a"), 0.0)
+        snap = scheduler.snapshot()
+        assert set(snap) == {"a"}
+        assert snap["a"]["queued"] == 1
+        assert set(snap["a"]) == {
+            "queued", "inflight", "peak_inflight", "dispatched", "shed", "vt"
+        }
